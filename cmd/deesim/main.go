@@ -1,0 +1,198 @@
+// Command deesim regenerates the paper's evaluation (Figure 5 of
+// Uht & Sindagi, MICRO-28 1995): speedup versus branch-path resources for
+// the seven constrained ILP models plus the Oracle, on the five SPECint92
+// stand-in workloads and their harmonic mean.
+//
+// Usage:
+//
+//	deesim [-bench all|name[,name...]] [-resources 8,16,32,64,128,256]
+//	       [-models all|csv] [-predictor 2bit|papN|taken] [-scale N]
+//	       [-max N] [-penalty N] [-strictmem] [-stats] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"deesim/internal/bench"
+	"deesim/internal/cache"
+	"deesim/internal/dee"
+	"deesim/internal/experiments"
+	"deesim/internal/ilpsim"
+)
+
+func main() {
+	var (
+		benchFlag   = flag.String("bench", "all", "workloads to run: all or comma-separated names")
+		resFlag     = flag.String("resources", "8,16,32,64,128,256", "comma-separated ET sweep (branch paths; 0 = unlimited, the Lam & Wilson setting)")
+		modelsFlag  = flag.String("models", "all", "models: all or comma-separated (e.g. DEE-CD-MF,SP)")
+		predFlag    = flag.String("predictor", "2bit", "branch predictor: 2bit, papN, taken")
+		scaleFlag   = flag.Int("scale", 0, "workload input scale (0 = default)")
+		maxFlag     = flag.Uint64("max", 0, "dynamic instruction cap per input (0 = run to completion)")
+		penaltyFlag = flag.Int("penalty", 1, "misprediction restart penalty in cycles")
+		strictMem   = flag.Bool("strictmem", false, "serialize loads behind all prior stores (ablation)")
+		statsFlag   = flag.Bool("stats", false, "print root-resolution statistics per model")
+		csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		pesFlag     = flag.Int("pes", 0, "processing elements issued per cycle (0 = unlimited, the paper's assumption)")
+		latFlag     = flag.String("latency", "unit", "instruction latencies: unit (the paper) or realistic")
+		cacheFlag   = flag.String("cache", "none", "data cache: none (the paper) or 16k (16KiB 4-way, 10-cycle miss)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:     *scaleFlag,
+		MaxInstrs: *maxFlag,
+		Predictor: *predFlag,
+		Opts: ilpsim.Options{
+			Penalty:      *penaltyFlag,
+			StrictMemory: *strictMem,
+			PEs:          *pesFlag,
+		},
+	}
+	switch *latFlag {
+	case "unit":
+	case "realistic":
+		cfg.Opts.Lat = ilpsim.RealisticLatencies()
+	default:
+		fatal(fmt.Errorf("unknown latency model %q", *latFlag))
+	}
+	switch *cacheFlag {
+	case "none":
+	case "16k":
+		c := cache.Default16K()
+		cfg.Opts.Cache = &c
+	default:
+		fatal(fmt.Errorf("unknown cache %q", *cacheFlag))
+	}
+	var err error
+	cfg.Resources, err = parseInts(*resFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Models, err = parseModels(*modelsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ws, err := selectWorkloads(*benchFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	results, err := experiments.RunAll(ws, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(experiments.Render(r, cfg))
+		if *statsFlag && r.Workload != "harmonic-mean" {
+			printRootStats(r, cfg)
+		}
+		if *csvFlag {
+			fmt.Println(renderCSV(r, cfg))
+		}
+	}
+}
+
+func printRootStats(r *experiments.WorkloadResult, cfg experiments.Config) {
+	fmt.Printf("  mispredict resolutions at tree root (%s):\n", r.Workload)
+	for _, in := range r.Inputs {
+		for _, m := range cfg.Models {
+			var parts []string
+			for _, et := range cfg.Resources {
+				parts = append(parts, fmt.Sprintf("ET%d=%.0f%%", et, 100*in.RootRate[m.String()][et]))
+			}
+			fmt.Printf("    %-12s %-10s %s\n", in.Input, m, strings.Join(parts, " "))
+		}
+	}
+	fmt.Println()
+}
+
+func renderCSV(r *experiments.WorkloadResult, cfg experiments.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload,model,resources,speedup\n")
+	for _, m := range cfg.Models {
+		for _, et := range cfg.Resources {
+			fmt.Fprintf(&b, "%s,%s,%d,%.4f\n", r.Workload, m, et, r.Speedup[m.String()][et])
+		}
+	}
+	fmt.Fprintf(&b, "%s,Oracle,,%.4f\n", r.Workload, r.Oracle)
+	return b.String()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad resource count %q (0 = unlimited)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty resource list")
+	}
+	return out, nil
+}
+
+func parseModels(s string) ([]ilpsim.Model, error) {
+	if s == "all" {
+		return ilpsim.PaperModels, nil
+	}
+	byName := make(map[string]ilpsim.Model)
+	for _, m := range ilpsim.PaperModels {
+		byName[strings.ToLower(m.String())] = m
+	}
+	// Reference strategies beyond the paper's seven.
+	byName["dee-pure"] = ilpsim.Model{Strategy: dee.DEEPure, CDMode: ilpsim.CDMF}
+	byName["dee-profile"] = ilpsim.Model{Strategy: dee.DEEProfile, CDMode: ilpsim.CDMF}
+	var out []ilpsim.Model
+	for _, f := range strings.Split(s, ",") {
+		f = strings.ToLower(strings.TrimSpace(f))
+		if f == "" {
+			continue
+		}
+		m, ok := byName[f]
+		if !ok {
+			return nil, fmt.Errorf("unknown model %q (have: EE SP DEE SP-CD DEE-CD SP-CD-MF DEE-CD-MF)", f)
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty model list")
+	}
+	return out, nil
+}
+
+func selectWorkloads(s string) ([]bench.Workload, error) {
+	if s == "all" {
+		return bench.All(), nil
+	}
+	var out []bench.Workload
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		w, err := bench.ByName(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty workload list")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deesim:", err)
+	os.Exit(1)
+}

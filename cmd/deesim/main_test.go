@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"deesim/internal/dee"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("8, 16,256")
+	if err != nil || len(got) != 3 || got[0] != 8 || got[2] != 256 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if got, err := parseInts("100,0"); err != nil || got[1] != 0 {
+		t.Errorf("unlimited sentinel rejected: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "-4", ","} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseModels(t *testing.T) {
+	all, err := parseModels("all")
+	if err != nil || len(all) != 7 {
+		t.Fatalf("all -> %v, %v", all, err)
+	}
+	got, err := parseModels("dee-cd-mf, SP")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("parseModels: %v, %v", got, err)
+	}
+	if got[0].String() != "DEE-CD-MF" || got[1].String() != "SP" {
+		t.Errorf("parsed %v", got)
+	}
+	ref, err := parseModels("dee-pure,dee-profile")
+	if err != nil || ref[0].Strategy != dee.DEEPure || ref[1].Strategy != dee.DEEProfile {
+		t.Errorf("reference strategies: %v, %v", ref, err)
+	}
+	if _, err := parseModels("warp-drive"); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("bad model accepted: %v", err)
+	}
+}
+
+func TestSelectWorkloads(t *testing.T) {
+	ws, err := selectWorkloads("all")
+	if err != nil || len(ws) != 5 {
+		t.Fatalf("all workloads: %d, %v", len(ws), err)
+	}
+	ws, err = selectWorkloads("compress,xlisp")
+	if err != nil || len(ws) != 2 || ws[1].Name != "xlisp" {
+		t.Fatalf("subset: %v, %v", ws, err)
+	}
+	if _, err := selectWorkloads("gcc"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,36 @@
+// Package deesim is a from-scratch reproduction of
+//
+//	Augustus K. Uht and Vijay Sindagi,
+//	"Disjoint Eager Execution: An Optimal Form of Speculative Execution",
+//	Proceedings of the 28th International Symposium on Microarchitecture
+//	(MICRO-28), IEEE/ACM, November/December 1995.
+//
+// The repository contains every system the paper's evaluation depends
+// on, built on the Go standard library alone:
+//
+//   - internal/isa, internal/asm, internal/cpu — a MIPS-R3000-flavoured
+//     ISA, its two-pass assembler, and the golden functional simulator;
+//   - internal/bench — five workloads written in that assembly standing
+//     in for the paper's SPECint92 benchmarks, validated against Go
+//     reference implementations;
+//   - internal/trace, internal/predictor, internal/cfg — dynamic traces
+//     with minimal (flow-only) data dependencies, the paper's 2-bit and
+//     PAp branch predictors, and postdominator/control-dependence
+//     analysis;
+//   - internal/dee — the paper's core contribution: cumulative
+//     probability theory (Theorem 1), greedy optimal speculation trees,
+//     and the §3.1 static-tree heuristic with its closed-form geometry;
+//   - internal/ilpsim — the constrained-resource ILP limit simulator
+//     reproducing Figure 5's eight models;
+//   - internal/levo — a behavioral, value-validated model of the Levo
+//     microarchitecture of §4 (static instruction window, RE/VE
+//     predication, per-row predictors, DEE side paths);
+//   - cmd/deesim, cmd/treeviz, cmd/tracegen, cmd/levosim — the tools
+//     that regenerate every figure, table, and in-text statistic.
+//
+// The benchmark suite in bench_test.go regenerates the paper's
+// experiments as testing.B benchmarks whose reported custom metrics
+// (speedup, IPC, oracle factors) correspond to the figure series. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package deesim

@@ -1,0 +1,3 @@
+module deesim
+
+go 1.22

@@ -1,0 +1,658 @@
+// Package asm implements a two-pass assembler for the reproduction ISA.
+//
+// Syntax (one statement per line, '#' or ';' starts a comment):
+//
+//	label:                     ; code or data label
+//	    add  $t0, $t1, $t2     ; three-register ALU
+//	    addi $t0, $t1, -4      ; register-immediate
+//	    li   $t0, 123456       ; pseudo: load 32-bit constant
+//	    la   $t0, table        ; pseudo: load address of data label
+//	    move $t0, $t1          ; pseudo: add $t0, $t1, $zero
+//	    lw   $t0, 8($sp)       ; memory, offset(base)
+//	    lw   $t0, table($t1)   ; memory, dataLabel(index)
+//	    beq  $t0, $t1, loop    ; branch to label
+//	    b    loop              ; pseudo: unconditional branch (beq $0,$0)
+//	    j    fn                ; jump
+//	    jal  fn                ; call (writes $ra)
+//	    jr   $ra               ; return
+//	    halt
+//
+//	.data                      ; switch to data section
+//	table: .word 1, 2, 3       ; 32-bit little-endian words
+//	bytes: .byte 1, 0xff, 'x'  ; raw bytes
+//	buf:   .space 64           ; zeroed bytes
+//	msg:   .asciiz "hi"        ; NUL-terminated bytes
+//	.text                      ; switch back to code
+//
+// Branch and jump targets are absolute instruction indices in the
+// assembled program; data labels are byte addresses starting at the
+// program's DataBase.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"deesim/internal/isa"
+)
+
+// DefaultDataBase is where the data section is loaded unless overridden.
+// A nonzero base catches null-pointer-style bugs in test programs.
+const DefaultDataBase = 0x1000
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	sectText section = iota
+	sectData
+)
+
+type fixup struct {
+	instIdx int    // instruction needing patching
+	label   string // target label
+	line    int
+	kind    fixupKind
+}
+
+type fixupKind int
+
+const (
+	fixBranch fixupKind = iota // patch Imm with code index
+	fixLAHigh                  // patch LUI with high half of data address
+	fixLALow                   // patch ORI with low half of data address
+	fixMemOff                  // patch load/store Imm with data address (added to base reg)
+)
+
+type assembler struct {
+	code        []isa.Inst
+	data        []byte
+	codeLabels  map[string]int
+	dataLabels  map[string]uint32
+	fixups      []fixup
+	sect        section
+	dataBase    uint32
+	currentLine int
+}
+
+// Assemble translates source text into a Program loaded at
+// DefaultDataBase.
+func Assemble(src string) (*isa.Program, error) {
+	return AssembleAt(src, DefaultDataBase)
+}
+
+// AssembleAt translates source text with an explicit data base address.
+func AssembleAt(src string, dataBase uint32) (*isa.Program, error) {
+	a := &assembler{
+		codeLabels: make(map[string]int),
+		dataLabels: make(map[string]uint32),
+		dataBase:   dataBase,
+	}
+	for i, line := range strings.Split(src, "\n") {
+		a.currentLine = i + 1
+		if err := a.line(line); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	p := &isa.Program{
+		Code:        a.code,
+		Data:        a.data,
+		DataBase:    dataBase,
+		Symbols:     a.codeLabels,
+		DataSymbols: a.dataLabels,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for package-internal
+// workload construction where the source is a compile-time constant.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return &Error{Line: a.currentLine, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) line(raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, "#;"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels: possibly several on one line, then an optional statement.
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		name := strings.TrimSpace(line[:i])
+		if !isIdent(name) {
+			return a.errf("bad label %q", name)
+		}
+		if err := a.defineLabel(name); err != nil {
+			return err
+		}
+		line = strings.TrimSpace(line[i+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	if a.sect != sectText {
+		return a.errf("instruction %q in data section", line)
+	}
+	return a.statement(line)
+}
+
+func (a *assembler) defineLabel(name string) error {
+	if _, dup := a.codeLabels[name]; dup {
+		return a.errf("duplicate label %q", name)
+	}
+	if _, dup := a.dataLabels[name]; dup {
+		return a.errf("duplicate label %q", name)
+	}
+	if a.sect == sectText {
+		a.codeLabels[name] = len(a.code)
+	} else {
+		a.dataLabels[name] = a.dataBase + uint32(len(a.data))
+	}
+	return nil
+}
+
+func (a *assembler) directive(line string) error {
+	word, rest := splitWord(line)
+	switch word {
+	case ".text":
+		a.sect = sectText
+	case ".data":
+		a.sect = sectData
+	case ".word":
+		if a.sect != sectData {
+			return a.errf(".word outside data section")
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return a.errf(".word: %v", err)
+			}
+			a.data = append(a.data,
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+	case ".byte":
+		if a.sect != sectData {
+			return a.errf(".byte outside data section")
+		}
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil || v < -128 || v > 255 {
+				return a.errf(".byte: bad value %q", f)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".space":
+		if a.sect != sectData {
+			return a.errf(".space outside data section")
+		}
+		n, err := parseInt(strings.TrimSpace(rest))
+		if err != nil || n < 0 {
+			return a.errf(".space: bad size %q", rest)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".asciiz":
+		if a.sect != sectData {
+			return a.errf(".asciiz outside data section")
+		}
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf(".asciiz: bad string %q", rest)
+		}
+		a.data = append(a.data, s...)
+		a.data = append(a.data, 0)
+	case ".align":
+		if a.sect != sectData {
+			return a.errf(".align outside data section")
+		}
+		n, err := parseInt(strings.TrimSpace(rest))
+		if err != nil || n <= 0 {
+			return a.errf(".align: bad alignment %q", rest)
+		}
+		for len(a.data)%int(n) != 0 {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return a.errf("unknown directive %q", word)
+	}
+	return nil
+}
+
+func (a *assembler) emit(in isa.Inst) {
+	a.code = append(a.code, in)
+}
+
+func (a *assembler) statement(line string) error {
+	mnem, rest := splitWord(line)
+	ops := splitOperands(rest)
+	switch mnem {
+	case "nop":
+		return a.expect(ops, 0, func() { a.emit(isa.Inst{Op: isa.NOP}) })
+	case "halt":
+		return a.expect(ops, 0, func() { a.emit(isa.Inst{Op: isa.HALT}) })
+
+	// Pseudo-instructions.
+	case "move":
+		if len(ops) != 2 {
+			return a.errf("move needs 2 operands")
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return a.errf("move: bad register")
+		}
+		a.emit(isa.Inst{Op: isa.ADD, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+	case "li":
+		if len(ops) != 2 {
+			return a.errf("li needs 2 operands")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("li: %v", err)
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return a.errf("li: %v", err)
+		}
+		a.emitLoadConst(rd, int32(v))
+		return nil
+	case "la":
+		if len(ops) != 2 {
+			return a.errf("la needs 2 operands")
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("la: %v", err)
+		}
+		if !isIdent(ops[1]) {
+			return a.errf("la: bad label %q", ops[1])
+		}
+		// lui rd, hi ; ori rd, rd, lo — both patched at resolve time.
+		a.fixups = append(a.fixups, fixup{len(a.code), ops[1], a.currentLine, fixLAHigh})
+		a.emit(isa.Inst{Op: isa.LUI, Rd: rd})
+		a.fixups = append(a.fixups, fixup{len(a.code), ops[1], a.currentLine, fixLALow})
+		a.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs: rd})
+		return nil
+	case "b":
+		// Unconditional branch: assembled as a jump so it neither
+		// occupies a predictor slot nor terminates a branch path.
+		if len(ops) != 1 || !isIdent(ops[0]) {
+			return a.errf("b needs one label operand")
+		}
+		a.fixups = append(a.fixups, fixup{len(a.code), ops[0], a.currentLine, fixBranch})
+		a.emit(isa.Inst{Op: isa.J})
+		return nil
+	case "not":
+		if len(ops) != 2 {
+			return a.errf("not needs 2 operands")
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return a.errf("not: bad register")
+		}
+		a.emit(isa.Inst{Op: isa.NOR, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+	case "neg":
+		if len(ops) != 2 {
+			return a.errf("neg needs 2 operands")
+		}
+		rd, err1 := parseReg(ops[0])
+		rs, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			return a.errf("neg: bad register")
+		}
+		a.emit(isa.Inst{Op: isa.SUB, Rd: rd, Rs: isa.Zero, Rt: rs})
+		return nil
+
+	// Three-register ALU.
+	case "add", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+		"sllv", "srlv", "srav", "mul", "div", "rem":
+		op := map[string]isa.Op{
+			"add": isa.ADD, "sub": isa.SUB, "and": isa.AND, "or": isa.OR,
+			"xor": isa.XOR, "nor": isa.NOR, "slt": isa.SLT, "sltu": isa.SLTU,
+			"sllv": isa.SLLV, "srlv": isa.SRLV, "srav": isa.SRAV,
+			"mul": isa.MUL, "div": isa.DIV, "rem": isa.REM,
+		}[mnem]
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", mnem)
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		rt, e3 := parseReg(ops[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return a.errf("%s: bad register", mnem)
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		return nil
+
+	// Register-immediate ALU.
+	case "addi", "andi", "ori", "xori", "slti", "sltiu", "sll", "srl", "sra":
+		op := map[string]isa.Op{
+			"addi": isa.ADDI, "andi": isa.ANDI, "ori": isa.ORI,
+			"xori": isa.XORI, "slti": isa.SLTI, "sltiu": isa.SLTIU,
+			"sll": isa.SLL, "srl": isa.SRL, "sra": isa.SRA,
+		}[mnem]
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", mnem)
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		v, e3 := parseInt(ops[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return a.errf("%s: bad operands", mnem)
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Imm: int32(v)})
+		return nil
+	case "lui":
+		if len(ops) != 2 {
+			return a.errf("lui needs 2 operands")
+		}
+		rd, e1 := parseReg(ops[0])
+		v, e2 := parseInt(ops[1])
+		if e1 != nil || e2 != nil {
+			return a.errf("lui: bad operands")
+		}
+		a.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: int32(v)})
+		return nil
+
+	// Memory.
+	case "lw", "lb", "lbu", "sw", "sb":
+		op := map[string]isa.Op{
+			"lw": isa.LW, "lb": isa.LB, "lbu": isa.LBU,
+			"sw": isa.SW, "sb": isa.SB,
+		}[mnem]
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", mnem)
+		}
+		r, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		base, off, lbl, err := parseMem(ops[1])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		in := isa.Inst{Op: op, Rs: base, Imm: off}
+		if isa.ClassOf(op) == isa.ClassLoad {
+			in.Rd = r
+		} else {
+			in.Rt = r
+		}
+		if lbl != "" {
+			a.fixups = append(a.fixups, fixup{len(a.code), lbl, a.currentLine, fixMemOff})
+		}
+		a.emit(in)
+		return nil
+
+	// Branches.
+	case "beq", "bne", "blt", "bge", "bgt", "ble":
+		if len(ops) != 3 || !isIdent(ops[2]) {
+			return a.errf("%s needs rs, rt, label", mnem)
+		}
+		rs, e1 := parseReg(ops[0])
+		rt, e2 := parseReg(ops[1])
+		if e1 != nil || e2 != nil {
+			return a.errf("%s: bad register", mnem)
+		}
+		op := map[string]isa.Op{
+			"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+		}[mnem]
+		// bgt/ble are blt/bge with swapped operands.
+		if mnem == "bgt" {
+			op, rs, rt = isa.BLT, rt, rs
+		} else if mnem == "ble" {
+			op, rs, rt = isa.BGE, rt, rs
+		}
+		a.fixups = append(a.fixups, fixup{len(a.code), ops[2], a.currentLine, fixBranch})
+		a.emit(isa.Inst{Op: op, Rs: rs, Rt: rt})
+		return nil
+	case "blez", "bgtz":
+		if len(ops) != 2 || !isIdent(ops[1]) {
+			return a.errf("%s needs rs, label", mnem)
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("%s: %v", mnem, err)
+		}
+		op := isa.BLEZ
+		if mnem == "bgtz" {
+			op = isa.BGTZ
+		}
+		a.fixups = append(a.fixups, fixup{len(a.code), ops[1], a.currentLine, fixBranch})
+		a.emit(isa.Inst{Op: op, Rs: rs})
+		return nil
+
+	// Jumps.
+	case "j", "jal":
+		if len(ops) != 1 || !isIdent(ops[0]) {
+			return a.errf("%s needs one label operand", mnem)
+		}
+		op := isa.J
+		in := isa.Inst{Op: op}
+		if mnem == "jal" {
+			in = isa.Inst{Op: isa.JAL, Rd: isa.RA}
+		}
+		a.fixups = append(a.fixups, fixup{len(a.code), ops[0], a.currentLine, fixBranch})
+		a.emit(in)
+		return nil
+	case "jr":
+		if len(ops) != 1 {
+			return a.errf("jr needs one register operand")
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return a.errf("jr: %v", err)
+		}
+		a.emit(isa.Inst{Op: isa.JR, Rs: rs})
+		return nil
+	}
+	return a.errf("unknown mnemonic %q", mnem)
+}
+
+func (a *assembler) expect(ops []string, n int, f func()) error {
+	if len(ops) != n {
+		return a.errf("expected %d operands, got %d", n, len(ops))
+	}
+	f()
+	return nil
+}
+
+// emitLoadConst emits the shortest sequence loading a 32-bit constant.
+func (a *assembler) emitLoadConst(rd isa.Reg, v int32) {
+	if v >= -32768 && v <= 32767 {
+		a.emit(isa.Inst{Op: isa.ADDI, Rd: rd, Rs: isa.Zero, Imm: v})
+		return
+	}
+	hi := int32(uint32(v) >> 16)
+	lo := int32(uint32(v) & 0xffff)
+	a.emit(isa.Inst{Op: isa.LUI, Rd: rd, Imm: hi})
+	if lo != 0 {
+		a.emit(isa.Inst{Op: isa.ORI, Rd: rd, Rs: rd, Imm: lo})
+	}
+}
+
+func (a *assembler) resolve() error {
+	for _, f := range a.fixups {
+		a.currentLine = f.line
+		switch f.kind {
+		case fixBranch:
+			idx, ok := a.codeLabels[f.label]
+			if !ok {
+				return a.errf("undefined code label %q", f.label)
+			}
+			a.code[f.instIdx].Imm = int32(idx)
+		case fixLAHigh, fixLALow, fixMemOff:
+			addr, ok := a.dataLabels[f.label]
+			if !ok {
+				// Allow la of code labels too (function pointers).
+				if ci, cok := a.codeLabels[f.label]; cok && f.kind != fixMemOff {
+					addr = uint32(ci)
+					ok = true
+					_ = ci
+				}
+			}
+			if !ok {
+				return a.errf("undefined data label %q", f.label)
+			}
+			switch f.kind {
+			case fixLAHigh:
+				a.code[f.instIdx].Imm = int32(addr >> 16)
+			case fixLALow:
+				a.code[f.instIdx].Imm = int32(addr & 0xffff)
+			case fixMemOff:
+				a.code[f.instIdx].Imm += int32(addr)
+			}
+		}
+	}
+	return nil
+}
+
+// --- lexical helpers ---
+
+func splitWord(s string) (word, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var regByName = func() map[string]isa.Reg {
+	m := make(map[string]isa.Reg, 2*isa.NumRegs)
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		m[r.Name()] = r
+		m[fmt.Sprintf("%d", r)] = r
+		m[fmt.Sprintf("r%d", r)] = r
+	}
+	return m
+}()
+
+func parseReg(s string) (isa.Reg, error) {
+	name := strings.TrimPrefix(s, "$")
+	if r, ok := regByName[strings.ToLower(name)]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty integer")
+	}
+	if strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") && len(s) >= 3 {
+		r, err := strconv.Unquote(s)
+		if err != nil || len(r) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(r[0]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("integer %q out of 32-bit range", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "off(base)", "(base)", "label(base)", "label" or "off".
+func parseMem(s string) (base isa.Reg, off int32, label string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 {
+		if isIdent(s) {
+			return isa.Zero, 0, s, nil
+		}
+		v, e := parseInt(s)
+		if e != nil {
+			return 0, 0, "", e
+		}
+		return isa.Zero, int32(v), "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, "", fmt.Errorf("bad memory operand %q", s)
+	}
+	base, err = parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, "", err
+	}
+	pre := strings.TrimSpace(s[:open])
+	switch {
+	case pre == "":
+		return base, 0, "", nil
+	case isIdent(pre):
+		return base, 0, pre, nil
+	default:
+		v, e := parseInt(pre)
+		if e != nil {
+			return 0, 0, "", e
+		}
+		return base, int32(v), "", nil
+	}
+}

@@ -1,0 +1,233 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"deesim/internal/isa"
+)
+
+func TestBasicAssembly(t *testing.T) {
+	p, err := Assemble(`
+main:
+    addi $t0, $zero, 5
+    add  $t1, $t0, $t0
+loop:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 5 {
+		t.Fatalf("assembled %d instructions, want 5", len(p.Code))
+	}
+	if p.Symbols["main"] != 0 || p.Symbols["loop"] != 2 {
+		t.Errorf("labels: %v", p.Symbols)
+	}
+	br := p.Code[3]
+	if br.Op != isa.BGTZ || br.Imm != 2 {
+		t.Errorf("branch = %v, want bgtz to 2", br)
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+    move $t0, $t1
+    li   $t2, 70000
+    li   $t3, 12
+    b    end
+    not  $t4, $t5
+    neg  $t6, $t7
+end:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.ADD || p.Code[0].Rt != isa.Zero {
+		t.Errorf("move = %v", p.Code[0])
+	}
+	// li 70000 expands to lui+ori.
+	if p.Code[1].Op != isa.LUI || p.Code[2].Op != isa.ORI {
+		t.Errorf("li 70000 expanded to %v %v", p.Code[1], p.Code[2])
+	}
+	if p.Code[3].Op != isa.ADDI || p.Code[3].Imm != 12 {
+		t.Errorf("li 12 = %v", p.Code[3])
+	}
+	// b must be an unconditional jump, not a conditional branch, so it
+	// neither consumes a predictor nor ends a branch path.
+	if p.Code[4].Op != isa.J {
+		t.Errorf("b assembled to %v, want j", p.Code[4])
+	}
+	if p.Code[5].Op != isa.NOR {
+		t.Errorf("not = %v", p.Code[5])
+	}
+	if p.Code[6].Op != isa.SUB || p.Code[6].Rs != isa.Zero {
+		t.Errorf("neg = %v", p.Code[6])
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	p, err := Assemble(`
+    la $t0, words
+    lw $t1, words($t2)
+    lw $t2, 4($t0)
+    halt
+.data
+words: .word 1, -1, 0x10
+buf:   .space 5
+.align 4
+msg:   .asciiz "hi"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) < 12+5+3 {
+		t.Fatalf("data too small: %d", len(p.Data))
+	}
+	// .word 1, -1, 0x10 little-endian
+	if p.Data[0] != 1 || p.Data[4] != 0xff || p.Data[8] != 0x10 {
+		t.Errorf("word data: % x", p.Data[:12])
+	}
+	wordsAddr := p.DataSymbols["words"]
+	if wordsAddr != DefaultDataBase {
+		t.Errorf("words at %#x, want %#x", wordsAddr, DefaultDataBase)
+	}
+	if buf := p.DataSymbols["buf"]; buf != wordsAddr+12 {
+		t.Errorf("buf at %#x", buf)
+	}
+	msg := p.DataSymbols["msg"]
+	if msg%4 != 0 {
+		t.Errorf(".align ignored: msg at %#x", msg)
+	}
+	off := msg - p.DataBase
+	if string(p.Data[off:off+3]) != "hi\x00" {
+		t.Errorf("asciiz data: % x", p.Data[off:off+3])
+	}
+	// la expands to lui+ori with the address.
+	if p.Code[0].Op != isa.LUI || p.Code[1].Op != isa.ORI {
+		t.Fatalf("la expansion: %v %v", p.Code[0], p.Code[1])
+	}
+	addr := uint32(p.Code[0].Imm)<<16 | uint32(p.Code[1].Imm)
+	if addr != wordsAddr {
+		t.Errorf("la resolves to %#x, want %#x", addr, wordsAddr)
+	}
+	// lw label($reg) folds the label address into the offset.
+	if uint32(p.Code[2].Imm) != wordsAddr {
+		t.Errorf("lw label offset = %#x, want %#x", uint32(p.Code[2].Imm), wordsAddr)
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	p, err := Assemble(`
+    add $8, $9, $10
+    add $t0, $t1, $t2
+    add $r8, $r9, $r10
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0] != p.Code[1] || p.Code[1] != p.Code[2] {
+		t.Errorf("register aliases disagree: %v %v %v", p.Code[0], p.Code[1], p.Code[2])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	p, err := Assemble(`
+t:  beq  $t0, $t1, t
+    bne  $t0, $t1, t
+    blt  $t0, $t1, t
+    bge  $t0, $t1, t
+    bgt  $t0, $t1, t
+    ble  $t0, $t1, t
+    blez $t0, t
+    bgtz $t0, t
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bgt a,b == blt b,a ; ble a,b == bge b,a
+	if p.Code[4].Op != isa.BLT || p.Code[4].Rs != isa.T1 || p.Code[4].Rt != isa.T0 {
+		t.Errorf("bgt = %v", p.Code[4])
+	}
+	if p.Code[5].Op != isa.BGE || p.Code[5].Rs != isa.T1 {
+		t.Errorf("ble = %v", p.Code[5])
+	}
+}
+
+func TestComments(t *testing.T) {
+	p, err := Assemble("nop # comment\nnop ; also\n  halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 3 {
+		t.Errorf("got %d instructions", len(p.Code))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined label":   "    b nowhere\n    halt",
+		"duplicate label":   "x:\nx:\n    halt",
+		"bad register":      "    add $t0, $zz, $t1\n    halt",
+		"bad mnemonic":      "    frobnicate $t0\n    halt",
+		"word outside data": "    .word 4\n    halt",
+		"bad operand count": "    add $t0, $t1\n    halt",
+		"instr in data":     ".data\n    add $t0, $t1, $t2",
+		"bad shift":         "    sll $t0, $t1, 37\n    halt",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled without error", name)
+		} else if !strings.Contains(err.Error(), "line") && !strings.Contains(err.Error(), "asm") {
+			t.Errorf("%s: error lacks context: %v", name, err)
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\n    bad $t0\nhalt")
+	aerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if aerr.Line != 3 {
+		t.Errorf("error line %d, want 3", aerr.Line)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("junk")
+}
+
+func TestCharLiterals(t *testing.T) {
+	p, err := Assemble("    li $t0, 'a'\n    halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 97 {
+		t.Errorf("char literal = %d, want 97", p.Code[0].Imm)
+	}
+}
+
+func TestByteDirective(t *testing.T) {
+	p, err := Assemble(".data\nb: .byte 1, 0xff, 'x', -1\n.text\n    halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 0xff, 'x', 0xff}
+	for i, v := range want {
+		if p.Data[i] != v {
+			t.Errorf("data[%d] = %#x, want %#x", i, p.Data[i], v)
+		}
+	}
+}

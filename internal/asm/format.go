@@ -1,0 +1,158 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deesim/internal/isa"
+)
+
+// Format renders a program back into assemblable source text: every
+// control-flow target gets a generated label (or keeps its original
+// symbol name), and the data image is emitted as .word/.space directives.
+// The output satisfies the round-trip property
+//
+//	Assemble(Format(p)).Code == p.Code
+//
+// (and an equivalent data image), which the tests verify for every
+// workload. Format is the inverse of Assemble up to label naming and
+// pseudo-instruction expansion (the formatter emits only core
+// instructions).
+func Format(p *isa.Program) string {
+	// Collect label positions: all original symbols (several labels may
+	// share an index), plus synthetic labels for any control target
+	// without one.
+	allLabels := make(map[int][]string)
+	for name, idx := range p.Symbols {
+		allLabels[idx] = append(allLabels[idx], name)
+	}
+	for _, ns := range allLabels {
+		sort.Strings(ns)
+	}
+	labels := make(map[int]string) // representative per index, for operands
+	for idx, ns := range allLabels {
+		labels[idx] = ns[0]
+	}
+	for _, in := range p.Code {
+		switch {
+		case isa.IsCondBranch(in.Op), in.Op == isa.J, in.Op == isa.JAL:
+			idx := int(in.Imm)
+			if _, ok := labels[idx]; !ok {
+				name := fmt.Sprintf("L%d", idx)
+				labels[idx] = name
+				allLabels[idx] = append(allLabels[idx], name)
+			}
+		}
+	}
+
+	var b strings.Builder
+	for i, in := range p.Code {
+		for _, name := range allLabels[i] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		b.WriteString("    ")
+		b.WriteString(formatInst(in, labels))
+		b.WriteByte('\n')
+	}
+
+	if len(p.Data) > 0 {
+		b.WriteString(".data\n")
+		dataLabels := make(map[uint32]string)
+		for name, addr := range p.DataSymbols {
+			dataLabels[addr] = name
+		}
+		// Emit words; runs of zeros become .space.
+		i := 0
+		flushZeros := func(n int) {
+			if n > 0 {
+				fmt.Fprintf(&b, "    .space %d\n", n)
+			}
+		}
+		zeros := 0
+		for i < len(p.Data) {
+			addr := p.DataBase + uint32(i)
+			if name, ok := dataLabels[addr]; ok {
+				flushZeros(zeros)
+				zeros = 0
+				fmt.Fprintf(&b, "%s:\n", name)
+			}
+			// Word-aligned full words emit as .word; stragglers as
+			// single .space bytes... keep it simple: whole words when 4
+			// bytes remain and no label splits them.
+			if i+4 <= len(p.Data) && !labelWithin(dataLabels, p.DataBase+uint32(i)+1, 3) {
+				w := uint32(p.Data[i]) | uint32(p.Data[i+1])<<8 |
+					uint32(p.Data[i+2])<<16 | uint32(p.Data[i+3])<<24
+				if w == 0 {
+					zeros += 4
+				} else {
+					flushZeros(zeros)
+					zeros = 0
+					fmt.Fprintf(&b, "    .word 0x%x\n", w)
+				}
+				i += 4
+				continue
+			}
+			// Byte-granular tail or label-split region.
+			if p.Data[i] == 0 {
+				zeros++
+			} else {
+				flushZeros(zeros)
+				zeros = 0
+				fmt.Fprintf(&b, "    .byte 0x%x\n", p.Data[i])
+			}
+			i++
+		}
+		flushZeros(zeros)
+	}
+	return b.String()
+}
+
+// labelWithin reports whether any data label falls in (addr, addr+n].
+func labelWithin(labels map[uint32]string, addr uint32, n int) bool {
+	for k := 0; k < n; k++ {
+		if _, ok := labels[addr+uint32(k)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// formatInst renders one instruction with label operands.
+func formatInst(in isa.Inst, labels map[int]string) string {
+	lbl := func(target int32) string {
+		if name, ok := labels[int(target)]; ok {
+			return name
+		}
+		return fmt.Sprintf("L%d", target)
+	}
+	switch in.Op {
+	case isa.NOP:
+		return "nop"
+	case isa.HALT:
+		return "halt"
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.NOR, isa.SLT,
+		isa.SLTU, isa.SLLV, isa.SRLV, isa.SRAV, isa.MUL, isa.DIV, isa.REM:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI, isa.SLTIU,
+		isa.SLL, isa.SRL, isa.SRA:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case isa.LUI:
+		return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+	case isa.LW, isa.LB, isa.LBU:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs)
+	case isa.SW, isa.SB:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rt, in.Imm, in.Rs)
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rs, in.Rt, lbl(in.Imm))
+	case isa.BLEZ, isa.BGTZ:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rs, lbl(in.Imm))
+	case isa.J:
+		return fmt.Sprintf("j %s", lbl(in.Imm))
+	case isa.JAL:
+		return fmt.Sprintf("jal %s", lbl(in.Imm))
+	case isa.JR:
+		return fmt.Sprintf("jr %s", in.Rs)
+	}
+	return fmt.Sprintf("# unknown op %v", in.Op)
+}

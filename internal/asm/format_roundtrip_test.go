@@ -1,0 +1,70 @@
+package asm_test
+
+import (
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/bench"
+	"deesim/internal/isa"
+)
+
+// TestFormatRoundTrip: Format output reassembles into the identical code
+// sequence and data image — for every workload.
+func TestFormatRoundTrip(t *testing.T) {
+	progs := map[string]*isa.Program{}
+	{
+		p, err := asm.Assemble(`
+main:
+    li  $t0, 5
+    la  $t1, tab
+loop:
+    lw  $t2, 0($t1)
+    add $t3, $t3, $t2
+    addi $t1, $t1, 4
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    jal fn
+    halt
+fn:
+    jr $ra
+.data
+tab: .word 1, 2, 3, 4, 0x89abcdef
+msg: .asciiz "hey"
+buf: .space 13
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs["hand"] = p
+	}
+	for _, w := range bench.All() {
+		p, err := w.Inputs[0].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[w.Name] = p
+	}
+	for name, p := range progs {
+		src := asm.Format(p)
+		q, err := asm.AssembleAt(src, p.DataBase)
+		if err != nil {
+			t.Fatalf("%s: reassembly failed: %v", name, err)
+		}
+		if len(q.Code) != len(p.Code) {
+			t.Fatalf("%s: code length %d -> %d", name, len(p.Code), len(q.Code))
+		}
+		for i := range p.Code {
+			if q.Code[i] != p.Code[i] {
+				t.Errorf("%s: inst %d: %v -> %v", name, i, p.Code[i], q.Code[i])
+			}
+		}
+		if len(q.Data) < len(p.Data) {
+			t.Fatalf("%s: data shrank %d -> %d", name, len(p.Data), len(q.Data))
+		}
+		for i := range p.Data {
+			if q.Data[i] != p.Data[i] {
+				t.Fatalf("%s: data[%d] = %#x -> %#x", name, i, p.Data[i], q.Data[i])
+			}
+		}
+	}
+}

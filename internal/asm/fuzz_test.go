@@ -1,0 +1,55 @@
+package asm_test
+
+import (
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/cpu"
+)
+
+// FuzzAssemble checks the assembler's total behavior on arbitrary
+// source: it must never panic; anything it accepts must validate, render
+// through Format, and reassemble to the identical program; and short
+// accepted programs must execute on the functional simulator without
+// internal errors beyond the defined faults.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"halt",
+		"nop\nhalt",
+		"loop:\n    addi $t0, $t0, -1\n    bgtz $t0, loop\n    halt",
+		"    li $t0, 70000\n    la $t1, d\n    lw $t2, 0($t1)\n    halt\n.data\nd: .word 42",
+		"x: y:\n    b x\n    halt",
+		"    jal f\n    halt\nf:\n    jr $ra",
+		".data\nb: .byte 1, 2, 3\ns: .asciiz \"hi\"\n.text\n    halt",
+		"    bgt $t0, $t1, e\ne:  halt",
+		"#comment\n  halt ; trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := asm.Assemble(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource:\n%s", err, src)
+		}
+		// Format must reassemble to the same code and data.
+		q, err := asm.AssembleAt(asm.Format(p), p.DataBase)
+		if err != nil {
+			t.Fatalf("Format output rejected: %v\nsource:\n%s\nformatted:\n%s", err, src, asm.Format(p))
+		}
+		if len(q.Code) != len(p.Code) {
+			t.Fatalf("round trip changed code length %d -> %d", len(p.Code), len(q.Code))
+		}
+		for i := range p.Code {
+			if q.Code[i] != p.Code[i] {
+				t.Fatalf("round trip changed inst %d: %v -> %v", i, p.Code[i], q.Code[i])
+			}
+		}
+		// Execution must either run, fault cleanly, or hit the limit.
+		c := cpu.New(p)
+		_ = c.Run(10_000)
+	})
+}

@@ -1,0 +1,455 @@
+package bench
+
+import (
+	"fmt"
+
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+// cc1Src is a compiler front-end kernel: a hand-written tokenizer and a
+// recursive-descent parser/evaluator for assignment statements
+//
+//	stmt   := ident '=' expr ';'
+//	expr   := term  { ('+'|'-') term }
+//	term   := factor { ('*'|'/') factor }
+//	factor := number | ident | '(' expr ')'
+//
+// over generated source text. Variables are the 26 letters; evaluation
+// uses 32-bit wrap-around arithmetic and division-by-zero-yields-zero
+// (the ISA's DIV semantics). The result is (checksum, stmtCount).
+//
+// Token state lives in globals: tok (0 eof, 1 number, 2 ident, else the
+// ASCII operator), tokval (number value or variable index).
+const cc1Src = `
+main:
+    la   $s0, src               # source pointer lives in memory 'srcp'
+    la   $t0, srcp
+    sw   $s0, 0($t0)
+    li   $s1, 0                 # checksum
+    li   $s2, 0                 # statement count
+    jal  nexttok
+stmtloop:
+    la   $t0, tok
+    lw   $t1, 0($t0)
+    beq  $t1, $zero, finish     # EOF
+    # expect ident
+    li   $t2, 2
+    bne  $t1, $t2, recover
+    la   $t0, tokval
+    lw   $s3, 0($t0)            # variable index
+    jal  nexttok
+    # expect '='
+    la   $t0, tok
+    lw   $t1, 0($t0)
+    li   $t2, 61                # '='
+    bne  $t1, $t2, recover
+    jal  nexttok
+    jal  expr                   # v0 = value
+    # store variable
+    la   $t0, vars
+    sll  $t1, $s3, 2
+    add  $t0, $t0, $t1
+    sw   $v0, 0($t0)
+    # checksum = checksum*31 + value + varidx
+    li   $t2, 31
+    mul  $s1, $s1, $t2
+    add  $s1, $s1, $v0
+    add  $s1, $s1, $s3
+    addi $s2, $s2, 1
+    # expect ';'
+    la   $t0, tok
+    lw   $t1, 0($t0)
+    li   $t2, 59                # ';'
+    bne  $t1, $t2, recover
+    jal  nexttok
+    b    stmtloop
+recover:
+    # skip one token and resync (error path; rare on valid input)
+    jal  nexttok
+    b    stmtloop
+finish:
+    la   $t0, result
+    sw   $s1, 0($t0)
+    sw   $s2, 4($t0)
+    halt
+
+# expr := term { (+|-) term }   returns v0
+expr:
+    addi $sp, $sp, -8
+    sw   $ra, 0($sp)
+    sw   $s6, 4($sp)
+    jal  term
+    move $s6, $v0
+exprloop:
+    la   $t0, tok
+    lw   $t1, 0($t0)
+    li   $t2, 43                # '+'
+    beq  $t1, $t2, exprplus
+    li   $t2, 45                # '-'
+    beq  $t1, $t2, exprminus
+    move $v0, $s6
+    lw   $ra, 0($sp)
+    lw   $s6, 4($sp)
+    addi $sp, $sp, 8
+    jr   $ra
+exprplus:
+    jal  nexttok
+    jal  term
+    add  $s6, $s6, $v0
+    b    exprloop
+exprminus:
+    jal  nexttok
+    jal  term
+    sub  $s6, $s6, $v0
+    b    exprloop
+
+# term := factor { (*|/) factor }   returns v0
+term:
+    addi $sp, $sp, -8
+    sw   $ra, 0($sp)
+    sw   $s7, 4($sp)
+    jal  factor
+    move $s7, $v0
+termloop:
+    la   $t0, tok
+    lw   $t1, 0($t0)
+    li   $t2, 42                # '*'
+    beq  $t1, $t2, termmul
+    li   $t2, 47                # '/'
+    beq  $t1, $t2, termdiv
+    move $v0, $s7
+    lw   $ra, 0($sp)
+    lw   $s7, 4($sp)
+    addi $sp, $sp, 8
+    jr   $ra
+termmul:
+    jal  nexttok
+    jal  factor
+    mul  $s7, $s7, $v0
+    b    termloop
+termdiv:
+    jal  nexttok
+    jal  factor
+    div  $s7, $s7, $v0
+    b    termloop
+
+# factor := number | ident | '(' expr ')'   returns v0
+factor:
+    addi $sp, $sp, -4
+    sw   $ra, 0($sp)
+    la   $t0, tok
+    lw   $t1, 0($t0)
+    li   $t2, 1                 # number
+    beq  $t1, $t2, facnum
+    li   $t2, 2                 # ident
+    beq  $t1, $t2, facid
+    li   $t2, 40                # '('
+    beq  $t1, $t2, facparen
+    # error: value 0, consume token
+    jal  nexttok
+    li   $v0, 0
+    b    facret
+facnum:
+    la   $t0, tokval
+    lw   $v0, 0($t0)
+    jal  nexttok
+    b    facret
+facid:
+    la   $t0, tokval
+    lw   $t1, 0($t0)
+    la   $t0, vars
+    sll  $t1, $t1, 2
+    add  $t0, $t0, $t1
+    lw   $v0, 0($t0)
+    jal  nexttok
+    b    facret
+facparen:
+    jal  nexttok
+    jal  expr
+    # v0 holds value; expect ')'
+    la   $t0, tok
+    lw   $t1, 0($t0)
+    li   $t2, 41                # ')'
+    bne  $t1, $t2, facret       # tolerate missing ')'
+    move $s5, $v0
+    jal  nexttok
+    move $v0, $s5
+facret:
+    lw   $ra, 0($sp)
+    addi $sp, $sp, 4
+    jr   $ra
+
+# nexttok: classify the next token into tok/tokval. Clobbers t*, a3.
+nexttok:
+    la   $t8, srcp
+    lw   $t0, 0($t8)            # p
+skipws:
+    lbu  $t1, 0($t0)
+    li   $t2, 32                # ' '
+    beq  $t1, $t2, wsadv
+    li   $t2, 10                # '\n'
+    beq  $t1, $t2, wsadv
+    li   $t2, 9                 # '\t'
+    beq  $t1, $t2, wsadv
+    b    classify
+wsadv:
+    addi $t0, $t0, 1
+    b    skipws
+classify:
+    bne  $t1, $zero, notend
+    la   $t3, tok
+    sw   $zero, 0($t3)
+    sw   $t0, 0($t8)
+    jr   $ra
+notend:
+    li   $t2, 48                # '0'
+    blt  $t1, $t2, notdigit
+    li   $t2, 57                # '9'
+    bgt  $t1, $t2, notdigit
+    # number: val = val*10 + digit
+    li   $a3, 0
+numloop:
+    lbu  $t1, 0($t0)
+    li   $t2, 48
+    blt  $t1, $t2, numdone
+    li   $t2, 57
+    bgt  $t1, $t2, numdone
+    li   $t2, 10
+    mul  $a3, $a3, $t2
+    addi $t1, $t1, -48
+    add  $a3, $a3, $t1
+    addi $t0, $t0, 1
+    b    numloop
+numdone:
+    la   $t3, tok
+    li   $t2, 1
+    sw   $t2, 0($t3)
+    la   $t3, tokval
+    sw   $a3, 0($t3)
+    sw   $t0, 0($t8)
+    jr   $ra
+notdigit:
+    li   $t2, 97                # 'a'
+    blt  $t1, $t2, notletter
+    li   $t2, 122               # 'z'
+    bgt  $t1, $t2, notletter
+    # ident: index = first letter - 'a'; consume letters/digits
+    addi $a3, $t1, -97
+idloop:
+    addi $t0, $t0, 1
+    lbu  $t1, 0($t0)
+    li   $t2, 97
+    blt  $t1, $t2, idtrydigit
+    li   $t2, 122
+    bgt  $t1, $t2, idtrydigit
+    b    idloop
+idtrydigit:
+    li   $t2, 48
+    blt  $t1, $t2, iddone
+    li   $t2, 57
+    bgt  $t1, $t2, iddone
+    b    idloop
+iddone:
+    la   $t3, tok
+    li   $t2, 2
+    sw   $t2, 0($t3)
+    la   $t3, tokval
+    sw   $a3, 0($t3)
+    sw   $t0, 0($t8)
+    jr   $ra
+notletter:
+    # single-character operator token: tok = ASCII
+    la   $t3, tok
+    sw   $t1, 0($t3)
+    addi $t0, $t0, 1
+    sw   $t0, 0($t8)
+    jr   $ra
+
+.data
+srcp:   .word 0
+tok:    .word 0
+tokval: .word 0
+result: .word 0, 0
+vars:   .space 104
+src:    .space 32768
+`
+
+// CC1Input generates deterministic source text: a few thousand
+// assignment statements over 26 variables with nested expressions.
+func CC1Input(scale int) []byte {
+	scale = clampScale(scale)
+	r := newRNG(0xcc1)
+	target := 7000 * scale
+	if target > 32768-64 {
+		target = 32768 - 64
+	}
+	var out []byte
+	ops := []byte{'+', '-', '*', '/'}
+
+	// factor/expr emitters with bounded nesting depth.
+	var emitExpr func(depth int)
+	emitFactor := func(depth int) {
+		switch r.intn(6) {
+		case 0, 1:
+			out = append(out, fmt.Sprintf("%d", 1+r.intn(999))...)
+		case 2, 3, 4:
+			out = append(out, byte('a'+r.intn(26)))
+		default:
+			if depth < 3 {
+				out = append(out, '(')
+				emitExpr(depth + 1)
+				out = append(out, ')')
+			} else {
+				out = append(out, fmt.Sprintf("%d", 1+r.intn(99))...)
+			}
+		}
+	}
+	emitExpr = func(depth int) {
+		emitFactor(depth)
+		for n := r.intn(3); n > 0; n-- {
+			out = append(out, ops[r.intn(len(ops))])
+			emitFactor(depth)
+		}
+	}
+	for len(out) < target-80 {
+		out = append(out, byte('a'+r.intn(26)), '=')
+		emitExpr(0)
+		out = append(out, ';')
+		if r.intn(4) == 0 {
+			out = append(out, '\n')
+		} else {
+			out = append(out, ' ')
+		}
+	}
+	out = append(out, 0) // NUL terminator = EOF
+	return out
+}
+
+// BuildCC1 assembles the parser workload with generated source.
+func BuildCC1(scale int) (*isa.Program, error) {
+	p, err := asm.Assemble(cc1Src)
+	if err != nil {
+		return nil, err
+	}
+	if err := setBytes(p, "src", 0, CC1Input(scale)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CC1Reference parses and evaluates the source in Go with identical
+// semantics, returning (checksum, stmtCount).
+func CC1Reference(src []byte) (checksum, stmts uint32) {
+	pos := 0
+	var tok, tokval uint32
+	vars := make([]uint32, 26)
+
+	next := func() {
+		for pos < len(src) && (src[pos] == ' ' || src[pos] == '\n' || src[pos] == '\t') {
+			pos++
+		}
+		if pos >= len(src) || src[pos] == 0 {
+			tok = 0
+			return
+		}
+		c := src[pos]
+		switch {
+		case c >= '0' && c <= '9':
+			v := uint32(0)
+			for pos < len(src) && src[pos] >= '0' && src[pos] <= '9' {
+				v = v*10 + uint32(src[pos]-'0')
+				pos++
+			}
+			tok, tokval = 1, v
+		case c >= 'a' && c <= 'z':
+			tokval = uint32(c - 'a')
+			tok = 2
+			for pos < len(src) && (src[pos] >= 'a' && src[pos] <= 'z' || src[pos] >= '0' && src[pos] <= '9') {
+				pos++
+			}
+		default:
+			tok = uint32(c)
+			pos++
+		}
+	}
+
+	var expr func() uint32
+	factor := func() uint32 {
+		switch tok {
+		case 1:
+			v := tokval
+			next()
+			return v
+		case 2:
+			v := vars[tokval]
+			next()
+			return v
+		case '(':
+			next()
+			v := expr()
+			if tok == ')' {
+				next()
+			}
+			return v
+		default:
+			next()
+			return 0
+		}
+	}
+	term := func() uint32 {
+		v := factor()
+		for tok == '*' || tok == '/' {
+			op := tok
+			next()
+			w := factor()
+			if op == '*' {
+				v *= w
+			} else if w == 0 {
+				v = 0
+			} else {
+				v = uint32(int32(v) / int32(w))
+			}
+		}
+		return v
+	}
+	expr = func() uint32 {
+		v := term()
+		for tok == '+' || tok == '-' {
+			op := tok
+			next()
+			w := term()
+			if op == '+' {
+				v += w
+			} else {
+				v -= w
+			}
+		}
+		return v
+	}
+
+	next()
+	for tok != 0 {
+		if tok != 2 {
+			next()
+			continue
+		}
+		idx := tokval
+		next()
+		if tok != '=' {
+			next()
+			continue
+		}
+		next()
+		v := expr()
+		vars[idx] = v
+		checksum = checksum*31 + v + idx
+		stmts++
+		if tok != ';' {
+			next()
+			continue
+		}
+		next()
+	}
+	return checksum, stmts
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+// compressSrc is a 12-bit LZW compressor. The dictionary is an
+// open-addressing hash table of (prefix<<8|char) -> code with linear
+// probing; codes 0..255 are implicit single-byte entries. It emits the
+// code stream as a running checksum plus an output-code count, stored at
+// `result` (checksum, count).
+const compressSrc = `
+# LZW compress. Registers:
+#   s0 input ptr, s1 input end, s2 current prefix code w, s3 next free code,
+#   s4 checksum, s5 output count, s6 table base.
+main:
+    la   $s0, input
+    lw   $t0, insize
+    add  $s1, $s0, $t0
+    la   $s6, table
+
+    # Clear the 8192-entry table (key word = -1 means empty).
+    li   $t1, 8192
+    move $t2, $s6
+    li   $t3, -1
+initloop:
+    sw   $t3, 0($t2)
+    addi $t2, $t2, 8
+    addi $t1, $t1, -1
+    bgtz $t1, initloop
+
+    lbu  $s2, 0($s0)            # w = first input byte
+    addi $s0, $s0, 1
+    li   $s3, 256               # next free code
+    li   $s4, 0                 # checksum
+    li   $s5, 0                 # emitted codes
+mainloop:
+    bge  $s0, $s1, flush
+    lbu  $t0, 0($s0)            # c
+    addi $s0, $s0, 1
+    sll  $t1, $s2, 8
+    or   $t1, $t1, $t0          # key = w<<8 | c
+    li   $t2, 40503             # Knuth multiplicative hash (16-bit)
+    mul  $t3, $t1, $t2
+    srl  $t3, $t3, 7
+    andi $t3, $t3, 8191
+probe:
+    sll  $t4, $t3, 3
+    add  $t4, $s6, $t4          # entry address
+    lw   $t5, 0($t4)            # entry key
+    li   $t6, -1
+    beq  $t5, $t6, miss
+    beq  $t5, $t1, hit
+    addi $t3, $t3, 1
+    andi $t3, $t3, 8191
+    b    probe
+hit:
+    lw   $s2, 4($t4)            # w = entry code
+    b    mainloop
+miss:
+    # Emit w: checksum = checksum*17 + w (mod 2^32).
+    li   $t7, 17
+    mul  $s4, $s4, $t7
+    add  $s4, $s4, $s2
+    addi $s5, $s5, 1
+    # Insert (key -> nextcode) if the codebook has room.
+    li   $t6, 4096
+    bge  $s3, $t6, nofree
+    sw   $t1, 0($t4)
+    sw   $s3, 4($t4)
+    addi $s3, $s3, 1
+nofree:
+    move $s2, $t0               # w = c
+    b    mainloop
+flush:
+    li   $t7, 17
+    mul  $s4, $s4, $t7
+    add  $s4, $s4, $s2
+    addi $s5, $s5, 1
+    la   $t0, result
+    sw   $s4, 0($t0)
+    sw   $s5, 4($t0)
+    halt
+
+.data
+insize: .word 0
+result: .word 0, 0
+input:  .space 49152
+.align 8
+table:  .space 65536
+`
+
+// compressVocab is the word pool from which the input text is drawn with
+// a Zipf-ish bias, giving the LZW dictionary a realistic hit/miss mix.
+var compressVocab = []string{
+	"the", "of", "and", "to", "in", "that", "is", "was", "he", "for",
+	"it", "with", "as", "his", "on", "be", "at", "by", "had", "not",
+	"register", "pipeline", "branch", "window", "issue", "hazard",
+	"speculative", "execution", "disjoint", "eager", "path", "predict",
+	"cumulative", "probability", "resource", "instruction", "queue",
+	"matrix", "shadow", "sink", "levo", "condel", "mainline", "tree",
+}
+
+// CompressInput generates the compressor's input text deterministically.
+func CompressInput(scale int) []byte {
+	scale = clampScale(scale)
+	r := newRNG(0xc0135e55)
+	target := 11000 * scale
+	if target > 49152-64 {
+		target = 49152 - 64
+	}
+	out := make([]byte, 0, target)
+	for len(out) < target-16 {
+		w := compressVocab[r.zipf(len(compressVocab))]
+		out = append(out, w...)
+		switch r.intn(12) {
+		case 0:
+			out = append(out, '.', '\n')
+		case 1:
+			out = append(out, ',', ' ')
+		default:
+			out = append(out, ' ')
+		}
+	}
+	return out
+}
+
+// BuildCompress assembles the LZW workload with its generated input.
+func BuildCompress(scale int) (*isa.Program, error) {
+	p, err := asm.Assemble(compressSrc)
+	if err != nil {
+		return nil, err
+	}
+	in := CompressInput(scale)
+	if err := setBytes(p, "input", 0, in); err != nil {
+		return nil, err
+	}
+	if err := setWord(p, "insize", 0, uint32(len(in))); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CompressReference computes the (checksum, emitted-code count) the
+// assembly program must produce, in Go, for validation.
+func CompressReference(in []byte) (checksum, count uint32) {
+	type ent struct{ code uint32 }
+	dict := make(map[uint32]ent)
+	next := uint32(256)
+	w := uint32(in[0])
+	emit := func(code uint32) {
+		checksum = checksum*17 + code
+		count++
+	}
+	for _, c := range in[1:] {
+		key := w<<8 | uint32(c)
+		if e, ok := dict[key]; ok {
+			w = e.code
+			continue
+		}
+		emit(w)
+		if next < 4096 {
+			dict[key] = ent{next}
+			next++
+		}
+		w = uint32(c)
+	}
+	emit(w)
+	return checksum, count
+}

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"sort"
+
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+// eqntottSrc mirrors eqntott's execution profile: the bulk of the work is
+// a wide, highly predictable sweep over product terms (here: a
+// table-driven nibble population count and threshold classification of
+// every term — independent across terms, like eqntott's PI evaluation
+// over truth-table rows), followed by a quicksort through a multiword
+// compare routine (cmppt). The original had by far the highest oracle
+// parallelism of the suite (2810x in the paper) precisely because of the
+// data-parallel sweep; the qsort contributes the less predictable
+// branches.
+//
+// Results at `result`: (checksum, nrecords, heavyCount).
+const eqntottSrc = `
+# Record i lives at recs + i*16 (4 words). keys[i] is one word.
+main:
+    # --- phase 1: PI-style sweep: popcount every term, classify ---
+    lw   $s0, nrec              # n
+    la   $s1, recs
+    la   $s2, keys
+    la   $s3, bytetab
+    li   $s4, 0                 # i
+    li   $s5, 0                 # heavy count
+sweep:
+    bge  $s4, $s0, sweepdone
+    sll  $t0, $s4, 4
+    add  $t0, $s1, $t0          # &rec[i] (16 bytes)
+    li   $t1, 0                 # byte index
+    li   $t2, 0                 # popcount accumulator
+sweepbyte:
+    add  $t3, $t0, $t1
+    lbu  $t4, 0($t3)            # b = rec bytes
+    add  $t5, $s3, $t4
+    lbu  $t6, 0($t5)            # bytetab[b]
+    add  $t2, $t2, $t6
+    addi $t1, $t1, 1
+    li   $t7, 16
+    blt  $t1, $t7, sweepbyte
+    # key[i] = (popcount << 20) | (rec[i][3] & 0xFFFFF)
+    lw   $t4, 12($t0)
+    sll  $t5, $t2, 20
+    li   $t6, 0xFFFFF
+    and  $t4, $t4, $t6
+    or   $t4, $t5, $t4
+    sll  $t6, $s4, 2
+    add  $t6, $s2, $t6
+    sw   $t4, 0($t6)
+    # classify: terms with more than 40 set bits are "heavy"
+    li   $t6, 40
+    ble  $t2, $t6, light
+    addi $s5, $s5, 1
+light:
+    addi $s4, $s4, 1
+    b    sweep
+sweepdone:
+    la   $t0, result
+    sw   $s5, 8($t0)
+
+    # --- phase 2: qsort the first nsort records by cmppt ---
+    lw   $t0, nsort
+    addi $a0, $zero, 0
+    addi $a1, $t0, -1
+    jal  qsort
+
+    # --- checksum over sorted prefix + keys ---
+    lw   $s0, nrec
+    lw   $s6, nsort
+    li   $s1, 0                 # i
+    li   $s2, 0                 # checksum
+    la   $s3, recs
+    la   $s4, keys
+cksum:
+    bge  $s1, $s6, cksumkeys
+    sll  $t0, $s1, 4
+    add  $t0, $s3, $t0
+    lw   $t1, 0($t0)
+    xor  $t1, $t1, $s1
+    addi $t2, $s1, 1
+    mul  $t1, $t1, $t2
+    add  $s2, $s2, $t1
+    addi $s1, $s1, 1
+    b    cksum
+cksumkeys:
+    bge  $s1, $s0, done
+    sll  $t0, $s1, 2
+    add  $t0, $s4, $t0
+    lw   $t1, 0($t0)
+    add  $s2, $s2, $t1
+    addi $s1, $s1, 1
+    b    cksumkeys
+done:
+    la   $t0, result
+    sw   $s2, 0($t0)
+    sw   $s0, 4($t0)
+    halt
+
+# cmppt(a0 = addr A, a1 = addr B) -> v0 in {-1,0,1}; word 0 most
+# significant, unsigned comparison.
+cmppt:
+    li   $t0, 0                 # k
+cmploop:
+    sll  $t1, $t0, 2
+    add  $t2, $a0, $t1
+    lw   $t3, 0($t2)            # A[k]
+    add  $t2, $a1, $t1
+    lw   $t4, 0($t2)            # B[k]
+    bne  $t3, $t4, cmpdiff
+    addi $t0, $t0, 1
+    li   $t5, 4
+    blt  $t0, $t5, cmploop
+    li   $v0, 0
+    jr   $ra
+cmpdiff:
+    sltu $t5, $t3, $t4
+    bne  $t5, $zero, cmpless
+    li   $v0, 1
+    jr   $ra
+cmpless:
+    li   $v0, -1
+    jr   $ra
+
+# swap records at indices a0, a1.
+swaprec:
+    la   $t9, recs
+    sll  $t0, $a0, 4
+    add  $t0, $t9, $t0
+    sll  $t1, $a1, 4
+    add  $t1, $t9, $t1
+    li   $t2, 4
+swaploop:
+    lw   $t3, 0($t0)
+    lw   $t4, 0($t1)
+    sw   $t4, 0($t0)
+    sw   $t3, 0($t1)
+    addi $t0, $t0, 4
+    addi $t1, $t1, 4
+    addi $t2, $t2, -1
+    bgtz $t2, swaploop
+    jr   $ra
+
+# qsort(a0 = lo, a1 = hi): Lomuto partition, recursive.
+qsort:
+    bge  $a0, $a1, qret0
+    addi $sp, $sp, -24
+    sw   $ra, 0($sp)
+    sw   $s4, 4($sp)            # lo
+    sw   $s5, 8($sp)            # hi
+    sw   $s6, 12($sp)           # i
+    sw   $s7, 16($sp)           # j
+    move $s4, $a0
+    move $s5, $a1
+
+    addi $s6, $s4, -1
+    move $s7, $s4
+part:
+    bge  $s7, $s5, partdone
+    la   $t9, recs
+    sll  $a0, $s7, 4
+    add  $a0, $t9, $a0
+    sll  $a1, $s5, 4
+    add  $a1, $t9, $a1
+    jal  cmppt
+    bgtz $v0, partnext
+    addi $s6, $s6, 1
+    move $a0, $s6
+    move $a1, $s7
+    jal  swaprec
+partnext:
+    addi $s7, $s7, 1
+    b    part
+partdone:
+    addi $s6, $s6, 1
+    move $a0, $s6
+    move $a1, $s5
+    jal  swaprec
+
+    move $a0, $s4
+    addi $a1, $s6, -1
+    jal  qsort
+    addi $a0, $s6, 1
+    move $a1, $s5
+    jal  qsort
+
+    lw   $ra, 0($sp)
+    lw   $s4, 4($sp)
+    lw   $s5, 8($sp)
+    lw   $s6, 12($sp)
+    lw   $s7, 16($sp)
+    addi $sp, $sp, 24
+qret0:
+    jr   $ra
+
+.data
+nrec:   .word 0
+nsort:  .word 0
+result: .word 0, 0, 0
+bytetab: .space 256
+.align 8
+keys:   .space 4096
+recs:   .space 16384
+`
+
+// eqntottN is the record count at scale 1; eqntottSortN is the prefix
+// quicksorted (the unpredictable minority of the work, as in the
+// original's profile).
+const (
+	eqntottN     = 760
+	eqntottSortN = 150
+)
+
+// EqntottInput generates pseudo-random 4-word product terms. Terms share
+// long common prefixes (heavy ties on words 0–1), so cmppt usually runs
+// its full loop — the predictable multiword-compare behaviour of real
+// truth-table terms.
+func EqntottInput(scale int) [][4]uint32 {
+	scale = clampScale(scale)
+	n := eqntottN * scale
+	if n > 16384/16 {
+		n = 16384 / 16
+	}
+	r := newRNG(0xe4707)
+	recs := make([][4]uint32, n)
+	for i := range recs {
+		recs[i][0] = uint32(r.intn(7))
+		recs[i][1] = uint32(r.intn(13))
+		recs[i][2] = r.next()
+		recs[i][3] = r.next()
+	}
+	return recs
+}
+
+func eqntottCounts(scale int) (n, nsort int) {
+	recs := EqntottInput(scale)
+	n = len(recs)
+	nsort = eqntottSortN * clampScale(scale)
+	if nsort > n {
+		nsort = n
+	}
+	return n, nsort
+}
+
+// BuildEqntott assembles the workload with generated terms.
+func BuildEqntott(scale int) (*isa.Program, error) {
+	p, err := asm.Assemble(eqntottSrc)
+	if err != nil {
+		return nil, err
+	}
+	recs := EqntottInput(scale)
+	flat := make([]uint32, 0, 4*len(recs))
+	for _, rec := range recs {
+		flat = append(flat, rec[0], rec[1], rec[2], rec[3])
+	}
+	if err := setBytes(p, "recs", 0, wordsToBytes(flat)); err != nil {
+		return nil, err
+	}
+	tab := make([]byte, 256)
+	for i := range tab {
+		c := byte(0)
+		for b := i; b != 0; b >>= 1 {
+			c += byte(b & 1)
+		}
+		tab[i] = c
+	}
+	if err := setBytes(p, "bytetab", 0, tab); err != nil {
+		return nil, err
+	}
+	n, nsort := eqntottCounts(scale)
+	if err := setWord(p, "nrec", 0, uint32(n)); err != nil {
+		return nil, err
+	}
+	if err := setWord(p, "nsort", 0, uint32(nsort)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EqntottReference computes the expected (checksum, n, heavy) in Go.
+func EqntottReference(recs [][4]uint32, nsort int) (checksum, n, heavy uint32) {
+	if nsort > len(recs) {
+		nsort = len(recs)
+	}
+	popcount := func(w uint32) uint32 {
+		c := uint32(0)
+		for w != 0 {
+			c += w & 1
+			w >>= 1
+		}
+		return c
+	}
+	keys := make([]uint32, len(recs))
+	for i, rec := range recs {
+		pc := popcount(rec[0]) + popcount(rec[1]) + popcount(rec[2]) + popcount(rec[3])
+		keys[i] = pc<<20 | (rec[3] & 0xFFFFF)
+		if pc > 40 {
+			heavy++
+		}
+	}
+	s := make([][4]uint32, nsort)
+	copy(s, recs[:nsort])
+	sort.SliceStable(s, func(i, j int) bool {
+		for k := 0; k < 4; k++ {
+			if s[i][k] != s[j][k] {
+				return s[i][k] < s[j][k]
+			}
+		}
+		return false
+	})
+	for i, rec := range s {
+		checksum += (rec[0] ^ uint32(i)) * uint32(i+1)
+	}
+	for i := nsort; i < len(recs); i++ {
+		checksum += keys[i]
+	}
+	return checksum, uint32(len(recs)), heavy
+}

@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+// espressoSrc performs two passes over a set of 4-word bitvector cubes,
+// the shape of espresso's cover computations:
+//
+//	pass 1 (cover):     mark every cube j covered by some earlier distinct
+//	                    cube i (for all k: i[k] & j[k] == j[k]); count them.
+//	pass 2 (intersect): count unordered pairs with a non-empty
+//	                    intersection (early exit on first hit).
+//
+// Results at `result`: (coveredCount, intersectCount, checksum).
+const espressoSrc = `
+main:
+    lw   $s0, ncube             # n
+    la   $s1, cubes
+    la   $s2, covered           # byte flags
+    li   $s3, 0                 # covered count
+    li   $s4, 0                 # intersect count
+
+    # --- pass 1: cover marking ---
+    li   $s5, 0                 # j
+cov_j:
+    bge  $s5, $s0, cov_done
+    li   $s6, 0                 # i
+cov_i:
+    bge  $s6, $s5, cov_jnext    # only earlier cubes considered as coverers
+    # check cover: for k in 0..3: (cube_i[k] & cube_j[k]) == cube_j[k]
+    sll  $t0, $s6, 4
+    add  $t0, $s1, $t0          # &cube_i
+    sll  $t1, $s5, 4
+    add  $t1, $s1, $t1          # &cube_j
+    li   $t2, 4                 # k counter
+cov_k:
+    lw   $t3, 0($t0)
+    lw   $t4, 0($t1)
+    and  $t5, $t3, $t4
+    bne  $t5, $t4, cov_inext    # not covered: next i
+    addi $t0, $t0, 4
+    addi $t1, $t1, 4
+    addi $t2, $t2, -1
+    bgtz $t2, cov_k
+    # covered
+    add  $t6, $s2, $s5
+    li   $t7, 1
+    sb   $t7, 0($t6)
+    addi $s3, $s3, 1
+    b    cov_jnext
+cov_inext:
+    addi $s6, $s6, 1
+    b    cov_i
+cov_jnext:
+    addi $s5, $s5, 1
+    b    cov_j
+cov_done:
+
+    # --- pass 2: pairwise intersection among uncovered cubes ---
+    li   $s5, 0                 # i
+int_i:
+    bge  $s5, $s0, int_done
+    add  $t6, $s2, $s5
+    lbu  $t7, 0($t6)
+    bne  $t7, $zero, int_inext  # skip covered
+    addi $s6, $s5, 1            # j = i+1
+int_j:
+    bge  $s6, $s0, int_inext
+    add  $t6, $s2, $s6
+    lbu  $t7, 0($t6)
+    bne  $t7, $zero, int_jnext
+    sll  $t0, $s5, 4
+    add  $t0, $s1, $t0
+    sll  $t1, $s6, 4
+    add  $t1, $s1, $t1
+    li   $t2, 4
+int_k:
+    lw   $t3, 0($t0)
+    lw   $t4, 0($t1)
+    and  $t5, $t3, $t4
+    bne  $t5, $zero, int_hit    # early exit on first overlapping word
+    addi $t0, $t0, 4
+    addi $t1, $t1, 4
+    addi $t2, $t2, -1
+    bgtz $t2, int_k
+    b    int_jnext
+int_hit:
+    addi $s4, $s4, 1
+int_jnext:
+    addi $s6, $s6, 1
+    b    int_j
+int_inext:
+    addi $s5, $s5, 1
+    b    int_i
+int_done:
+
+    # checksum = fold of uncovered cube words
+    li   $s5, 0
+    li   $s7, 0
+ck_i:
+    bge  $s5, $s0, ck_done
+    add  $t6, $s2, $s5
+    lbu  $t7, 0($t6)
+    bne  $t7, $zero, ck_next
+    sll  $t0, $s5, 4
+    add  $t0, $s1, $t0
+    lw   $t3, 0($t0)
+    lw   $t4, 4($t0)
+    xor  $t3, $t3, $t4
+    add  $s7, $s7, $t3
+    li   $t5, 13
+    mul  $s7, $s7, $t5
+ck_next:
+    addi $s5, $s5, 1
+    b    ck_i
+ck_done:
+    la   $t0, result
+    sw   $s3, 0($t0)
+    sw   $s4, 4($t0)
+    sw   $s7, 8($t0)
+    halt
+
+.data
+ncube:  .word 0
+result: .word 0, 0, 0
+.align 8
+cubes:  .space 8192
+covered: .space 512
+`
+
+// espressoN is the cube count at scale 1.
+const espressoN = 190
+
+// EspressoInput generates n cubes whose bit density varies by seed, so
+// the four inputs (bca, cps, ti, tial analogues) differ in cover rates
+// and early-exit behaviour.
+func EspressoInput(seed uint32, scale int) [][4]uint32 {
+	scale = clampScale(scale)
+	n := espressoN * scale
+	if n > 8192/16 {
+		n = 8192 / 16
+	}
+	r := newRNG(seed)
+	density := 2 + int(seed%3) // AND-folds per word: more folds = sparser
+	cubes := make([][4]uint32, n)
+	for i := range cubes {
+		for k := 0; k < 4; k++ {
+			w := r.next()
+			for d := 0; d < density; d++ {
+				w &= r.next() | 0x01010101 // keep a few guaranteed bits
+			}
+			cubes[i][k] = w
+		}
+		// A fraction of cubes are sub-cubes of an earlier one, so the
+		// cover pass actually finds covers.
+		if i > 0 && r.intn(5) == 0 {
+			j := r.intn(i)
+			for k := 0; k < 4; k++ {
+				cubes[i][k] = cubes[j][k] & (r.next() | 0x0f0f0f0f)
+			}
+		}
+	}
+	return cubes
+}
+
+func espressoInput(seed uint32) func(int) (*isa.Program, error) {
+	return func(scale int) (*isa.Program, error) {
+		return BuildEspresso(seed, scale)
+	}
+}
+
+// BuildEspresso assembles the cube workload for one input seed.
+func BuildEspresso(seed uint32, scale int) (*isa.Program, error) {
+	p, err := asm.Assemble(espressoSrc)
+	if err != nil {
+		return nil, err
+	}
+	cubes := EspressoInput(seed, scale)
+	flat := make([]uint32, 0, 4*len(cubes))
+	for _, c := range cubes {
+		flat = append(flat, c[0], c[1], c[2], c[3])
+	}
+	if err := setBytes(p, "cubes", 0, wordsToBytes(flat)); err != nil {
+		return nil, err
+	}
+	if err := setWord(p, "ncube", 0, uint32(len(cubes))); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// EspressoReference computes the expected (covered, intersect, checksum).
+func EspressoReference(cubes [][4]uint32) (covered, intersect, checksum uint32) {
+	n := len(cubes)
+	cov := make([]bool, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			ok := true
+			for k := 0; k < 4; k++ {
+				if cubes[i][k]&cubes[j][k] != cubes[j][k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cov[j] = true
+				covered++
+				break
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if cov[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if cov[j] {
+				continue
+			}
+			for k := 0; k < 4; k++ {
+				if cubes[i][k]&cubes[j][k] != 0 {
+					intersect++
+					break
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if cov[i] {
+			continue
+		}
+		checksum = (checksum + (cubes[i][0] ^ cubes[i][1])) * 13
+	}
+	return covered, intersect, checksum
+}

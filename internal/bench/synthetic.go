@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+// SyntheticConfig parameterizes the synthetic branch workload: a loop
+// that reads a table of pre-generated values and takes a cascade of
+// data-dependent branches per iteration. The taken-bias of the generated
+// values controls how predictable the branches are, which lets tests and
+// sweeps place the 2-bit predictor's accuracy where they need it.
+type SyntheticConfig struct {
+	// Iterations of the outer loop.
+	Iterations int
+	// BranchesPerIter is the number of data-dependent branch sites in
+	// the loop body (1..8).
+	BranchesPerIter int
+	// Bias is the probability (percent, 0..100) that a generated value
+	// drives its branch the common way. Bias near 100 makes branches
+	// highly predictable; near 50, coin flips.
+	Bias int
+	// Seed for the value table.
+	Seed uint32
+	// Work is the number of filler ALU ops between branches (ILP grist).
+	Work int
+}
+
+// DefaultSynthetic is a mid-predictability configuration.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{Iterations: 4000, BranchesPerIter: 4, Bias: 88, Seed: 0x5e5e, Work: 3}
+}
+
+// BuildSynthetic generates and assembles the synthetic workload. The
+// program sums a mix determined by branch directions into a checksum at
+// `result` (checksum, takenCount).
+func BuildSynthetic(cfg SyntheticConfig) (*isa.Program, error) {
+	if cfg.Iterations <= 0 || cfg.Iterations > 200000 {
+		return nil, fmt.Errorf("bench: synthetic iterations %d out of range", cfg.Iterations)
+	}
+	if cfg.BranchesPerIter < 1 || cfg.BranchesPerIter > 8 {
+		return nil, fmt.Errorf("bench: synthetic branches/iter %d out of range", cfg.BranchesPerIter)
+	}
+	if cfg.Bias < 0 || cfg.Bias > 100 {
+		return nil, fmt.Errorf("bench: synthetic bias %d out of range", cfg.Bias)
+	}
+	if cfg.Work < 0 || cfg.Work > 16 {
+		return nil, fmt.Errorf("bench: synthetic work %d out of range", cfg.Work)
+	}
+
+	// One byte of table drives one branch; the table wraps at 16384.
+	tableLen := 16384
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `
+main:
+    li   $s0, 0                 # iteration
+    li   $s1, %d                # iterations
+    la   $s2, table
+    li   $s3, 0                 # checksum
+    li   $s4, 0                 # taken count
+loop:
+`, cfg.Iterations)
+	for b := 0; b < cfg.BranchesPerIter; b++ {
+		// The table cursor is recomputed from the iteration counter, so
+		// the only loop-carried chains are the counter and the checksum:
+		// the branch tests themselves are wide.
+		fmt.Fprintf(&sb, `
+    li   $t8, %[5]d             # branch %[1]d
+    mul  $t0, $s0, $t8
+    addi $t0, $t0, %[1]d
+    andi $t0, $t0, %[2]d
+    add  $t0, $s2, $t0
+    lbu  $t1, 0($t0)
+    bne  $t1, $zero, take%[1]d
+    addi $t2, $t1, %[3]d
+    b    join%[1]d
+take%[1]d:
+    addi $s4, $s4, 1
+    xor  $s3, $s3, $t0
+    addi $s3, $s3, %[4]d
+join%[1]d:
+`, b, tableLen-1, 3+b, 7+2*b, cfg.BranchesPerIter)
+		for w := 0; w < cfg.Work; w++ {
+			// Independent filler: derived from the loop counter only, so
+			// it adds ILP width rather than serial depth.
+			fmt.Fprintf(&sb, "    addi $t%d, $s0, %d\n    sll  $t%d, $t%d, %d\n",
+				3+w%5, w+13*b+1, 3+w%5, 3+w%5, 1+w%3)
+		}
+	}
+	fmt.Fprintf(&sb, `
+    addi $s0, $s0, 1
+    blt  $s0, $s1, loop
+    la   $t0, result
+    sw   $s3, 0($t0)
+    sw   $s4, 4($t0)
+    halt
+
+.data
+result: .word 0, 0
+table:  .space %d
+`, tableLen)
+
+	p, err := asm.Assemble(sb.String())
+	if err != nil {
+		return nil, err
+	}
+	table := SyntheticTable(cfg, tableLen)
+	if err := setBytes(p, "table", 0, table); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SyntheticTable generates the branch-driving byte table.
+func SyntheticTable(cfg SyntheticConfig, n int) []byte {
+	r := newRNG(cfg.Seed)
+	out := make([]byte, n)
+	for i := range out {
+		v := byte(0)
+		if r.intn(100) < cfg.Bias {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SyntheticWorkload wraps BuildSynthetic as a Workload for tools that
+// iterate workloads generically.
+func SyntheticWorkload(cfg SyntheticConfig) Workload {
+	return Workload{
+		Name:        "synthetic",
+		Description: fmt.Sprintf("synthetic branches (bias %d%%, %d/iter)", cfg.Bias, cfg.BranchesPerIter),
+		Inputs: []Input{{
+			Name: "table",
+			Build: func(int) (*isa.Program, error) {
+				return BuildSynthetic(cfg)
+			},
+		}},
+	}
+}
+
+// SyntheticReference computes the exact (checksum, takenCount) the
+// generated program must produce, for validation against the functional
+// simulator.
+func SyntheticReference(cfg SyntheticConfig, tableAddr uint32) (checksum, taken uint32) {
+	table := SyntheticTable(cfg, 16384)
+	mask := uint32(16384 - 1)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for b := 0; b < cfg.BranchesPerIter; b++ {
+			idx := (uint32(iter)*uint32(cfg.BranchesPerIter) + uint32(b)) & mask
+			if table[idx] != 0 {
+				taken++
+				checksum ^= tableAddr + idx
+				checksum += uint32(7 + 2*b)
+			}
+		}
+	}
+	return checksum, taken
+}

@@ -1,0 +1,627 @@
+package bench
+
+import (
+	"fmt"
+
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+// Bytecode operations of the interpreted stack machine. Every bytecode
+// instruction is two 32-bit words: (opcode, argument); the argument is
+// ignored by most opcodes. Jump/call targets are byte offsets into the
+// bytecode image.
+const (
+	bcHalt = iota
+	bcPush // push arg
+	bcDup
+	bcSwap
+	bcDrop
+	bcAdd
+	bcSub
+	bcMul
+	bcDiv
+	bcMod
+	bcLT // push(a < b) signed
+	bcEQ
+	bcJmpZ // pop; jump to arg if zero
+	bcJmp
+	bcCall // push return offset on return stack; jump
+	bcRet
+	bcOut   // pop v; checksum = checksum*31 + v
+	bcGetG  // push globals[arg]
+	bcSetG  // globals[arg] = pop
+	bcOver  // push second-from-top
+	bcGetGI // pop index; push globals[arg+index]
+	bcSetGI // pop index, pop value; globals[arg+index] = value
+)
+
+// xlispSrc interprets the bytecode image at `bytecode`. Dispatch is a
+// compare chain (the dispatch branches are the unpredictable heart of an
+// interpreter). Registers:
+//
+//	s0 bytecode base, s1 VM pc (absolute address), s2 data-stack pointer
+//	(grows up), s3 return-stack pointer (grows up), s4 checksum,
+//	s5 globals base.
+//
+// Result: (checksum, executed bytecode ops) at `result`.
+const xlispSrc = `
+main:
+    la   $s0, bytecode
+    move $s1, $s0
+    la   $s2, dstack
+    la   $s3, rstack
+    li   $s4, 0
+    la   $s5, globals
+    li   $s6, 0                 # executed op count
+vmloop:
+    lw   $t0, 0($s1)            # opcode
+    lw   $t1, 4($s1)            # argument
+    addi $s1, $s1, 8
+    addi $s6, $s6, 1
+    beq  $t0, $zero, vmhalt     # 0 halt
+    li   $t2, 1
+    beq  $t0, $t2, op_push
+    li   $t2, 2
+    beq  $t0, $t2, op_dup
+    li   $t2, 3
+    beq  $t0, $t2, op_swap
+    li   $t2, 4
+    beq  $t0, $t2, op_drop
+    li   $t2, 5
+    beq  $t0, $t2, op_add
+    li   $t2, 6
+    beq  $t0, $t2, op_sub
+    li   $t2, 7
+    beq  $t0, $t2, op_mul
+    li   $t2, 8
+    beq  $t0, $t2, op_div
+    li   $t2, 9
+    beq  $t0, $t2, op_mod
+    li   $t2, 10
+    beq  $t0, $t2, op_lt
+    li   $t2, 11
+    beq  $t0, $t2, op_eq
+    li   $t2, 12
+    beq  $t0, $t2, op_jmpz
+    li   $t2, 13
+    beq  $t0, $t2, op_jmp
+    li   $t2, 14
+    beq  $t0, $t2, op_call
+    li   $t2, 15
+    beq  $t0, $t2, op_ret
+    li   $t2, 16
+    beq  $t0, $t2, op_out
+    li   $t2, 17
+    beq  $t0, $t2, op_getg
+    li   $t2, 18
+    beq  $t0, $t2, op_setg
+    li   $t2, 19
+    beq  $t0, $t2, op_over
+    li   $t2, 20
+    beq  $t0, $t2, op_getgi
+    li   $t2, 21
+    beq  $t0, $t2, op_setgi
+    b    vmhalt                 # unknown opcode: stop
+
+op_push:
+    sw   $t1, 0($s2)
+    addi $s2, $s2, 4
+    b    vmloop
+op_dup:
+    lw   $t3, -4($s2)
+    sw   $t3, 0($s2)
+    addi $s2, $s2, 4
+    b    vmloop
+op_swap:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    sw   $t4, -4($s2)
+    sw   $t3, -8($s2)
+    b    vmloop
+op_drop:
+    addi $s2, $s2, -4
+    b    vmloop
+op_add:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    add  $t4, $t4, $t3
+    sw   $t4, -8($s2)
+    addi $s2, $s2, -4
+    b    vmloop
+op_sub:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    sub  $t4, $t4, $t3
+    sw   $t4, -8($s2)
+    addi $s2, $s2, -4
+    b    vmloop
+op_mul:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    mul  $t4, $t4, $t3
+    sw   $t4, -8($s2)
+    addi $s2, $s2, -4
+    b    vmloop
+op_div:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    div  $t4, $t4, $t3
+    sw   $t4, -8($s2)
+    addi $s2, $s2, -4
+    b    vmloop
+op_mod:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    rem  $t4, $t4, $t3
+    sw   $t4, -8($s2)
+    addi $s2, $s2, -4
+    b    vmloop
+op_lt:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    slt  $t4, $t4, $t3
+    sw   $t4, -8($s2)
+    addi $s2, $s2, -4
+    b    vmloop
+op_eq:
+    lw   $t3, -4($s2)
+    lw   $t4, -8($s2)
+    xor  $t4, $t4, $t3
+    sltiu $t4, $t4, 1
+    sw   $t4, -8($s2)
+    addi $s2, $s2, -4
+    b    vmloop
+op_jmpz:
+    addi $s2, $s2, -4
+    lw   $t3, 0($s2)
+    bne  $t3, $zero, vmloop
+    add  $s1, $s0, $t1
+    b    vmloop
+op_jmp:
+    add  $s1, $s0, $t1
+    b    vmloop
+op_call:
+    sw   $s1, 0($s3)
+    addi $s3, $s3, 4
+    add  $s1, $s0, $t1
+    b    vmloop
+op_ret:
+    addi $s3, $s3, -4
+    lw   $s1, 0($s3)
+    b    vmloop
+op_out:
+    addi $s2, $s2, -4
+    lw   $t3, 0($s2)
+    li   $t4, 31
+    mul  $s4, $s4, $t4
+    add  $s4, $s4, $t3
+    b    vmloop
+op_getg:
+    sll  $t2, $t1, 2
+    add  $t2, $s5, $t2
+    lw   $t3, 0($t2)
+    sw   $t3, 0($s2)
+    addi $s2, $s2, 4
+    b    vmloop
+op_setg:
+    addi $s2, $s2, -4
+    lw   $t3, 0($s2)
+    sll  $t2, $t1, 2
+    add  $t2, $s5, $t2
+    sw   $t3, 0($t2)
+    b    vmloop
+op_over:
+    lw   $t3, -8($s2)
+    sw   $t3, 0($s2)
+    addi $s2, $s2, 4
+    b    vmloop
+op_getgi:
+    addi $s2, $s2, -4
+    lw   $t3, 0($s2)            # index
+    add  $t3, $t3, $t1          # arg + index
+    sll  $t3, $t3, 2
+    add  $t3, $s5, $t3
+    lw   $t4, 0($t3)
+    sw   $t4, 0($s2)
+    addi $s2, $s2, 4
+    b    vmloop
+op_setgi:
+    addi $s2, $s2, -4
+    lw   $t3, 0($s2)            # index
+    addi $s2, $s2, -4
+    lw   $t4, 0($s2)            # value
+    add  $t3, $t3, $t1
+    sll  $t3, $t3, 2
+    add  $t3, $s5, $t3
+    sw   $t4, 0($t3)
+    b    vmloop
+
+vmhalt:
+    la   $t0, result
+    sw   $s4, 0($t0)
+    sw   $s6, 4($t0)
+    halt
+
+.data
+result:  .word 0, 0
+globals: .space 128
+.align 8
+bytecode: .space 16384
+dstack:  .space 4096
+rstack:  .space 4096
+`
+
+// bcProg assembles bytecode with labels.
+type bcProg struct {
+	words  []uint32
+	labels map[string]int // label -> byte offset
+	fixes  map[int]string // word index of argument -> label
+}
+
+func newBCProg() *bcProg {
+	return &bcProg{labels: make(map[string]int), fixes: make(map[int]string)}
+}
+
+func (b *bcProg) label(name string) {
+	b.labels[name] = 4 * len(b.words)
+}
+
+func (b *bcProg) op(code uint32, arg uint32) {
+	b.words = append(b.words, code, arg)
+}
+
+func (b *bcProg) opL(code uint32, target string) {
+	b.words = append(b.words, code, 0)
+	b.fixes[len(b.words)-1] = target
+}
+
+func (b *bcProg) assemble() ([]uint32, error) {
+	for idx, name := range b.fixes {
+		off, ok := b.labels[name]
+		if !ok {
+			return nil, fmt.Errorf("bench: xlisp bytecode: undefined label %q", name)
+		}
+		b.words[idx] = uint32(off)
+	}
+	return b.words, nil
+}
+
+// emitQueens appends an N-queens backtracking solver to the bytecode:
+// the paper's xlisp input was the N-queens problem (li-input.lsp,
+// 9 queens). Globals: g0 = solution count; g8+row = the column placed in
+// each row; g16+row = the per-level conflict-scan cursor. The row being
+// worked on is passed on the data stack, Lisp-style. Emits the solution
+// count through OUT.
+func emitQueens(b *bcProg, n uint32) {
+	b.op(bcPush, 0)
+	b.op(bcSetG, 0) // count = 0
+	b.op(bcPush, 0)
+	b.opL(bcCall, "queens") // queens(row=0)
+	b.op(bcDrop, 0)
+	b.op(bcGetG, 0)
+	b.op(bcOut, 0)
+	b.opL(bcJmp, "queens_end")
+
+	// queens: stack [row] throughout; returns with [row].
+	b.label("queens")
+	b.op(bcPush, 0)
+	b.op(bcOver, 0)
+	b.op(bcSetGI, 8) // board[row] = 0
+	b.label("q_colloop")
+	b.op(bcDup, 0)
+	b.op(bcGetGI, 8) // [row, col]
+	b.op(bcPush, n)
+	b.op(bcLT, 0)
+	b.opL(bcJmpZ, "q_ret") // col >= n: backtrack
+	// r = 0
+	b.op(bcPush, 0)
+	b.op(bcOver, 0)
+	b.op(bcSetGI, 16)
+	b.label("q_safeloop")
+	b.op(bcDup, 0)
+	b.op(bcGetGI, 16) // [row, r]
+	b.op(bcOver, 0)   // [row, r, row]
+	b.op(bcLT, 0)     // [row, r<row]
+	b.opL(bcJmpZ, "q_place")
+	// d = board[r] - col
+	b.op(bcDup, 0)
+	b.op(bcGetGI, 16) // [row, r]
+	b.op(bcGetGI, 8)  // [row, board_r]
+	b.op(bcOver, 0)   // [row, board_r, row]
+	b.op(bcGetGI, 8)  // [row, board_r, col]
+	b.op(bcSub, 0)    // [row, d]
+	b.op(bcDup, 0)
+	b.op(bcPush, 0)
+	b.op(bcEQ, 0)           // [row, d, d==0]
+	b.opL(bcJmpZ, "q_diag") // not same column: check diagonals
+	b.op(bcDrop, 0)         // same column: conflict
+	b.opL(bcJmp, "q_nextcol")
+	b.label("q_diag")
+	// conflict iff d^2 == (row-r)^2
+	b.op(bcOver, 0)   // [row, d, row]
+	b.op(bcDup, 0)    // [row, d, row, row]
+	b.op(bcGetGI, 16) // [row, d, row, r]
+	b.op(bcSub, 0)    // [row, d, row-r]
+	b.op(bcDup, 0)
+	b.op(bcMul, 0) // [row, d, (row-r)^2]
+	b.op(bcSwap, 0)
+	b.op(bcDup, 0)
+	b.op(bcMul, 0) // [row, (row-r)^2, d^2]
+	b.op(bcEQ, 0)
+	b.opL(bcJmpZ, "q_safenext") // distinct diagonals
+	b.opL(bcJmp, "q_nextcol")   // diagonal conflict
+	b.label("q_safenext")
+	b.op(bcDup, 0)
+	b.op(bcGetGI, 16)
+	b.op(bcPush, 1)
+	b.op(bcAdd, 0)    // [row, r+1]
+	b.op(bcOver, 0)   // [row, r+1, row]
+	b.op(bcSetGI, 16) // r++
+	b.opL(bcJmp, "q_safeloop")
+	b.label("q_place")
+	b.op(bcDup, 0)
+	b.op(bcPush, n-1)
+	b.op(bcEQ, 0)
+	b.opL(bcJmpZ, "q_recurse")
+	b.op(bcGetG, 0)
+	b.op(bcPush, 1)
+	b.op(bcAdd, 0)
+	b.op(bcSetG, 0) // full board: count++
+	b.opL(bcJmp, "q_nextcol")
+	b.label("q_recurse")
+	b.op(bcDup, 0)
+	b.op(bcPush, 1)
+	b.op(bcAdd, 0)          // [row, row+1]
+	b.opL(bcCall, "queens") // -> [row, row+1]
+	b.op(bcDrop, 0)
+	b.label("q_nextcol")
+	b.op(bcDup, 0)
+	b.op(bcGetGI, 8)
+	b.op(bcPush, 1)
+	b.op(bcAdd, 0)   // [row, col+1]
+	b.op(bcOver, 0)  // [row, col+1, row]
+	b.op(bcSetGI, 8) // board[row] = col+1
+	b.opL(bcJmp, "q_colloop")
+	b.label("q_ret")
+	b.op(bcRet, 0)
+	b.label("queens_end")
+}
+
+// QueensOnlyBytecode builds just the N-queens solver, for direct
+// validation of the backtracker (6 queens -> 4 solutions, 8 -> 92).
+func QueensOnlyBytecode(n uint32) ([]uint32, error) {
+	b := newBCProg()
+	emitQueens(b, n)
+	b.op(bcHalt, 0)
+	return b.assemble()
+}
+
+// XlispBytecode builds the interpreted program: N-queens backtracking
+// (the paper's xlisp input solved queens), total collatz steps, and
+// recursive fibonacci — each result emitted through OUT.
+func XlispBytecode(scale int) ([]uint32, error) {
+	scale = clampScale(scale)
+	queensN := uint32(5)
+	if scale > 1 {
+		queensN = 6
+	}
+	if scale > 4 {
+		queensN = 8
+	}
+	lastN := uint32(3 + 24*scale)
+	fibN := uint32(11)
+	if scale > 1 {
+		fibN = 14
+	}
+	if scale > 4 {
+		fibN = 17
+	}
+
+	b := newBCProg()
+	emitQueens(b, queensN)
+	// g0 = n, g1 = total steps, g2 = m (current collatz value)
+	b.op(bcPush, 3)
+	b.op(bcSetG, 0)
+	b.op(bcPush, 0)
+	b.op(bcSetG, 1)
+	b.label("outer")
+	b.op(bcGetG, 0)
+	b.op(bcSetG, 2) // m = n
+	b.label("inner")
+	b.op(bcGetG, 2)
+	b.op(bcPush, 1)
+	b.op(bcEQ, 0)
+	b.opL(bcJmpZ, "step") // m != 1: keep going
+	b.opL(bcJmp, "inner_done")
+	b.label("step")
+	b.op(bcGetG, 2)
+	b.op(bcPush, 2)
+	b.op(bcMod, 0)
+	b.opL(bcJmpZ, "even")
+	// odd: m = 3m+1
+	b.op(bcGetG, 2)
+	b.op(bcPush, 3)
+	b.op(bcMul, 0)
+	b.op(bcPush, 1)
+	b.op(bcAdd, 0)
+	b.op(bcSetG, 2)
+	b.opL(bcJmp, "count")
+	b.label("even")
+	b.op(bcGetG, 2)
+	b.op(bcPush, 2)
+	b.op(bcDiv, 0)
+	b.op(bcSetG, 2)
+	b.label("count")
+	b.op(bcGetG, 1)
+	b.op(bcPush, 1)
+	b.op(bcAdd, 0)
+	b.op(bcSetG, 1)
+	b.opL(bcJmp, "inner")
+	b.label("inner_done")
+	b.op(bcGetG, 0)
+	b.op(bcPush, 1)
+	b.op(bcAdd, 0)
+	b.op(bcSetG, 0)
+	b.op(bcGetG, 0)
+	b.op(bcPush, lastN)
+	b.op(bcLT, 0)
+	b.opL(bcJmpZ, "collatz_done")
+	b.opL(bcJmp, "outer")
+	b.label("collatz_done")
+	b.op(bcGetG, 1)
+	b.op(bcOut, 0)
+
+	// fib
+	b.op(bcPush, fibN)
+	b.opL(bcCall, "fib")
+	b.op(bcOut, 0)
+	b.op(bcHalt, 0)
+
+	b.label("fib")
+	b.op(bcDup, 0)
+	b.op(bcPush, 2)
+	b.op(bcLT, 0)
+	b.opL(bcJmpZ, "fib_rec")
+	b.op(bcRet, 0) // n < 2: return n (top of stack)
+	b.label("fib_rec")
+	b.op(bcDup, 0)
+	b.op(bcPush, 1)
+	b.op(bcSub, 0)
+	b.opL(bcCall, "fib")
+	b.op(bcSwap, 0)
+	b.op(bcPush, 2)
+	b.op(bcSub, 0)
+	b.opL(bcCall, "fib")
+	b.op(bcAdd, 0)
+	b.op(bcRet, 0)
+
+	return b.assemble()
+}
+
+// BuildXlisp assembles the interpreter with its bytecode image.
+func BuildXlisp(scale int) (*isa.Program, error) {
+	p, err := asm.Assemble(xlispSrc)
+	if err != nil {
+		return nil, err
+	}
+	code, err := XlispBytecode(scale)
+	if err != nil {
+		return nil, err
+	}
+	if len(code)*4 > 16384 {
+		return nil, fmt.Errorf("bench: xlisp bytecode too large (%d words)", len(code))
+	}
+	if err := setBytes(p, "bytecode", 0, wordsToBytes(code)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// XlispReference computes the expected (checksum, executed-op count)
+// with a Go interpreter of the same bytecode.
+func XlispReference(code []uint32) (checksum, ops uint32, err error) {
+	var dstack, rstack []uint32
+	globals := make([]uint32, 32)
+	pc := 0
+	pop := func() uint32 {
+		v := dstack[len(dstack)-1]
+		dstack = dstack[:len(dstack)-1]
+		return v
+	}
+	push := func(v uint32) { dstack = append(dstack, v) }
+	for step := 0; ; step++ {
+		if step > 100_000_000 {
+			return 0, 0, fmt.Errorf("bench: xlisp reference ran away")
+		}
+		if pc < 0 || pc%4 != 0 || pc/4+1 >= len(code) {
+			return 0, 0, fmt.Errorf("bench: xlisp reference pc %d out of range", pc)
+		}
+		op, arg := code[pc/4], code[pc/4+1]
+		pc += 8
+		ops++
+		switch op {
+		case bcHalt:
+			return checksum, ops, nil
+		case bcPush:
+			push(arg)
+		case bcDup:
+			push(dstack[len(dstack)-1])
+		case bcSwap:
+			n := len(dstack)
+			dstack[n-1], dstack[n-2] = dstack[n-2], dstack[n-1]
+		case bcDrop:
+			pop()
+		case bcAdd:
+			v := pop()
+			push(pop() + v)
+		case bcSub:
+			v := pop()
+			push(pop() - v)
+		case bcMul:
+			v := pop()
+			push(pop() * v)
+		case bcDiv:
+			v := pop()
+			w := pop()
+			if v == 0 {
+				push(0)
+			} else {
+				push(uint32(int32(w) / int32(v)))
+			}
+		case bcMod:
+			v := pop()
+			w := pop()
+			if v == 0 {
+				push(0)
+			} else {
+				push(uint32(int32(w) % int32(v)))
+			}
+		case bcLT:
+			v := pop()
+			w := pop()
+			if int32(w) < int32(v) {
+				push(1)
+			} else {
+				push(0)
+			}
+		case bcEQ:
+			v := pop()
+			w := pop()
+			if v == w {
+				push(1)
+			} else {
+				push(0)
+			}
+		case bcJmpZ:
+			if pop() == 0 {
+				pc = int(arg)
+			}
+		case bcJmp:
+			pc = int(arg)
+		case bcCall:
+			rstack = append(rstack, uint32(pc))
+			pc = int(arg)
+		case bcRet:
+			pc = int(rstack[len(rstack)-1])
+			rstack = rstack[:len(rstack)-1]
+		case bcOut:
+			checksum = checksum*31 + pop()
+		case bcGetG:
+			push(globals[arg])
+		case bcSetG:
+			globals[arg] = pop()
+		case bcOver:
+			push(dstack[len(dstack)-2])
+		case bcGetGI:
+			idx := pop()
+			push(globals[arg+idx])
+		case bcSetGI:
+			idx := pop()
+			v := pop()
+			globals[arg+idx] = v
+		default:
+			return 0, 0, fmt.Errorf("bench: xlisp reference: bad opcode %d", op)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package cache implements a set-associative data cache with LRU
+// replacement — the "suitable memory system" the paper defers to future
+// work (§1). The ILP simulator can replay a trace's memory accesses
+// through it (in dynamic order, the standard trace-driven warmup) to
+// assign per-access latencies instead of the paper's unit-latency
+// assumption.
+package cache
+
+import "fmt"
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity; LineBytes the block size; Ways
+	// the associativity (1 = direct mapped). All must be powers of two
+	// with SizeBytes >= LineBytes*Ways.
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	// HitLatency and MissLatency are the load-use latencies in cycles.
+	HitLatency  int
+	MissLatency int
+}
+
+// Default16K is a 16 KiB, 4-way, 32-byte-line data cache with a
+// single-cycle hit and a 10-cycle miss — a period-plausible L1.
+func Default16K() Config {
+	return Config{SizeBytes: 16 << 10, LineBytes: 32, Ways: 4, HitLatency: 1, MissLatency: 10}
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint32
+	// tags[set][way]; lru[set][way] holds ages (0 = most recent).
+	tags  [][]uint32
+	valid [][]bool
+	lru   [][]uint8
+
+	accesses, misses uint64
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// New validates the configuration and builds the cache.
+func New(cfg Config) (*Cache, error) {
+	if !isPow2(cfg.SizeBytes) || !isPow2(cfg.LineBytes) || !isPow2(cfg.Ways) {
+		return nil, fmt.Errorf("cache: sizes must be powers of two: %+v", cfg)
+	}
+	if cfg.LineBytes < 4 || cfg.SizeBytes < cfg.LineBytes*cfg.Ways {
+		return nil, fmt.Errorf("cache: inconsistent geometry: %+v", cfg)
+	}
+	if cfg.Ways > 255 {
+		return nil, fmt.Errorf("cache: associativity %d too large", cfg.Ways)
+	}
+	if cfg.HitLatency < 1 || cfg.MissLatency < cfg.HitLatency {
+		return nil, fmt.Errorf("cache: bad latencies: %+v", cfg)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	c := &Cache{cfg: cfg, sets: sets}
+	for 1<<c.lineBits < cfg.LineBytes {
+		c.lineBits++
+	}
+	c.setMask = uint32(sets - 1)
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint8, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]uint32, cfg.Ways)
+		c.valid[s] = make([]bool, cfg.Ways)
+		c.lru[s] = make([]uint8, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew panics on a bad configuration (for constant configs).
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Access touches addr and reports whether it hit; the line is brought in
+// (allocate-on-miss, for loads and stores alike) and promoted to MRU.
+func (c *Cache) Access(addr uint32) bool {
+	c.accesses++
+	line := addr >> c.lineBits
+	set := line & c.setMask
+	tag := line >> 0 // full line id as tag (set bits redundant but harmless)
+
+	ways := c.cfg.Ways
+	tags, valid, lru := c.tags[set], c.valid[set], c.lru[set]
+	for w := 0; w < ways; w++ {
+		if valid[w] && tags[w] == tag {
+			c.promote(lru, w)
+			return true
+		}
+	}
+	c.misses++
+	// Victim: invalid way first, else the oldest.
+	victim := -1
+	for w := 0; w < ways; w++ {
+		if !valid[w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		oldest := uint8(0)
+		for w := 0; w < ways; w++ {
+			if lru[w] >= oldest {
+				oldest = lru[w]
+				victim = w
+			}
+		}
+	}
+	tags[victim] = tag
+	valid[victim] = true
+	c.promote(lru, victim)
+	return false
+}
+
+// promote makes way w the most recently used in its set.
+func (c *Cache) promote(lru []uint8, w int) {
+	old := lru[w]
+	for i := range lru {
+		if lru[i] < old {
+			lru[i]++
+		}
+	}
+	lru[w] = 0
+}
+
+// Latency returns the load-use latency for an access to addr, advancing
+// the cache state.
+func (c *Cache) Latency(addr uint32) int {
+	if c.Access(addr) {
+		return c.cfg.HitLatency
+	}
+	return c.cfg.MissLatency
+}
+
+// Stats reports accesses, misses, and the miss rate.
+func (c *Cache) Stats() (accesses, misses uint64, missRate float64) {
+	accesses, misses = c.accesses, c.misses
+	if accesses > 0 {
+		missRate = float64(misses) / float64(accesses)
+	}
+	return
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for s := range c.tags {
+		for w := range c.tags[s] {
+			c.valid[s][w] = false
+			c.lru[s][w] = 0
+		}
+	}
+	c.accesses, c.misses = 0, 0
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }

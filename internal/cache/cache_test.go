@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBadConfigs(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 100, LineBytes: 32, Ways: 1, HitLatency: 1, MissLatency: 2}, // non-pow2 size
+		{SizeBytes: 1024, LineBytes: 2, Ways: 1, HitLatency: 1, MissLatency: 2}, // line too small
+		{SizeBytes: 64, LineBytes: 32, Ways: 4, HitLatency: 1, MissLatency: 2},  // size < line*ways
+		{SizeBytes: 1024, LineBytes: 32, Ways: 1, HitLatency: 0, MissLatency: 2},
+		{SizeBytes: 1024, LineBytes: 32, Ways: 1, HitLatency: 5, MissLatency: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("accepted bad config %+v", cfg)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 1, MissLatency: 9})
+	if c.Access(0x100) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x11c) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x120) {
+		t.Error("next line hit cold")
+	}
+	if lat := c.Latency(0x100); lat != 1 {
+		t.Errorf("hit latency %d", lat)
+	}
+	if lat := c.Latency(0x4000_0100); lat != 9 {
+		t.Errorf("miss latency %d", lat)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 1 KiB direct mapped, 32 B lines -> 32 sets; addresses 1 KiB apart
+	// conflict.
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Ways: 1, HitLatency: 1, MissLatency: 9})
+	c.Access(0x0)
+	c.Access(0x400) // evicts 0x0
+	if c.Access(0x0) {
+		t.Error("conflicting line survived in direct-mapped cache")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 2-way: A, B fill a set; touching A then inserting C must evict B.
+	c := MustNew(Config{SizeBytes: 64, LineBytes: 32, Ways: 2, HitLatency: 1, MissLatency: 9})
+	// One set only (64/32/2 = 1).
+	a, b, x := uint32(0), uint32(32), uint32(64)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // A is MRU
+	c.Access(x) // evicts B
+	if !c.Access(a) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(b) {
+		t.Error("B survived despite being LRU victim")
+	}
+}
+
+func TestFullyAssociativeRetainsWorkingSet(t *testing.T) {
+	// 8 lines fully associative: a working set of 8 lines all hit after
+	// warmup regardless of addresses.
+	c := MustNew(Config{SizeBytes: 256, LineBytes: 32, Ways: 8, HitLatency: 1, MissLatency: 9})
+	addrs := []uint32{0, 4096, 8192, 12288, 77, 5000, 9000, 70000}
+	for _, a := range addrs {
+		c.Access(a)
+	}
+	for _, a := range addrs {
+		if !c.Access(a) {
+			t.Errorf("working-set line %#x evicted", a)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 1024, LineBytes: 32, Ways: 2, HitLatency: 1, MissLatency: 9})
+	c.Access(0)
+	c.Access(0)
+	c.Access(0)
+	c.Access(4096)
+	acc, miss, rate := c.Stats()
+	if acc != 4 || miss != 2 || rate != 0.5 {
+		t.Errorf("stats = %d %d %v", acc, miss, rate)
+	}
+	c.Reset()
+	if acc, miss, _ := c.Stats(); acc != 0 || miss != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if c.Access(0) {
+		t.Error("reset did not clear contents")
+	}
+}
+
+func TestSequentialStreamMissRate(t *testing.T) {
+	// A sequential byte stream misses once per line.
+	c := MustNew(Default16K())
+	for a := uint32(0); a < 32<<10; a += 4 {
+		c.Access(a)
+	}
+	_, misses, _ := c.Stats()
+	want := uint64(32 << 10 / 32)
+	if misses != want {
+		t.Errorf("sequential stream misses = %d, want %d", misses, want)
+	}
+}
+
+func TestRandomAccessesNoPanics(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 2048, LineBytes: 64, Ways: 4, HitLatency: 2, MissLatency: 20})
+	rng := rand.New(rand.NewSource(1))
+	hits := 0
+	for i := 0; i < 100000; i++ {
+		if c.Access(uint32(rng.Intn(1 << 14))) {
+			hits++
+		}
+	}
+	acc, misses, rate := c.Stats()
+	if acc != 100000 || hits+int(misses) != 100000 {
+		t.Errorf("bookkeeping: acc=%d hits=%d misses=%d", acc, hits, misses)
+	}
+	// 2 KiB cache over an 16 KiB footprint: miss rate far from 0 and 1.
+	if rate < 0.05 || rate > 0.95 {
+		t.Errorf("implausible miss rate %v", rate)
+	}
+}

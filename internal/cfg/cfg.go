@@ -1,0 +1,428 @@
+// Package cfg builds the static control-flow graph of a program and
+// computes postdominators and control dependence (Ferrante, Ottenstein &
+// Warren, TOPLAS 1987 — the paper's reference [2] for minimal control
+// dependencies). The reduced-control-dependency (CD) ILP models use the
+// immediate postdominator of each branch to bound its squash region; the
+// Levo model uses the full (transitive, "total") control-dependence
+// relation to decide which instances a misprediction squashes.
+//
+// The graph is instruction-granular: each static instruction is a node,
+// plus a single virtual exit node. Calls (JAL) are treated as falling
+// through to the next instruction (the intraprocedural convention:
+// calls are assumed to return); indirect jumps (JR) conservatively edge
+// to the virtual exit, since their targets are unknown statically.
+package cfg
+
+import (
+	"deesim/internal/isa"
+)
+
+// Graph is the instruction-level CFG with postdominator and
+// control-dependence results.
+type Graph struct {
+	prog *isa.Program
+	n    int // number of real instructions; node n is the virtual exit
+
+	succs [][]int32
+	preds [][]int32
+
+	// ipdom[v] is the immediate postdominator node of v (possibly the
+	// virtual exit n); ipdom[n] == n. Unreachable-from-exit nodes get n.
+	ipdom []int32
+
+	// cd[i] lists the static conditional-branch instruction indices that
+	// instruction i is directly control dependent on.
+	cd [][]int32
+}
+
+// Build constructs the CFG and computes postdominators and control
+// dependence.
+func Build(p *isa.Program) *Graph {
+	n := len(p.Code)
+	g := &Graph{prog: p, n: n}
+	g.succs = make([][]int32, n+1)
+	g.preds = make([][]int32, n+1)
+	exit := int32(n)
+
+	addEdge := func(from, to int32) {
+		g.succs[from] = append(g.succs[from], to)
+		g.preds[to] = append(g.preds[to], from)
+	}
+
+	for i, in := range p.Code {
+		v := int32(i)
+		switch in.Op {
+		case isa.HALT:
+			addEdge(v, exit)
+		case isa.J:
+			addEdge(v, in.Imm)
+		case isa.JAL:
+			// Intraprocedural: assume the call returns.
+			if i+1 < n {
+				addEdge(v, int32(i+1))
+			} else {
+				addEdge(v, exit)
+			}
+		case isa.JR:
+			// Unknown target: conservatively exits the analyzable region.
+			addEdge(v, exit)
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLEZ, isa.BGTZ:
+			if i+1 < n {
+				addEdge(v, int32(i+1))
+			} else {
+				addEdge(v, exit)
+			}
+			if in.Imm != int32(i+1) { // avoid duplicate edge for degenerate branch
+				addEdge(v, in.Imm)
+			}
+		default:
+			if i+1 < n {
+				addEdge(v, int32(i+1))
+			} else {
+				addEdge(v, exit)
+			}
+		}
+	}
+
+	g.computePostdominators()
+	g.computeControlDependence()
+	return g
+}
+
+// NumInsts returns the number of real instructions (the virtual exit node
+// is not counted).
+func (g *Graph) NumInsts() int { return g.n }
+
+// Succs returns the successor nodes of instruction v. The virtual exit is
+// node NumInsts().
+func (g *Graph) Succs(v int32) []int32 { return g.succs[v] }
+
+// IPdom returns the immediate postdominator of instruction v as a static
+// instruction index, or -1 when it is the virtual exit (no real
+// instruction postdominates v).
+func (g *Graph) IPdom(v int32) int32 {
+	p := g.ipdom[v]
+	if p >= int32(g.n) {
+		return -1
+	}
+	return p
+}
+
+// ControlDeps returns the static branch indices that instruction i is
+// directly control dependent on. The returned slice is shared; callers
+// must not modify it.
+func (g *Graph) ControlDeps(i int32) []int32 { return g.cd[i] }
+
+// computePostdominators runs the Cooper–Harvey–Kennedy dominance
+// algorithm on the reverse CFG rooted at the virtual exit.
+func (g *Graph) computePostdominators() {
+	exit := g.n
+	total := g.n + 1
+
+	// Reverse post-order of the *reverse* graph from exit.
+	order := make([]int32, 0, total)
+	mark := make([]bool, total)
+	var stack [][2]int32 // node, next-pred-index — iterative DFS
+	stack = append(stack, [2]int32{int32(exit), 0})
+	mark[exit] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v, i := top[0], top[1]
+		if int(i) < len(g.preds[v]) {
+			top[1]++
+			w := g.preds[v][i]
+			if !mark[w] {
+				mark[w] = true
+				stack = append(stack, [2]int32{w, 0})
+			}
+			continue
+		}
+		order = append(order, v)
+		stack = stack[:len(stack)-1]
+	}
+	// order is post-order; reverse it for RPO.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
+	rpoNum := make([]int32, total)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range order {
+		rpoNum[v] = int32(i)
+	}
+
+	const undef = int32(-1)
+	ipdom := make([]int32, total)
+	for i := range ipdom {
+		ipdom[i] = undef
+	}
+	ipdom[exit] = int32(exit)
+
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipdom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, v := range order {
+			if int(v) == exit {
+				continue
+			}
+			// "Predecessors" in the reverse graph are successors in g.
+			var newIP int32 = undef
+			for _, s := range g.succs[v] {
+				if rpoNum[s] < 0 {
+					continue // successor not reachable to exit
+				}
+				if ipdom[s] == undef && int(s) != exit {
+					continue
+				}
+				if newIP == undef {
+					newIP = s
+				} else {
+					newIP = intersect(newIP, s)
+				}
+			}
+			if newIP != undef && ipdom[v] != newIP {
+				ipdom[v] = newIP
+				changed = true
+			}
+		}
+	}
+
+	// Nodes never reaching exit (e.g. infinite loops with no HALT path):
+	// treat as postdominated by exit only.
+	for v := 0; v < g.n; v++ {
+		if ipdom[v] == undef {
+			ipdom[v] = int32(exit)
+		}
+	}
+	g.ipdom = ipdom
+}
+
+// computeControlDependence derives the direct control-dependence sets:
+// instruction i is control dependent on branch b iff b has a successor s
+// such that i postdominates s (or i == s) but i does not strictly
+// postdominate b. Computed by walking the postdominator tree from each
+// successor of each branch up to (exclusive) ipdom(b).
+func (g *Graph) computeControlDependence() {
+	g.cd = make([][]int32, g.n)
+	for b := 0; b < g.n; b++ {
+		if !isa.IsCondBranch(g.prog.Code[b].Op) {
+			continue
+		}
+		stop := g.ipdom[b]
+		for _, s := range g.succs[b] {
+			v := s
+			for v != stop && int(v) != g.n {
+				// Guard against self-loop branches (branch to itself).
+				g.cd[v] = appendUnique(g.cd[v], int32(b))
+				if g.ipdom[v] == v {
+					break
+				}
+				v = g.ipdom[v]
+			}
+		}
+	}
+}
+
+func appendUnique(s []int32, v int32) []int32 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Preds returns the predecessor nodes of instruction v.
+func (g *Graph) Preds(v int32) []int32 { return g.preds[v] }
+
+// Dominators computes forward immediate dominators from the program
+// entry (instruction 0) with the same Cooper–Harvey–Kennedy algorithm
+// used for postdominators. idom[0] == 0; unreachable nodes get -1. The
+// loop-unrolling filter uses dominance to recognize natural loops
+// (a back edge b→t is a loop iff t dominates b).
+func (g *Graph) Dominators() []int32 {
+	n := g.n
+	// RPO from the entry over forward edges.
+	order := make([]int32, 0, n)
+	mark := make([]bool, n+1)
+	var stack [][2]int32
+	stack = append(stack, [2]int32{0, 0})
+	mark[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v, i := top[0], top[1]
+		succs := g.succs[v]
+		if int(i) < len(succs) {
+			top[1]++
+			w := succs[i]
+			if int(w) < n && !mark[w] {
+				mark[w] = true
+				stack = append(stack, [2]int32{w, 0})
+			}
+			continue
+		}
+		order = append(order, v)
+		stack = stack[:len(stack)-1]
+	}
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int32, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, v := range order {
+		rpoNum[v] = int32(i)
+	}
+
+	const undef = int32(-1)
+	idom := make([]int32, n)
+	for i := range idom {
+		idom[i] = undef
+	}
+	idom[0] = 0
+	intersect := func(a, b int32) int32 {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, v := range order {
+			if v == 0 {
+				continue
+			}
+			var newIdom int32 = undef
+			for _, p := range g.preds[v] {
+				if int(p) >= n || rpoNum[p] < 0 || idom[p] == undef {
+					continue
+				}
+				if newIdom == undef {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != undef && idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b given an idom array from
+// Dominators (a node dominates itself).
+func Dominates(idom []int32, a, b int32) bool {
+	if idom[b] == -1 && b != 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 || idom[b] == -1 {
+			return false
+		}
+		next := idom[b]
+		if next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// WriteSet over-approximates the architectural state a code region may
+// write: a register bitmask and a may-store-to-memory flag.
+type WriteSet struct {
+	Regs uint32
+	Mem  bool
+}
+
+// Contains reports whether the set may write register r.
+func (w WriteSet) Contains(r isa.Reg) bool { return w.Regs&(1<<uint(r)) != 0 }
+
+// everything is the top element: used when the region is unbounded
+// (calls, indirect jumps) or analysis gives up.
+var everything = WriteSet{Regs: ^uint32(0), Mem: true}
+
+// SideWrites returns, for the conditional branch at static index b, the
+// write sets of its two control-dependent side regions: the code
+// reachable from the taken successor (respectively the fall-through
+// successor) without passing the branch's immediate postdominator. This
+// is the paper's "total control dependence" ingredient: an instruction
+// reading state a mispredicted branch's wrong side may have written
+// cannot use its speculative operands until the branch resolves,
+// because the choice of producer instance depends on the branch.
+//
+// Calls (JAL) and indirect jumps (JR) inside a region, or an unknown
+// postdominator, widen the region's set to everything.
+func (g *Graph) SideWrites(b int32) (taken, fall WriteSet) {
+	in := g.prog.Code[b]
+	if !isa.IsCondBranch(in.Op) {
+		return WriteSet{}, WriteSet{}
+	}
+	stop := g.ipdom[b]
+	takenTarget := in.Imm
+	fallTarget := int32(b + 1)
+	if int(fallTarget) >= g.n {
+		fallTarget = int32(g.n)
+	}
+	return g.regionWrites(takenTarget, stop), g.regionWrites(fallTarget, stop)
+}
+
+// regionWrites computes the write set of the region reachable from start
+// without expanding past stop (exclusive).
+func (g *Graph) regionWrites(start, stop int32) WriteSet {
+	if int(start) >= g.n {
+		return WriteSet{}
+	}
+	if stop >= int32(g.n) {
+		// Region runs to the virtual exit: unbounded for our purposes.
+		return everything
+	}
+	var ws WriteSet
+	seen := make(map[int32]bool)
+	queue := []int32{start}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if v == stop || int(v) >= g.n || seen[v] {
+			continue
+		}
+		seen[v] = true
+		in := g.prog.Code[v]
+		switch in.Op {
+		case isa.JAL, isa.JR:
+			return everything
+		}
+		if dst, ok := in.Dst(); ok && dst != isa.Zero {
+			ws.Regs |= 1 << uint(dst)
+		}
+		if isa.ClassOf(in.Op) == isa.ClassStore {
+			ws.Mem = true
+		}
+		queue = append(queue, g.succs[v]...)
+	}
+	return ws
+}

@@ -1,0 +1,439 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/bench"
+	"deesim/internal/isa"
+)
+
+// brutePdomSets computes full postdominator sets by iterative dataflow:
+// pdom(v) = {v} ∪ ⋂_{s ∈ succ(v)} pdom(s), the textbook fixpoint.
+func brutePdomSets(g *Graph) [][]bool {
+	n := g.NumInsts()
+	exit := n
+	pd := make([][]bool, n+1)
+	for v := 0; v <= n; v++ {
+		pd[v] = make([]bool, n+1)
+		if v == exit {
+			pd[v][exit] = true
+		} else {
+			for w := 0; w <= n; w++ {
+				pd[v][w] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			nw := make([]bool, n+1)
+			first := true
+			for _, s := range g.Succs(int32(v)) {
+				if first {
+					copy(nw, pd[s])
+					first = false
+				} else {
+					for w := range nw {
+						nw[w] = nw[w] && pd[s][w]
+					}
+				}
+			}
+			nw[v] = true
+			for w := range nw {
+				if nw[w] != pd[v][w] {
+					changed = true
+				}
+			}
+			pd[v] = nw
+		}
+	}
+	return pd
+}
+
+// bruteIPdom extracts the immediate postdominator from full sets: the
+// strict postdominator with the largest pdom set (nearest in the chain).
+func bruteIPdom(pd [][]bool, v, n int) int {
+	best, bestCount := n, -1
+	for w := 0; w <= n; w++ {
+		if w == v || !pd[v][w] {
+			continue
+		}
+		cnt := 0
+		for x := 0; x <= n; x++ {
+			if pd[w][x] {
+				cnt++
+			}
+		}
+		if cnt > bestCount {
+			bestCount = cnt
+			best = w
+		}
+	}
+	return best
+}
+
+func checkAgainstBrute(t *testing.T, name string, p *isa.Program) {
+	t.Helper()
+	g := Build(p)
+	n := g.NumInsts()
+	pd := brutePdomSets(g)
+	// Nodes with no path to exit have no meaningful postdominators
+	// (the brute fixpoint leaves them at the full set); skip them.
+	canReach := make([]bool, n+1)
+	canReach[n] = true
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			if canReach[v] {
+				continue
+			}
+			for _, s := range g.Succs(int32(v)) {
+				if canReach[s] {
+					canReach[v] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !canReach[v] {
+			continue
+		}
+		want := bruteIPdom(pd, v, n)
+		got := int(g.IPdom(int32(v)))
+		if got < 0 {
+			got = n
+		}
+		if got != want {
+			t.Errorf("%s: ipdom(%d) = %d, want %d", name, v, got, want)
+		}
+	}
+}
+
+func TestIPdomMatchesBruteForceOnWorkloads(t *testing.T) {
+	for _, w := range bench.All() {
+		p, err := w.Inputs[0].Build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		checkAgainstBrute(t, w.Name, p)
+	}
+}
+
+func TestIPdomMatchesBruteForceOnRandomCFGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.Intn(40)
+		code := make([]isa.Inst, n)
+		for i := 0; i < n-1; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				code[i] = isa.Inst{Op: isa.BEQ, Imm: int32(rng.Intn(n))}
+			case 1:
+				code[i] = isa.Inst{Op: isa.J, Imm: int32(rng.Intn(n))}
+			default:
+				code[i] = isa.Inst{Op: isa.ADD, Rd: isa.T0, Rs: isa.T1, Rt: isa.T2}
+			}
+		}
+		code[n-1] = isa.Inst{Op: isa.HALT}
+		p := &isa.Program{Code: code}
+		checkAgainstBrute(t, "random", p)
+	}
+}
+
+func TestControlDependenceDiamond(t *testing.T) {
+	// 0: beq -> 3 ; 1,2: then-side ; 3: join ; 4: halt
+	p, err := asm.Assemble(`
+    beq $t0, $t1, join
+    addi $t2, $t2, 1
+    addi $t3, $t3, 1
+join:
+    addi $t4, $t4, 1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	if ip := g.IPdom(0); ip != 3 {
+		t.Errorf("ipdom(branch) = %d, want 3 (the join)", ip)
+	}
+	for _, v := range []int32{1, 2} {
+		deps := g.ControlDeps(v)
+		if len(deps) != 1 || deps[0] != 0 {
+			t.Errorf("ControlDeps(%d) = %v, want [0]", v, deps)
+		}
+	}
+	if deps := g.ControlDeps(3); len(deps) != 0 {
+		t.Errorf("join is control dependent: %v", deps)
+	}
+	if deps := g.ControlDeps(4); len(deps) != 0 {
+		t.Errorf("halt is control dependent: %v", deps)
+	}
+}
+
+func TestControlDependenceLoop(t *testing.T) {
+	p, err := asm.Assemble(`
+    li $t0, 10
+loop:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	// The loop body (1) and the loop branch itself (2) are control
+	// dependent on the loop branch; the HALT (3) is not.
+	found := false
+	for _, d := range g.ControlDeps(1) {
+		if d == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("loop body not control dependent on loop branch: %v", g.ControlDeps(1))
+	}
+	if len(g.ControlDeps(3)) != 0 {
+		t.Errorf("post-loop code control dependent: %v", g.ControlDeps(3))
+	}
+	// ipdom of the loop branch is the fall-through HALT.
+	if ip := g.IPdom(2); ip != 3 {
+		t.Errorf("ipdom(loop branch) = %d, want 3", ip)
+	}
+}
+
+func TestIPdomWithJR(t *testing.T) {
+	// A JR makes the region after it unanalyzable: the branch before it
+	// gets the virtual exit.
+	p, err := asm.Assemble(`
+    beq $t0, $t1, out
+    jr  $ra
+out:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	if ip := g.IPdom(0); ip != -1 {
+		t.Errorf("ipdom(branch before jr) = %d, want -1 (virtual exit)", ip)
+	}
+}
+
+func TestSideWritesDiamond(t *testing.T) {
+	p, err := asm.Assemble(`
+    beq $t0, $t1, other
+    addi $t2, $t2, 1
+    b join
+other:
+    addi $t3, $t3, 1
+    sw   $t4, 0($t5)
+join:
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	taken, fall := g.SideWrites(0)
+	if !taken.Contains(isa.T3) || taken.Contains(isa.T2) {
+		t.Errorf("taken side writes = %#x", taken.Regs)
+	}
+	if !taken.Mem {
+		t.Error("taken side store not detected")
+	}
+	if !fall.Contains(isa.T2) || fall.Contains(isa.T3) {
+		t.Errorf("fall side writes = %#x", fall.Regs)
+	}
+	if fall.Mem {
+		t.Error("fall side spuriously writes memory")
+	}
+}
+
+func TestSideWritesLoop(t *testing.T) {
+	p, err := asm.Assemble(`
+loop:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    addi $t1, $t1, 1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	taken, fall := g.SideWrites(1)
+	// Taken side re-enters the loop: writes t0 (and the branch region).
+	if !taken.Contains(isa.T0) {
+		t.Errorf("loop taken side misses t0: %#x", taken.Regs)
+	}
+	// Fall side is the region up to ipdom (the addi at 2 is NOT in the
+	// region if ipdom is 2 itself).
+	if g.IPdom(1) == 2 && fall.Regs != 0 {
+		t.Errorf("fall side should be empty, got %#x", fall.Regs)
+	}
+}
+
+func TestSideWritesCallWidens(t *testing.T) {
+	p, err := asm.Assemble(`
+    beq $t0, $t1, fin
+    jal helper
+fin:
+    halt
+helper:
+    jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(p)
+	_, fall := g.SideWrites(0)
+	if fall.Regs != ^uint32(0) || !fall.Mem {
+		t.Errorf("call inside region must widen to everything, got %#x mem=%v", fall.Regs, fall.Mem)
+	}
+}
+
+// --- forward dominators (used by the unrolling filter) ---
+
+// bruteDomSets: dom(v) = {v} ∪ ⋂ dom(preds), textbook fixpoint from the
+// entry.
+func bruteDomSets(g *Graph) [][]bool {
+	n := g.NumInsts()
+	dom := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		dom[v] = make([]bool, n)
+		if v == 0 {
+			dom[v][0] = true
+		} else {
+			for w := 0; w < n; w++ {
+				dom[v][w] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 1; v < n; v++ {
+			nw := make([]bool, n)
+			first := true
+			for _, p := range g.Preds(int32(v)) {
+				if int(p) >= n {
+					continue
+				}
+				if first {
+					copy(nw, dom[p])
+					first = false
+				} else {
+					for w := range nw {
+						nw[w] = nw[w] && dom[p][w]
+					}
+				}
+			}
+			if first {
+				// No real predecessors: unreachable; leave full set.
+				continue
+			}
+			nw[v] = true
+			for w := range nw {
+				if nw[w] != dom[v][w] {
+					changed = true
+				}
+			}
+			dom[v] = nw
+		}
+	}
+	return dom
+}
+
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	progs := []*isa.Program{}
+	for _, w := range bench.All() {
+		p, err := w.Inputs[0].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(30)
+		code := make([]isa.Inst, n)
+		for i := 0; i < n-1; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				code[i] = isa.Inst{Op: isa.BNE, Imm: int32(rng.Intn(n))}
+			case 1:
+				code[i] = isa.Inst{Op: isa.J, Imm: int32(rng.Intn(n))}
+			default:
+				code[i] = isa.Inst{Op: isa.ADDI, Rd: isa.T0, Rs: isa.T0, Imm: 1}
+			}
+		}
+		code[n-1] = isa.Inst{Op: isa.HALT}
+		progs = append(progs, &isa.Program{Code: code})
+	}
+	for pi, p := range progs {
+		g := Build(p)
+		idom := g.Dominators()
+		dom := bruteDomSets(g)
+		// Reachability from entry over real edges.
+		reach := make([]bool, g.NumInsts())
+		reach[0] = true
+		for changed := true; changed; {
+			changed = false
+			for v := 0; v < g.NumInsts(); v++ {
+				if !reach[v] {
+					continue
+				}
+				for _, s := range g.Succs(int32(v)) {
+					if int(s) < g.NumInsts() && !reach[s] {
+						reach[s] = true
+						changed = true
+					}
+				}
+			}
+		}
+		for v := 1; v < g.NumInsts(); v++ {
+			if !reach[v] {
+				if idom[v] != -1 {
+					t.Errorf("prog %d: unreachable node %d has idom %d", pi, v, idom[v])
+				}
+				continue
+			}
+			// idom must be the nearest strict dominator: a strict
+			// dominator of v dominated by every other strict dominator.
+			want := -1
+			bestCount := -1
+			for w := 0; w < g.NumInsts(); w++ {
+				if w == v || !dom[v][w] || !reach[w] {
+					continue
+				}
+				cnt := 0
+				for x := 0; x < g.NumInsts(); x++ {
+					if dom[w][x] {
+						cnt++
+					}
+				}
+				if cnt > bestCount {
+					bestCount = cnt
+					want = w
+				}
+			}
+			if int(idom[v]) != want {
+				t.Errorf("prog %d: idom(%d) = %d, want %d", pi, v, idom[v], want)
+			}
+			// Dominates must agree with the brute sets.
+			for w := 0; w < g.NumInsts(); w += 3 {
+				if !reach[w] {
+					continue
+				}
+				if got := Dominates(idom, int32(w), int32(v)); got != dom[v][w] {
+					t.Errorf("prog %d: Dominates(%d,%d) = %v, brute %v", pi, w, v, got, dom[v][w])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package cpu implements the functional (architectural) simulator for the
+// reproduction ISA. It executes a Program sequentially, one instruction
+// per step, and is the golden reference against which the timing models
+// (internal/ilpsim, internal/levo) are validated. It can also record the
+// dynamic instruction trace consumed by the ILP limit simulator.
+package cpu
+
+import (
+	"fmt"
+
+	"deesim/internal/isa"
+)
+
+// Memory is a sparse byte-addressed memory built from fixed-size pages, so
+// programs can use widely separated data and stack regions without
+// allocating the span between them.
+type Memory struct {
+	pages map[uint32][]byte
+}
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// NewMemory returns an empty memory; all bytes read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32][]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) []byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = make([]byte, pageSize)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// LoadWord reads a little-endian 32-bit word (no alignment requirement at
+// the memory layer; the CPU enforces alignment).
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	return uint32(m.LoadByte(addr)) |
+		uint32(m.LoadByte(addr+1))<<8 |
+		uint32(m.LoadByte(addr+2))<<16 |
+		uint32(m.LoadByte(addr+3))<<24
+}
+
+// StoreWord writes a little-endian 32-bit word.
+func (m *Memory) StoreWord(addr uint32, v uint32) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	m.StoreByte(addr+2, byte(v>>16))
+	m.StoreByte(addr+3, byte(v>>24))
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.StoreByte(addr+uint32(i), v)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint32(i))
+	}
+	return out
+}
+
+// StackBase is the initial stack pointer. The stack grows down.
+const StackBase = 0x8000_0000
+
+// CPU executes a program architecturally.
+type CPU struct {
+	Prog *isa.Program
+	Regs [isa.NumRegs]uint32
+	Mem  *Memory
+	PC   int // instruction index
+
+	halted bool
+	steps  uint64
+
+	// Hook, if non-nil, observes every retired instruction. It receives
+	// the instruction index, the instruction, for control transfers
+	// whether it was taken and its actual target (the next PC), the
+	// effective address for memory operations, and the instruction's
+	// result value (the register written, or zero for instructions that
+	// write none).
+	Hook func(idx int, in isa.Inst, taken bool, next int, memAddr uint32, result uint32)
+}
+
+// ErrLimit is returned by Run when the step limit is exhausted before HALT.
+type ErrLimit struct{ Steps uint64 }
+
+func (e *ErrLimit) Error() string {
+	return fmt.Sprintf("cpu: step limit %d reached before halt", e.Steps)
+}
+
+// New prepares a CPU with the program's data image loaded and the stack
+// pointer initialized.
+func New(p *isa.Program) *CPU {
+	c := &CPU{Prog: p, Mem: NewMemory()}
+	c.Mem.WriteBytes(p.DataBase, p.Data)
+	c.Regs[isa.SP] = StackBase
+	return c
+}
+
+// Halted reports whether the program has executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Steps reports the number of retired instructions.
+func (c *CPU) Steps() uint64 { return c.steps }
+
+// Step retires one instruction. It is an error to step a halted CPU or to
+// run off the end of the program.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("cpu: step after halt")
+	}
+	if c.PC < 0 || c.PC >= len(c.Prog.Code) {
+		return fmt.Errorf("cpu: PC %d outside program (len %d)", c.PC, len(c.Prog.Code))
+	}
+	idx := c.PC
+	in := c.Prog.Code[idx]
+	next := idx + 1
+	taken := false
+	var memAddr uint32
+	var result uint32
+
+	rs := c.Regs[in.Rs]
+	rt := c.Regs[in.Rt]
+	set := func(r isa.Reg, v uint32) {
+		result = v
+		if r != isa.Zero {
+			c.Regs[r] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.NOR, isa.SLT,
+		isa.SLTU, isa.SLLV, isa.SRLV, isa.SRAV, isa.MUL, isa.DIV, isa.REM,
+		isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI, isa.SLTIU,
+		isa.SLL, isa.SRL, isa.SRA, isa.LUI:
+		v, _ := Eval(in, rs, rt)
+		set(in.Rd, v)
+
+	case isa.LW:
+		memAddr = rs + uint32(in.Imm)
+		if memAddr%4 != 0 {
+			return fmt.Errorf("cpu: unaligned LW at inst %d addr %#x", idx, memAddr)
+		}
+		set(in.Rd, c.Mem.LoadWord(memAddr))
+	case isa.LB:
+		memAddr = rs + uint32(in.Imm)
+		set(in.Rd, uint32(int32(int8(c.Mem.LoadByte(memAddr)))))
+	case isa.LBU:
+		memAddr = rs + uint32(in.Imm)
+		set(in.Rd, uint32(c.Mem.LoadByte(memAddr)))
+	case isa.SW:
+		memAddr = rs + uint32(in.Imm)
+		if memAddr%4 != 0 {
+			return fmt.Errorf("cpu: unaligned SW at inst %d addr %#x", idx, memAddr)
+		}
+		c.Mem.StoreWord(memAddr, rt)
+	case isa.SB:
+		memAddr = rs + uint32(in.Imm)
+		c.Mem.StoreByte(memAddr, byte(rt))
+
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLEZ, isa.BGTZ:
+		_, taken = Eval(in, rs, rt)
+
+	case isa.J:
+		taken = true
+		next = int(in.Imm)
+	case isa.JAL:
+		taken = true
+		set(in.Rd, uint32(idx+1))
+		next = int(in.Imm)
+	case isa.JR:
+		taken = true
+		next = int(rs)
+
+	case isa.HALT:
+		c.halted = true
+	default:
+		return fmt.Errorf("cpu: unimplemented op %v at inst %d", in.Op, idx)
+	}
+
+	if isa.IsCondBranch(in.Op) && taken {
+		next = int(in.Imm)
+	}
+
+	c.steps++
+	if c.Hook != nil {
+		c.Hook(idx, in, taken, next, memAddr, result)
+	}
+	c.PC = next
+	return nil
+}
+
+// Run executes until HALT or until limit instructions have retired
+// (limit 0 means no limit). Reaching the limit returns *ErrLimit; the
+// machine state remains valid and inspectable.
+func (c *CPU) Run(limit uint64) error {
+	for !c.halted {
+		if limit > 0 && c.steps >= limit {
+			return &ErrLimit{Steps: limit}
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func boolTo(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

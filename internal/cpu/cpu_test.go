@@ -1,0 +1,282 @@
+package cpu
+
+import (
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+func runSrc(t *testing.T, src string) *CPU {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestALUOps(t *testing.T) {
+	c := runSrc(t, `
+    li   $t0, 6
+    li   $t1, -4
+    add  $s0, $t0, $t1      # 2
+    sub  $s1, $t0, $t1      # 10
+    and  $s2, $t0, $t1      # 6 & -4 = 4
+    or   $s3, $t0, $t1      # -2
+    xor  $s4, $t0, $t1      # -6
+    mul  $s5, $t0, $t1      # -24
+    div  $s6, $t1, $t0      # -4/6 = 0
+    rem  $s7, $t0, $t1      # 6 % -4 = 2
+    halt
+`)
+	want := map[isa.Reg]uint32{
+		isa.S0: 2, isa.S1: 10, isa.S2: 4, isa.S3: ^uint32(1),
+		isa.S4: ^uint32(5), isa.S5: ^uint32(23), isa.S6: 0, isa.S7: 2,
+	}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("%v = %#x, want %#x", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestShiftAndCompare(t *testing.T) {
+	c := runSrc(t, `
+    li   $t0, -8
+    sra  $s0, $t0, 1        # -4
+    srl  $s1, $t0, 28       # 15
+    sll  $s2, $t0, 1        # -16
+    slt  $s3, $t0, $zero    # 1
+    sltu $s4, $t0, $zero    # 0 (big unsigned)
+    slti $s5, $t0, -7       # 1
+    sltiu $s6, $t0, 3       # 0
+    li   $t1, 3
+    sllv $s7, $t1, $t1      # 24
+    halt
+`)
+	want := map[isa.Reg]uint32{
+		isa.S0: ^uint32(3), isa.S1: 15, isa.S2: ^uint32(15),
+		isa.S3: 1, isa.S4: 0, isa.S5: 1, isa.S6: 0, isa.S7: 24,
+	}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("%v = %#x, want %#x", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestDivByZeroYieldsZero(t *testing.T) {
+	c := runSrc(t, `
+    li  $t0, 17
+    div $s0, $t0, $zero
+    rem $s1, $t0, $zero
+    halt
+`)
+	if c.Regs[isa.S0] != 0 || c.Regs[isa.S1] != 0 {
+		t.Errorf("div/rem by zero: %d %d, want 0 0", c.Regs[isa.S0], c.Regs[isa.S1])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := runSrc(t, `
+    la   $t0, buf
+    li   $t1, 0x12345678
+    sw   $t1, 0($t0)
+    lw   $s0, 0($t0)
+    lb   $s1, 0($t0)        # 0x78
+    lb   $s2, 3($t0)        # 0x12
+    lbu  $s3, 1($t0)        # 0x56
+    li   $t2, -1
+    sb   $t2, 4($t0)
+    lb   $s4, 4($t0)        # -1 sign extended
+    lbu  $s5, 4($t0)        # 255
+    halt
+.data
+buf: .space 16
+`)
+	want := map[isa.Reg]uint32{
+		isa.S0: 0x12345678, isa.S1: 0x78, isa.S2: 0x12, isa.S3: 0x56,
+		isa.S4: ^uint32(0), isa.S5: 255,
+	}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("%v = %#x, want %#x", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestUnalignedAccessFaults(t *testing.T) {
+	p, err := asm.Assemble(`
+    la $t0, buf
+    lw $s0, 1($t0)
+    halt
+.data
+buf: .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	if err := c.Run(100); err == nil {
+		t.Error("unaligned load did not fault")
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	c := runSrc(t, `
+    li  $t0, 0              # i
+    li  $t1, 0              # sum
+loop:
+    add $t1, $t1, $t0
+    addi $t0, $t0, 1
+    li  $t2, 10
+    blt $t0, $t2, loop
+    move $s0, $t1           # 45
+    halt
+`)
+	if c.Regs[isa.S0] != 45 {
+		t.Errorf("loop sum = %d, want 45", c.Regs[isa.S0])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	c := runSrc(t, `
+    li  $a0, 7
+    jal double
+    move $s0, $v0
+    li  $a0, 21
+    jal double
+    add $s0, $s0, $v0       # 14 + 42 = 56
+    halt
+double:
+    add $v0, $a0, $a0
+    jr  $ra
+`)
+	if c.Regs[isa.S0] != 56 {
+		t.Errorf("call result = %d, want 56", c.Regs[isa.S0])
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	// factorial(6) with a real stack.
+	c := runSrc(t, `
+    li  $a0, 6
+    jal fact
+    move $s0, $v0
+    halt
+fact:
+    li   $t0, 2
+    bge  $a0, $t0, rec
+    li   $v0, 1
+    jr   $ra
+rec:
+    addi $sp, $sp, -8
+    sw   $ra, 0($sp)
+    sw   $a0, 4($sp)
+    addi $a0, $a0, -1
+    jal  fact
+    lw   $a0, 4($sp)
+    lw   $ra, 0($sp)
+    addi $sp, $sp, 8
+    mul  $v0, $v0, $a0
+    jr   $ra
+`)
+	if c.Regs[isa.S0] != 720 {
+		t.Errorf("fact(6) = %d, want 720", c.Regs[isa.S0])
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	c := runSrc(t, `
+    li  $t0, 5
+    add $zero, $t0, $t0
+    move $s0, $zero
+    halt
+`)
+	if c.Regs[isa.S0] != 0 {
+		t.Errorf("$zero = %d after write", c.Regs[isa.S0])
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p, err := asm.Assemble("spin: b spin\n    halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	err = c.Run(1000)
+	if _, ok := err.(*ErrLimit); !ok {
+		t.Errorf("infinite loop returned %v, want ErrLimit", err)
+	}
+	if c.Steps() != 1000 {
+		t.Errorf("steps = %d, want 1000", c.Steps())
+	}
+}
+
+func TestRunOffEndFaults(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{{Op: isa.NOP}}}
+	c := New(p)
+	c.Step() // the NOP
+	if err := c.Step(); err == nil {
+		t.Error("running off the program end did not fault")
+	}
+}
+
+func TestHookObservesEverything(t *testing.T) {
+	p, err := asm.Assemble(`
+    li  $t0, 3
+l:  addi $t0, $t0, -1
+    bgtz $t0, l
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(p)
+	var events int
+	var takens int
+	c.Hook = func(idx int, in isa.Inst, taken bool, next int, memAddr uint32, result uint32) {
+		events++
+		if in.Op == isa.BGTZ && taken {
+			takens++
+		}
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(events) != c.Steps() {
+		t.Errorf("hook saw %d events, steps %d", events, c.Steps())
+	}
+	if takens != 2 {
+		t.Errorf("taken branches = %d, want 2", takens)
+	}
+}
+
+func TestMemorySparse(t *testing.T) {
+	m := NewMemory()
+	m.StoreWord(0, 0xdeadbeef)
+	m.StoreWord(0x7fff_0000, 42)
+	if m.LoadWord(0) != 0xdeadbeef || m.LoadWord(0x7fff_0000) != 42 {
+		t.Error("sparse memory readback failed")
+	}
+	if m.LoadWord(0x1000_0000) != 0 {
+		t.Error("untouched memory not zero")
+	}
+	m.WriteBytes(100, []byte{1, 2, 3})
+	if got := m.ReadBytes(99, 5); got[1] != 1 || got[2] != 2 || got[3] != 3 || got[0] != 0 || got[4] != 0 {
+		t.Errorf("ReadBytes = %v", got)
+	}
+}
+
+func TestStackPointerInitialized(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{{Op: isa.HALT}}}
+	c := New(p)
+	if c.Regs[isa.SP] != StackBase {
+		t.Errorf("SP = %#x, want %#x", c.Regs[isa.SP], uint32(StackBase))
+	}
+}

@@ -1,0 +1,89 @@
+package cpu
+
+import "deesim/internal/isa"
+
+// Eval computes the pure (non-memory, non-control-transfer) semantics of
+// an instruction: the ALU result for value-producing operations and the
+// direction for conditional branches, given the source register values.
+// Loads, stores and jumps are handled by their executors (CPU.Step, the
+// Levo model); for those ops Eval returns the effective address base
+// computation where meaningful (rs+imm) and taken=false.
+//
+// Both the functional simulator and the Levo microarchitecture model
+// evaluate through this single function, so their architectural
+// semantics cannot diverge.
+func Eval(in isa.Inst, rs, rt uint32) (val uint32, taken bool) {
+	switch in.Op {
+	case isa.ADD:
+		return rs + rt, false
+	case isa.SUB:
+		return rs - rt, false
+	case isa.AND:
+		return rs & rt, false
+	case isa.OR:
+		return rs | rt, false
+	case isa.XOR:
+		return rs ^ rt, false
+	case isa.NOR:
+		return ^(rs | rt), false
+	case isa.SLT:
+		return boolTo(int32(rs) < int32(rt)), false
+	case isa.SLTU:
+		return boolTo(rs < rt), false
+	case isa.SLLV:
+		return rs << (rt & 31), false
+	case isa.SRLV:
+		return rs >> (rt & 31), false
+	case isa.SRAV:
+		return uint32(int32(rs) >> (rt & 31)), false
+	case isa.MUL:
+		return rs * rt, false
+	case isa.DIV:
+		if rt == 0 {
+			return 0, false
+		}
+		return uint32(int32(rs) / int32(rt)), false
+	case isa.REM:
+		if rt == 0 {
+			return 0, false
+		}
+		return uint32(int32(rs) % int32(rt)), false
+	case isa.ADDI:
+		return rs + uint32(in.Imm), false
+	case isa.ANDI:
+		return rs & uint32(uint16(in.Imm)), false
+	case isa.ORI:
+		return rs | uint32(uint16(in.Imm)), false
+	case isa.XORI:
+		return rs ^ uint32(uint16(in.Imm)), false
+	case isa.SLTI:
+		return boolTo(int32(rs) < in.Imm), false
+	case isa.SLTIU:
+		return boolTo(rs < uint32(in.Imm)), false
+	case isa.SLL:
+		return rs << uint32(in.Imm&31), false
+	case isa.SRL:
+		return rs >> uint32(in.Imm&31), false
+	case isa.SRA:
+		return uint32(int32(rs) >> uint32(in.Imm&31)), false
+	case isa.LUI:
+		return uint32(in.Imm) << 16, false
+
+	case isa.LW, isa.LB, isa.LBU, isa.SW, isa.SB:
+		return rs + uint32(in.Imm), false
+
+	case isa.BEQ:
+		return 0, rs == rt
+	case isa.BNE:
+		return 0, rs != rt
+	case isa.BLT:
+		return 0, int32(rs) < int32(rt)
+	case isa.BGE:
+		return 0, int32(rs) >= int32(rt)
+	case isa.BLEZ:
+		return 0, int32(rs) <= 0
+	case isa.BGTZ:
+		return 0, int32(rs) > 0
+	}
+	return 0, false
+}

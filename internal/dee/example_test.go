@@ -1,0 +1,50 @@
+package dee_test
+
+import (
+	"fmt"
+
+	"deesim/internal/dee"
+)
+
+// The paper's Figure 1 walk-through: with six branch-path resources at
+// 70% prediction accuracy, the greedy rule assigns the fourth resource
+// to the not-predicted root arc (cp .30) in preference to the fourth
+// mainline path (cp .24).
+func ExampleBuildGreedy() {
+	tree := dee.BuildGreedy(0.7, 6)
+	for i, n := range tree.Order {
+		fmt.Printf("path %d: %-4s cp=%.4f\n", i+1, string(n), n.CP(0.7))
+	}
+	// Output:
+	// path 1: P    cp=0.7000
+	// path 2: PP   cp=0.4900
+	// path 3: PPP  cp=0.3430
+	// path 4: N    cp=0.3000
+	// path 5: PPPP cp=0.2401
+	// path 6: NP   cp=0.2100
+}
+
+// Figure 2's operating point: p = 0.90 with 34 branch paths gives a
+// 24-path mainline and a DEE region of height 4.
+func ExampleStaticShape() {
+	l, h := dee.StaticShape(0.90, 34)
+	fmt.Printf("mainline l=%d, DEE region hDEE=%d (%d side paths)\n", l, h, h*(h+1)/2)
+	// Output:
+	// mainline l=24, DEE region hDEE=4 (10 side paths)
+}
+
+// Coverage answers the simulator's question: is the window path reached
+// through these branch outcomes inside the speculation tree?
+func ExampleShape_Covered() {
+	shape := dee.NewShape(dee.DEE, 0.90, 34)
+	// Second pending branch mispredicted, everything else predicted right.
+	correct := []bool{true, false, true, true, true, true, true, true, true}
+	fmt.Println("path 3 covered (via the depth-2 side path):", shape.Covered(correct, 3))
+	fmt.Println("path 9 covered (beyond the DEE region):", shape.Covered(correct, 9))
+	allGood := []bool{true, true, true, true, true, true, true, true, true}
+	fmt.Println("path 9 covered when all predictions hold:", shape.Covered(allGood, 9))
+	// Output:
+	// path 3 covered (via the depth-2 side path): true
+	// path 9 covered (beyond the DEE region): false
+	// path 9 covered when all predictions hold: true
+}

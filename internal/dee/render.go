@@ -1,0 +1,54 @@
+package dee
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the speculation tree as ASCII, one node per line, with
+// each path's cumulative probability and resource-assignment order (the
+// circled numbers of Figure 1). Predicted arcs print before
+// not-predicted arcs.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "root (cp=1.000)\n")
+	t.render(&b, "", "")
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, node Node, indent string) {
+	pred, npred := node.Children()
+	kids := make([]Node, 0, 2)
+	if t.Contains(pred) {
+		kids = append(kids, pred)
+	}
+	if t.Contains(npred) {
+		kids = append(kids, npred)
+	}
+	for i, k := range kids {
+		connector, childIndent := "├─", indent+"│ "
+		if i == len(kids)-1 {
+			connector, childIndent = "└─", indent+"  "
+		}
+		arc := "pred"
+		if Turn(k[len(k)-1]) == NotPred {
+			arc = "NOT-pred"
+		}
+		fmt.Fprintf(b, "%s%s%s cp=%.4f  assigned #%d\n",
+			indent, connector, arc, k.CP(t.P), t.Rank(k))
+		t.render(b, k, childIndent)
+	}
+}
+
+// Summary prints the one-line structural description of the tree:
+// resources, height, and mainline/side decomposition.
+func (t *Tree) Summary() string {
+	mainline := 0
+	for _, n := range t.Order {
+		if !strings.ContainsRune(string(n), rune(NotPred)) {
+			mainline++
+		}
+	}
+	return fmt.Sprintf("p=%.4f ET=%d height=%d mainline=%d sidepaths=%d totalCP=%.3f",
+		t.P, t.Size(), t.Height(), mainline, t.Size()-mainline, t.TotalCP())
+}

@@ -1,0 +1,240 @@
+// Package experiments is the harness that regenerates the paper's
+// evaluation (Figure 5 and the §5.3 in-text numbers): it builds the
+// workloads, records traces, runs every ILP model across the resource
+// sweep, and aggregates per-workload and harmonic-mean results.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"deesim/internal/bench"
+	"deesim/internal/ilpsim"
+	"deesim/internal/isa"
+	"deesim/internal/predictor"
+	"deesim/internal/stats"
+	"deesim/internal/trace"
+)
+
+// PaperResources is the Figure 5 horizontal axis.
+var PaperResources = []int{8, 16, 32, 64, 128, 256}
+
+// Config parameterizes a run.
+type Config struct {
+	// Scale is the workload input-size multiplier (0 = default).
+	Scale int
+	// MaxInstrs caps the dynamic trace per input (0 = to completion;
+	// the paper capped at 100M).
+	MaxInstrs uint64
+	// Resources is the ET sweep (defaults to PaperResources).
+	Resources []int
+	// Models to simulate (defaults to ilpsim.PaperModels).
+	Models []ilpsim.Model
+	// Predictor names the run-time predictor ("2bit", "papN", "taken");
+	// defaults to the paper's "2bit".
+	Predictor string
+	// Opts are passed to the simulator.
+	Opts ilpsim.Options
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Resources) == 0 {
+		c.Resources = PaperResources
+	}
+	if len(c.Models) == 0 {
+		c.Models = ilpsim.PaperModels
+	}
+	if c.Predictor == "" {
+		c.Predictor = "2bit"
+	}
+	if c.Opts == (ilpsim.Options{}) {
+		c.Opts = ilpsim.DefaultOptions()
+	}
+	return c
+}
+
+// InputResult holds one input's simulations.
+type InputResult struct {
+	Input    string
+	Insts    int
+	Accuracy float64
+	Oracle   float64
+	// Speedup[model][ET].
+	Speedup map[string]map[int]float64
+	// RootRate[model][ET] is the fraction of mispredicts resolved at the
+	// tree root.
+	RootRate map[string]map[int]float64
+}
+
+// WorkloadResult aggregates a workload over its inputs by harmonic mean
+// (the paper's treatment of espresso's four inputs).
+type WorkloadResult struct {
+	Workload string
+	Inputs   []*InputResult
+
+	Accuracy float64 // mean accuracy over inputs
+	Oracle   float64 // harmonic mean of input oracles
+	Speedup  map[string]map[int]float64
+}
+
+// RunInput simulates one program input under every model and resource
+// level.
+func RunInput(name string, prog buildable, cfg Config) (*InputResult, error) {
+	cfg = cfg.withDefaults()
+	p, err := prog(cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("build %s: %w", name, err)
+	}
+	tr, err := trace.Record(p, cfg.MaxInstrs)
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", name, err)
+	}
+	pred, err := predictor.New(cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	sim := ilpsim.New(tr, pred, cfg.Opts)
+	res := &InputResult{
+		Input:    name,
+		Insts:    tr.Len(),
+		Accuracy: sim.Accuracy(),
+		Speedup:  make(map[string]map[int]float64),
+		RootRate: make(map[string]map[int]float64),
+	}
+	res.Oracle = sim.Oracle().Speedup
+	for _, m := range cfg.Models {
+		ms := make(map[int]float64, len(cfg.Resources))
+		rs := make(map[int]float64, len(cfg.Resources))
+		for _, et := range cfg.Resources {
+			var r ilpsim.Result
+			var err error
+			if et == 0 {
+				// Resource level 0 = the Lam & Wilson unlimited setting.
+				r, err = sim.RunUnlimited(m)
+			} else {
+				r, err = sim.Run(m, et)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s %v ET=%d: %w", name, m, et, err)
+			}
+			ms[et] = r.Speedup
+			rs[et] = r.RootResolutionRate()
+		}
+		res.Speedup[m.String()] = ms
+		res.RootRate[m.String()] = rs
+	}
+	return res, nil
+}
+
+type buildable = func(scale int) (*isa.Program, error)
+
+// RunWorkload simulates all of a workload's inputs and harmonic-means
+// them.
+func RunWorkload(w bench.Workload, cfg Config) (*WorkloadResult, error) {
+	cfg = cfg.withDefaults()
+	out := &WorkloadResult{
+		Workload: w.Name,
+		Speedup:  make(map[string]map[int]float64),
+	}
+	for _, in := range w.Inputs {
+		ir, err := RunInput(w.Name+"/"+in.Name, in.Build, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Inputs = append(out.Inputs, ir)
+	}
+	var oracles, accs []float64
+	for _, ir := range out.Inputs {
+		oracles = append(oracles, ir.Oracle)
+		accs = append(accs, ir.Accuracy)
+	}
+	out.Oracle = stats.HarmonicMean(oracles)
+	for _, a := range accs {
+		out.Accuracy += a
+	}
+	out.Accuracy /= float64(len(accs))
+	for _, m := range cfg.Models {
+		ms := make(map[int]float64, len(cfg.Resources))
+		for _, et := range cfg.Resources {
+			var xs []float64
+			for _, ir := range out.Inputs {
+				xs = append(xs, ir.Speedup[m.String()][et])
+			}
+			ms[et] = stats.HarmonicMean(xs)
+		}
+		out.Speedup[m.String()] = ms
+	}
+	return out, nil
+}
+
+// RunAll simulates the given workloads — concurrently, one goroutine per
+// workload — and appends the cross-workload harmonic mean as a synthetic
+// result named "harmonic-mean" (Figure 5's summary panel).
+func RunAll(ws []bench.Workload, cfg Config) ([]*WorkloadResult, error) {
+	cfg = cfg.withDefaults()
+	out := make([]*WorkloadResult, len(ws))
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w bench.Workload) {
+			defer wg.Done()
+			out[i], errs[i] = RunWorkload(w, cfg)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(out) > 1 {
+		hm := &WorkloadResult{
+			Workload: "harmonic-mean",
+			Speedup:  make(map[string]map[int]float64),
+		}
+		var oracles []float64
+		for _, r := range out {
+			oracles = append(oracles, r.Oracle)
+			hm.Accuracy += r.Accuracy
+		}
+		hm.Accuracy /= float64(len(out))
+		hm.Oracle = stats.HarmonicMean(oracles)
+		for _, m := range cfg.Models {
+			ms := make(map[int]float64, len(cfg.Resources))
+			for _, et := range cfg.Resources {
+				var xs []float64
+				for _, r := range out {
+					xs = append(xs, r.Speedup[m.String()][et])
+				}
+				ms[et] = stats.HarmonicMean(xs)
+			}
+			hm.Speedup[m.String()] = ms
+		}
+		out = append(out, hm)
+	}
+	return out, nil
+}
+
+// Render formats one workload result as a Figure 5 panel.
+func Render(r *WorkloadResult, cfg Config) string {
+	cfg = cfg.withDefaults()
+	cols := make([]string, len(cfg.Resources))
+	for i, et := range cfg.Resources {
+		if et == 0 {
+			cols[i] = "unlimited"
+		} else {
+			cols[i] = fmt.Sprintf("%d", et)
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("%s  (oracle speedup: %.2f, predictor accuracy: %.2f%%)",
+			r.Workload, r.Oracle, 100*r.Accuracy),
+		"model \\ resources", cols)
+	for _, m := range cfg.Models {
+		for i, et := range cfg.Resources {
+			t.Set(m.String(), i, r.Speedup[m.String()][et])
+		}
+	}
+	return t.Render()
+}

@@ -1,0 +1,69 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The binary encoding packs one instruction into a 64-bit word:
+//
+//	bits 63..56  opcode
+//	bits 55..48  rd
+//	bits 47..40  rs
+//	bits 39..32  rt
+//	bits 31..0   imm (two's complement)
+//
+// The format is fixed-width for simplicity; real MIPS packs into 32 bits,
+// but nothing in the paper's evaluation depends on code size.
+
+// Encode packs the instruction into its 64-bit binary form.
+func Encode(in Inst) uint64 {
+	return uint64(in.Op)<<56 |
+		uint64(in.Rd)<<48 |
+		uint64(in.Rs)<<40 |
+		uint64(in.Rt)<<32 |
+		uint64(uint32(in.Imm))
+}
+
+// Decode unpacks a 64-bit word into an instruction. It returns an error
+// for malformed words (unknown opcode, out-of-range register).
+func Decode(w uint64) (Inst, error) {
+	in := Inst{
+		Op:  Op(w >> 56),
+		Rd:  Reg(w >> 48),
+		Rs:  Reg(w >> 40),
+		Rt:  Reg(w >> 32),
+		Imm: int32(uint32(w)),
+	}
+	if err := in.Validate(); err != nil {
+		return Inst{}, err
+	}
+	return in, nil
+}
+
+// EncodeProgram serializes the program code to bytes (big-endian 64-bit
+// words), suitable for hashing or storage. Data and symbols are not
+// included.
+func EncodeProgram(p *Program) []byte {
+	out := make([]byte, 8*len(p.Code))
+	for i, in := range p.Code {
+		binary.BigEndian.PutUint64(out[8*i:], Encode(in))
+	}
+	return out
+}
+
+// DecodeProgram reverses EncodeProgram.
+func DecodeProgram(b []byte) (*Program, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("isa: code image length %d not a multiple of 8", len(b))
+	}
+	p := &Program{Code: make([]Inst, len(b)/8)}
+	for i := range p.Code {
+		in, err := Decode(binary.BigEndian.Uint64(b[8*i:]))
+		if err != nil {
+			return nil, fmt.Errorf("isa: word %d: %w", i, err)
+		}
+		p.Code[i] = in
+	}
+	return p, nil
+}

@@ -1,0 +1,28 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: any 64-bit word either fails to decode or round-trips
+// bit-exactly through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(Encode(Inst{Op: ADD, Rd: T0, Rs: T1, Rt: T2}))
+	f.Add(Encode(Inst{Op: BEQ, Rs: T0, Rt: T1, Imm: 12}))
+	f.Add(Encode(Inst{Op: LW, Rd: T0, Rs: SP, Imm: -8}))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, w uint64) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		if got := Encode(in); got != w {
+			t.Fatalf("Encode(Decode(%#x)) = %#x", w, got)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoded instruction invalid: %v", err)
+		}
+		_ = in.String()
+		_ = in.Src()
+		in.Dst()
+	})
+}

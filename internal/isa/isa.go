@@ -1,0 +1,378 @@
+// Package isa defines the instruction set architecture of the reproduction:
+// a MIPS-R3000-flavoured 32-bit RISC with 32 general-purpose registers,
+// unit-latency instructions, PC-relative conditional branches and absolute
+// jumps. The paper (Uht & Sindagi, MICRO-28 1995) assumed the MIPS R3000
+// instruction set with single-cycle execution; this package provides the
+// instruction-set-independent subset its evaluation needs.
+//
+// Instructions are represented as a decoded struct (Inst) for the
+// simulators, with a reversible fixed-width binary encoding
+// (Encode/Decode) so programs can be stored, hashed and round-tripped
+// like real machine code.
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural general-purpose registers.
+// Register 0 is hardwired to zero, as on MIPS.
+const NumRegs = 32
+
+// Reg identifies an architectural register (0..31).
+type Reg uint8
+
+// Conventional register aliases (MIPS o32 flavour). The assembler accepts
+// both numeric ($0..$31) and symbolic ($zero, $sp, ...) names.
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary
+	V0   Reg = 2 // return value 0
+	V1   Reg = 3 // return value 1
+	A0   Reg = 4 // argument 0
+	A1   Reg = 5 // argument 1
+	A2   Reg = 6 // argument 2
+	A3   Reg = 7 // argument 3
+	T0   Reg = 8 // caller-saved temporaries T0..T7
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved S0..S7
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26
+	K1   Reg = 27
+	GP   Reg = 28 // global pointer
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+var regNames = [NumRegs]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// Name returns the conventional symbolic name of r ("zero", "sp", ...).
+func (r Reg) Name() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+func (r Reg) String() string { return "$" + r.Name() }
+
+// Op enumerates the operations of the ISA.
+type Op uint8
+
+const (
+	// NOP performs nothing (still occupies a slot and a cycle).
+	NOP Op = iota
+
+	// Three-register ALU operations: rd <- rs OP rt.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	NOR
+	SLT  // set if less than (signed)
+	SLTU // set if less than (unsigned)
+	SLLV // shift left logical variable: rd <- rs << (rt & 31)
+	SRLV // shift right logical variable
+	SRAV // shift right arithmetic variable
+	MUL  // low 32 bits of product
+	DIV  // signed quotient; divide by zero yields 0
+	REM  // signed remainder; divide by zero yields 0
+
+	// Register-immediate ALU operations: rd <- rs OP imm.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLTIU
+	SLL // shift left logical by constant
+	SRL
+	SRA
+	LUI // rd <- imm << 16
+
+	// Memory operations. Address = rs + imm. Word accesses must be
+	// 4-byte aligned.
+	LW // rd <- mem32[rs+imm]
+	SW // mem32[rs+imm] <- rt
+	LB // rd <- signext(mem8[rs+imm])
+	LBU
+	SB // mem8[rs+imm] <- low byte of rt
+
+	// Conditional branches. Target is an absolute instruction index
+	// resolved by the assembler (stored in Imm).
+	BEQ  // branch if rs == rt
+	BNE  // branch if rs != rt
+	BLT  // branch if rs < rt (signed)
+	BGE  // branch if rs >= rt (signed)
+	BLEZ // branch if rs <= 0
+	BGTZ // branch if rs > 0
+
+	// Unconditional control transfers.
+	J   // jump to absolute instruction index Imm
+	JAL // rd (conventionally RA) <- return index; jump to Imm
+	JR  // jump to instruction index in rs (returns, indirect calls)
+
+	// HALT stops the machine. Programs must end with HALT.
+	HALT
+
+	numOps // sentinel; must be last
+)
+
+// NumOps is the number of defined operations.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	NOR: "nor", SLT: "slt", SLTU: "sltu", SLLV: "sllv", SRLV: "srlv",
+	SRAV: "srav", MUL: "mul", DIV: "div", REM: "rem",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLTI: "slti",
+	SLTIU: "sltiu", SLL: "sll", SRL: "srl", SRA: "sra", LUI: "lui",
+	LW: "lw", SW: "sw", LB: "lb", LBU: "lbu", SB: "sb",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLEZ: "blez",
+	BGTZ: "bgtz", J: "j", JAL: "jal", JR: "jr", HALT: "halt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups operations by their structural role.
+type Class uint8
+
+const (
+	ClassALU    Class = iota // register/immediate arithmetic, NOP
+	ClassLoad                // LW, LB, LBU
+	ClassStore               // SW, SB
+	ClassBranch              // conditional branches
+	ClassJump                // J, JAL, JR
+	ClassHalt
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassALU:
+		return "alu"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassHalt:
+		return "halt"
+	}
+	return "class?"
+}
+
+// ClassOf reports the structural class of an operation.
+func ClassOf(op Op) Class {
+	switch op {
+	case LW, LB, LBU:
+		return ClassLoad
+	case SW, SB:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE, BLEZ, BGTZ:
+		return ClassBranch
+	case J, JAL, JR:
+		return ClassJump
+	case HALT:
+		return ClassHalt
+	default:
+		return ClassALU
+	}
+}
+
+// IsCondBranch reports whether op is a conditional branch.
+func IsCondBranch(op Op) bool { return ClassOf(op) == ClassBranch }
+
+// IsControl reports whether op transfers control (branch or jump).
+func IsControl(op Op) bool {
+	c := ClassOf(op)
+	return c == ClassBranch || c == ClassJump
+}
+
+// Inst is one decoded instruction. The interpretation of the fields
+// depends on Op; unused fields are zero.
+//
+//   - ALU 3-reg:   Rd <- Rs op Rt
+//   - ALU imm:     Rd <- Rs op Imm (SLL/SRL/SRA use Imm as shift amount;
+//     LUI ignores Rs)
+//   - Load:        Rd <- mem[Rs+Imm]
+//   - Store:       mem[Rs+Imm] <- Rt
+//   - Branch:      if cond(Rs, Rt) goto Imm (absolute instruction index)
+//   - J/JAL:       goto Imm; JAL writes the return index to Rd
+//   - JR:          goto value of Rs
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs  Reg
+	Rt  Reg
+	Imm int32
+}
+
+// Src returns the registers this instruction reads. Register 0 reads are
+// included (they are free of dependencies; consumers special-case them).
+func (in Inst) Src() []Reg {
+	switch in.Op {
+	case NOP, HALT, J, JAL, LUI:
+		return nil
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV, MUL, DIV, REM,
+		BEQ, BNE, BLT, BGE:
+		return []Reg{in.Rs, in.Rt}
+	case ADDI, ANDI, ORI, XORI, SLTI, SLTIU, SLL, SRL, SRA, LW, LB, LBU,
+		BLEZ, BGTZ, JR:
+		return []Reg{in.Rs}
+	case SW, SB:
+		return []Reg{in.Rs, in.Rt}
+	}
+	return nil
+}
+
+// Dst returns the register this instruction writes and whether it writes
+// one at all. Writes to register 0 are discarded architecturally; Dst
+// still reports them so renaming logic can ignore them uniformly.
+func (in Inst) Dst() (Reg, bool) {
+	switch in.Op {
+	case ADD, SUB, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV, MUL, DIV, REM,
+		ADDI, ANDI, ORI, XORI, SLTI, SLTIU, SLL, SRL, SRA, LUI, LW, LB, LBU, JAL:
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch ClassOf(in.Op) {
+	case ClassALU:
+		switch in.Op {
+		case NOP:
+			return "nop"
+		case LUI:
+			return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+		case ADDI, ANDI, ORI, XORI, SLTI, SLTIU, SLL, SRL, SRA:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs, in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs, in.Rt)
+		}
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rt, in.Imm, in.Rs)
+	case ClassBranch:
+		switch in.Op {
+		case BLEZ, BGTZ:
+			return fmt.Sprintf("%s %s, %d", in.Op, in.Rs, in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs, in.Rt, in.Imm)
+		}
+	case ClassJump:
+		switch in.Op {
+		case JR:
+			return fmt.Sprintf("jr %s", in.Rs)
+		case JAL:
+			return fmt.Sprintf("jal %d", in.Imm)
+		default:
+			return fmt.Sprintf("j %d", in.Imm)
+		}
+	case ClassHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}
+
+// Validate reports whether the instruction is well formed (known op,
+// registers in range, branch/jump targets non-negative).
+func (in Inst) Validate() error {
+	if int(in.Op) >= NumOps {
+		return fmt.Errorf("isa: unknown opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs >= NumRegs || in.Rt >= NumRegs {
+		return fmt.Errorf("isa: register out of range in %v", in)
+	}
+	switch in.Op {
+	case BEQ, BNE, BLT, BGE, BLEZ, BGTZ, J, JAL:
+		if in.Imm < 0 {
+			return fmt.Errorf("isa: negative control target in %v", in)
+		}
+	case SLL, SRL, SRA:
+		if in.Imm < 0 || in.Imm > 31 {
+			return fmt.Errorf("isa: shift amount %d out of range", in.Imm)
+		}
+	}
+	return nil
+}
+
+// Program is a unit of executable code plus its initial data image.
+type Program struct {
+	// Code is the static instruction sequence. Instruction indices (not
+	// byte addresses) are the unit of control flow.
+	Code []Inst
+	// Data is the initial contents of data memory, starting at DataBase.
+	Data []byte
+	// DataBase is the byte address at which Data is loaded.
+	DataBase uint32
+	// Symbols maps label names to instruction indices (text labels) for
+	// diagnostics.
+	Symbols map[string]int
+	// DataSymbols maps label names to data byte addresses.
+	DataSymbols map[string]uint32
+}
+
+// Validate checks every instruction and that control targets are inside
+// the program.
+func (p *Program) Validate() error {
+	n := int32(len(p.Code))
+	for i, in := range p.Code {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("inst %d: %w", i, err)
+		}
+		switch in.Op {
+		case BEQ, BNE, BLT, BGE, BLEZ, BGTZ, J, JAL:
+			if in.Imm >= n {
+				return fmt.Errorf("inst %d: control target %d outside program of %d instructions", i, in.Imm, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program, one instruction per line, with
+// indices and any label names.
+func (p *Program) Disassemble() string {
+	labels := make(map[int]string, len(p.Symbols))
+	for name, idx := range p.Symbols {
+		labels[idx] = name
+	}
+	out := make([]byte, 0, len(p.Code)*24)
+	for i, in := range p.Code {
+		if name, ok := labels[i]; ok {
+			out = append(out, fmt.Sprintf("%s:\n", name)...)
+		}
+		out = append(out, fmt.Sprintf("%5d: %s\n", i, in)...)
+	}
+	return string(out)
+}

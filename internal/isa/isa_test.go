@@ -1,0 +1,255 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassOf(t *testing.T) {
+	cases := map[Op]Class{
+		ADD: ClassALU, ADDI: ClassALU, NOP: ClassALU, LUI: ClassALU,
+		LW: ClassLoad, LB: ClassLoad, LBU: ClassLoad,
+		SW: ClassStore, SB: ClassStore,
+		BEQ: ClassBranch, BNE: ClassBranch, BLT: ClassBranch,
+		BGE: ClassBranch, BLEZ: ClassBranch, BGTZ: ClassBranch,
+		J: ClassJump, JAL: ClassJump, JR: ClassJump,
+		HALT: ClassHalt,
+	}
+	for op, want := range cases {
+		if got := ClassOf(op); got != want {
+			t.Errorf("ClassOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestIsCondBranch(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		want := op == BEQ || op == BNE || op == BLT || op == BGE || op == BLEZ || op == BGTZ
+		if got := IsCondBranch(op); got != want {
+			t.Errorf("IsCondBranch(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestSrcDst(t *testing.T) {
+	cases := []struct {
+		in     Inst
+		src    []Reg
+		dst    Reg
+		hasDst bool
+	}{
+		{Inst{Op: ADD, Rd: T0, Rs: T1, Rt: T2}, []Reg{T1, T2}, T0, true},
+		{Inst{Op: ADDI, Rd: T0, Rs: T1, Imm: 4}, []Reg{T1}, T0, true},
+		{Inst{Op: LUI, Rd: T0, Imm: 4}, nil, T0, true},
+		{Inst{Op: LW, Rd: T0, Rs: SP, Imm: 8}, []Reg{SP}, T0, true},
+		{Inst{Op: SW, Rt: T0, Rs: SP, Imm: 8}, []Reg{SP, T0}, 0, false},
+		{Inst{Op: BEQ, Rs: T0, Rt: T1, Imm: 3}, []Reg{T0, T1}, 0, false},
+		{Inst{Op: BLEZ, Rs: T0, Imm: 3}, []Reg{T0}, 0, false},
+		{Inst{Op: J, Imm: 3}, nil, 0, false},
+		{Inst{Op: JAL, Rd: RA, Imm: 3}, nil, RA, true},
+		{Inst{Op: JR, Rs: RA}, []Reg{RA}, 0, false},
+		{Inst{Op: NOP}, nil, 0, false},
+		{Inst{Op: HALT}, nil, 0, false},
+	}
+	for _, c := range cases {
+		src := c.in.Src()
+		if len(src) != len(c.src) {
+			t.Errorf("%v: Src() = %v, want %v", c.in, src, c.src)
+		} else {
+			for i := range src {
+				if src[i] != c.src[i] {
+					t.Errorf("%v: Src()[%d] = %v, want %v", c.in, i, src[i], c.src[i])
+				}
+			}
+		}
+		dst, ok := c.in.Dst()
+		if ok != c.hasDst || (ok && dst != c.dst) {
+			t.Errorf("%v: Dst() = (%v,%v), want (%v,%v)", c.in, dst, ok, c.dst, c.hasDst)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	err := quick.Check(func(opRaw, rd, rs, rt uint8, imm int32) bool {
+		in := Inst{
+			Op:  Op(int(opRaw) % NumOps),
+			Rd:  Reg(rd % NumRegs),
+			Rs:  Reg(rs % NumRegs),
+			Rt:  Reg(rt % NumRegs),
+			Imm: imm,
+		}
+		// Keep control targets and shifts legal so Validate passes.
+		switch in.Op {
+		case BEQ, BNE, BLT, BGE, BLEZ, BGTZ, J, JAL:
+			if in.Imm < 0 {
+				in.Imm = -in.Imm
+			}
+		case SLL, SRL, SRA:
+			in.Imm = in.Imm & 31
+			if in.Imm < 0 {
+				in.Imm = 0
+			}
+		}
+		got, err := Decode(Encode(in))
+		return err == nil && got == in
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadWords(t *testing.T) {
+	bad := []uint64{
+		uint64(NumOps) << 56,       // unknown opcode
+		uint64(ADD)<<56 | 99<<48,   // register out of range
+		uint64(J)<<56 | 0xFFFFFFFF, // negative jump target
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#x) accepted a malformed word", w)
+		}
+	}
+}
+
+func TestProgramEncodeRoundTrip(t *testing.T) {
+	p := &Program{Code: []Inst{
+		{Op: ADDI, Rd: T0, Rs: Zero, Imm: 42},
+		{Op: BEQ, Rs: T0, Rt: Zero, Imm: 3},
+		{Op: ADD, Rd: T1, Rs: T0, Rt: T0},
+		{Op: HALT},
+	}}
+	q, err := DecodeProgram(EncodeProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("round trip length %d, want %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("inst %d: %v != %v", i, q.Code[i], p.Code[i])
+		}
+	}
+	if _, err := DecodeProgram([]byte{1, 2, 3}); err == nil {
+		t.Error("DecodeProgram accepted a truncated image")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{Code: []Inst{{Op: BEQ, Imm: 1}, {Op: HALT}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	bad := &Program{Code: []Inst{{Op: J, Imm: 5}, {Op: HALT}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("jump outside program accepted")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if SP.String() != "$sp" || Zero.String() != "$zero" || RA.Name() != "ra" {
+		t.Errorf("register naming broken: %v %v %v", SP, Zero, RA.Name())
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"add $t0, $t1, $t2": {Op: ADD, Rd: T0, Rs: T1, Rt: T2},
+		"addi $t0, $t1, -4": {Op: ADDI, Rd: T0, Rs: T1, Imm: -4},
+		"lw $t0, 8($sp)":    {Op: LW, Rd: T0, Rs: SP, Imm: 8},
+		"sw $t0, 8($sp)":    {Op: SW, Rt: T0, Rs: SP, Imm: 8},
+		"beq $t0, $t1, 7":   {Op: BEQ, Rs: T0, Rt: T1, Imm: 7},
+		"jr $ra":            {Op: JR, Rs: RA},
+		"halt":              {Op: HALT},
+		"nop":               {Op: NOP},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestValidateBranches(t *testing.T) {
+	bad := []Inst{
+		{Op: Op(250)},                      // unknown opcode
+		{Op: ADD, Rd: 40},                  // register out of range
+		{Op: BEQ, Imm: -1},                 // negative branch target
+		{Op: J, Imm: -5},                   // negative jump target
+		{Op: SLL, Rd: T0, Rs: T1, Imm: 32}, // shift amount too large
+		{Op: SRA, Rd: T0, Rs: T1, Imm: -1}, // negative shift
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", in)
+		}
+	}
+	good := []Inst{
+		{Op: SLL, Rd: T0, Rs: T1, Imm: 31},
+		{Op: ADDI, Rd: T0, Rs: T1, Imm: -32768},
+		{Op: BEQ, Rs: T0, Rt: T1, Imm: 0},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate rejected %+v: %v", in, err)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassALU: "alu", ClassLoad: "load", ClassStore: "store",
+		ClassBranch: "branch", ClassJump: "jump", ClassHalt: "halt",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		want := IsCondBranch(op) || op == J || op == JAL || op == JR
+		if IsControl(op) != want {
+			t.Errorf("IsControl(%v) = %v", op, IsControl(op))
+		}
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if s := Op(200).String(); s != "op(200)" {
+		t.Errorf("unknown op string %q", s)
+	}
+	if s := Reg(77).Name(); s != "r77" {
+		t.Errorf("out-of-range reg name %q", s)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{
+		Code: []Inst{
+			{Op: ADDI, Rd: T0, Rs: Zero, Imm: 3},
+			{Op: BGTZ, Rs: T0, Imm: 0},
+			{Op: HALT},
+		},
+		Symbols: map[string]int{"main": 0},
+	}
+	out := p.Disassemble()
+	for _, want := range []string{"main:", "addi $t0, $zero, 3", "bgtz $t0, 0", "halt"} {
+		if !containsStr(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

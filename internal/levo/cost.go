@@ -1,0 +1,172 @@
+package levo
+
+import "fmt"
+
+// Hardware cost model for the Levo design, reproducing the preliminary
+// estimates of §4.3:
+//
+//   - "About 40% of the CPU and on-chip cache hardware is
+//     concurrency-detection/scheduling hardware and
+//     multiple-state-copies overhead."
+//   - "About 18% (resp. 3%) of the Levo hardware is used to realize DEE,
+//     assuming 11 2-column-wide DEE paths (resp. 3 1-column DEE paths
+//     [ET = 32])."
+//   - "Each additional 1-column DEE path uses about 1 million
+//     transistors."
+//
+// The structural inventory follows Figures 3 and 4: an IQ of n static
+// instructions with m iteration columns; RE/VE bit matrices; SSI/ISA
+// word matrices; all replicated once per PE for write bandwidth (§4.2);
+// n PEs; dependency-detection comparators; per-instance scheduling
+// logic; per-row predictors; and on-chip cache standing in for the
+// architectural register storage and memory interface. Each DEE path
+// adds its own RE/VE/SSI/ISA columns served over the broadcast/update
+// busses of Figure 4-b.
+//
+// Bit-level capacities are structural; the technology constants
+// (transistors per storage bit with its gating, per-PE datapath size,
+// scheduling logic per instance, bus drivers per row) are calibrated so
+// the three §4.3 statements hold simultaneously — the paper gives
+// totals, not a netlist. The cost tests assert all three.
+
+// CostConfig describes a Levo hardware configuration to estimate.
+type CostConfig struct {
+	Rows        int // IQ length n (= PE count)
+	Cols        int // ML iteration columns m
+	DEEPaths    int // number of DEE side paths
+	DEECols     int // columns per DEE path (1 or 2)
+	CacheKBytes int // on-chip cache
+}
+
+// PaperET32 is the paper's 3-single-column-path configuration (ET = 32).
+func PaperET32() CostConfig {
+	return CostConfig{Rows: 32, Cols: 8, DEEPaths: 3, DEECols: 1, CacheKBytes: 768}
+}
+
+// PaperET100 is the paper's single-chip target: 11 2-column DEE paths
+// (ET = 100 branch paths).
+func PaperET100() CostConfig {
+	return CostConfig{Rows: 32, Cols: 8, DEEPaths: 11, DEECols: 2, CacheKBytes: 768}
+}
+
+// Technology constants (early-2000s CMOS, as the paper projects).
+const (
+	// bitCost is transistors per matrix storage bit including its share
+	// of the parallel gating/bussing (§4.2's "assemblages of individual
+	// registers and busses", not dense SRAM).
+	bitCost = 22
+	// sramBitCost is transistors per on-chip cache bit.
+	sramBitCost = 6
+	// peCost is one processing element: integer + FP ALU, branch unit,
+	// address translation (§2 footnote), transistors.
+	peCost = 800_000
+	// cmpBitCost is transistors per comparator bit in the dependency
+	// detection matrices.
+	cmpBitCost = 8
+	// schedPerInstance is the scheduling logic combining RE/VE and
+	// dependency state to decide execution and gate a 32-bit source onto
+	// the instance's PE, per instruction instance per copy (the
+	// "patented high-speed logic" of §4.2).
+	schedPerInstance = 2500
+	// busTap is the per-row share of a DEE path's broadcast/update
+	// busses (Figure 4-b: long global bidirectional wires, drivers, and
+	// the copy/priority logic).
+	busTap = 29_000
+	// instrBits is the width of a decoded IQ entry.
+	instrBits = 64
+	// wordBits is the architectural word size.
+	wordBits = 32
+)
+
+// CostBreakdown reports transistor counts per structure.
+type CostBreakdown struct {
+	Config CostConfig
+
+	PEs          int64 // processing elements
+	IQ           int64 // replicated instruction queue copies
+	MLState      int64 // RE/VE/SSI/ISA mainline matrices (replicated)
+	Dependencies int64 // dependency-detection comparators
+	Scheduling   int64 // per-instance issue/gating logic
+	Predictors   int64 // per-row branch predictors
+	Cache        int64 // on-chip cache
+
+	DEEState int64 // DEE path RE/VE/SSI/ISA columns (replicated) + busses
+}
+
+// Total is the whole design.
+func (c CostBreakdown) Total() int64 {
+	return c.PEs + c.IQ + c.MLState + c.Dependencies + c.Scheduling +
+		c.Predictors + c.Cache + c.DEEState
+}
+
+// DEEFraction is the share of the design realizing DEE (§4.3's 18% / 3%).
+func (c CostBreakdown) DEEFraction() float64 {
+	return float64(c.DEEState) / float64(c.Total())
+}
+
+// ConcurrencyOverheadFraction is the share spent on concurrency
+// detection, scheduling, and multiple-state-copies (everything except
+// the PEs' datapaths, one architectural copy of the state, and the
+// cache) — §4.3's "about 40%".
+func (c CostBreakdown) ConcurrencyOverheadFraction() float64 {
+	// One architectural (non-replicated) copy of IQ and state would be
+	// 1/n of the replicated structures.
+	n := int64(c.Config.Rows)
+	architectural := c.PEs + c.Cache + c.IQ/n + c.MLState/n + c.Predictors
+	overhead := c.Total() - architectural - c.DEEState
+	return float64(overhead) / float64(c.Total()-c.DEEState)
+}
+
+// MarginalDEEPathCost is the transistor cost of one additional
+// single-column DEE path (§4.3's "about 1 million transistors").
+func MarginalDEEPathCost(rows int) int64 {
+	return deePathCost(rows, 1)
+}
+
+// deePathCost: one DEE path of c columns: RE/VE bits + SSI/ISA words per
+// row (DEE columns are served by the broadcast/update busses rather than
+// replicated per PE — Figure 4-b picks ML state off the PE result buses),
+// plus those busses' drivers and the state-copy/priority logic.
+func deePathCost(rows, cols int) int64 {
+	bits := int64(rows*cols) * (2 + 2*wordBits)
+	state := bits * bitCost
+	busses := int64(rows) * int64(cols) * busTap
+	return state + busses
+}
+
+// EstimateCost computes the transistor breakdown of a configuration.
+func EstimateCost(cfg CostConfig) CostBreakdown {
+	n, m := int64(cfg.Rows), int64(cfg.Cols)
+	b := CostBreakdown{Config: cfg}
+
+	b.PEs = n * peCost
+	// IQ replicated once per PE (§4.2).
+	b.IQ = n * instrBits * n * bitCost
+	// RE/VE (2 bits) + SSI (word) + ISA (word) per instance, replicated.
+	b.MLState = n * m * (2 + 2*wordBits) * n * bitCost
+	// Dependency detection: O(n) comparators per row pair over register
+	// addresses (5 bits, data) and instruction indices (control), for
+	// data, control and total-control relations.
+	b.Dependencies = n * n * (3 * 8 * cmpBitCost)
+	// Scheduling: per instance per copy.
+	b.Scheduling = n * m * n * schedPerInstance
+	// Predictors: one per row — 2-bit counter plus a small PAp table
+	// (4 × 2-bit entries + 2-bit history, §4.3).
+	b.Predictors = n * (2 + 8 + 2) * bitCost
+	b.Cache = int64(cfg.CacheKBytes) * 1024 * 8 * sramBitCost
+
+	b.DEEState = int64(cfg.DEEPaths) * deePathCost(cfg.Rows, cfg.DEECols)
+	return b
+}
+
+// String renders the breakdown in millions of transistors.
+func (c CostBreakdown) String() string {
+	mt := func(v int64) float64 { return float64(v) / 1e6 }
+	return fmt.Sprintf(
+		"Levo %dx%d, %d DEE paths x %d cols, %dKB cache:\n"+
+			"  PEs %.1fM  IQ %.1fM  ML state %.1fM  deps %.1fM  sched %.1fM  pred %.2fM  cache %.1fM\n"+
+			"  DEE state %.1fM (%.1f%% of total %.1fM); concurrency+copies overhead %.0f%%",
+		c.Config.Rows, c.Config.Cols, c.Config.DEEPaths, c.Config.DEECols, c.Config.CacheKBytes,
+		mt(c.PEs), mt(c.IQ), mt(c.MLState), mt(c.Dependencies), mt(c.Scheduling), mt(c.Predictors), mt(c.Cache),
+		mt(c.DEEState), 100*c.DEEFraction(), mt(c.Total()), 100*c.ConcurrencyOverheadFraction())
+}

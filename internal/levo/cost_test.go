@@ -1,0 +1,65 @@
+package levo
+
+import "testing"
+
+// The §4.3 statements the cost model must reproduce.
+
+func TestCostMarginalDEEPath(t *testing.T) {
+	// "Each additional 1-column DEE path uses about 1 million
+	// transistors."
+	got := MarginalDEEPathCost(32)
+	if got < 800_000 || got > 1_250_000 {
+		t.Errorf("marginal 1-column DEE path = %d transistors, want ≈1M", got)
+	}
+}
+
+func TestCostDEEFractionET100(t *testing.T) {
+	// "About 18% of the Levo hardware is used to realize DEE, assuming
+	// 11 2-column-wide DEE paths."
+	c := EstimateCost(PaperET100())
+	if f := c.DEEFraction(); f < 0.13 || f > 0.23 {
+		t.Errorf("ET=100 DEE fraction = %.1f%%, want ≈18%%\n%s", 100*f, c)
+	}
+}
+
+func TestCostDEEFractionET32(t *testing.T) {
+	// "(resp. 3%) ... assuming 3 1-column DEE paths [ET = 32]."
+	c := EstimateCost(PaperET32())
+	if f := c.DEEFraction(); f < 0.02 || f > 0.05 {
+		t.Errorf("ET=32 DEE fraction = %.1f%%, want ≈3%%\n%s", 100*f, c)
+	}
+}
+
+func TestCostConcurrencyOverhead(t *testing.T) {
+	// "About 40% of the CPU and on-chip cache hardware is
+	// concurrency-detection/scheduling hardware and
+	// multiple-state-copies overhead."
+	c := EstimateCost(PaperET32())
+	if f := c.ConcurrencyOverheadFraction(); f < 0.30 || f > 0.50 {
+		t.Errorf("concurrency overhead = %.1f%%, want ≈40%%\n%s", 100*f, c)
+	}
+}
+
+func TestCostMonotonicInPaths(t *testing.T) {
+	prev := int64(0)
+	for paths := 0; paths <= 16; paths += 4 {
+		cfg := PaperET32()
+		cfg.DEEPaths = paths
+		tot := EstimateCost(cfg).Total()
+		if tot <= prev {
+			t.Errorf("total not increasing at %d paths: %d", paths, tot)
+		}
+		prev = tot
+	}
+}
+
+func TestCostBreakdownAddsUp(t *testing.T) {
+	c := EstimateCost(PaperET100())
+	sum := c.PEs + c.IQ + c.MLState + c.Dependencies + c.Scheduling + c.Predictors + c.Cache + c.DEEState
+	if sum != c.Total() {
+		t.Errorf("breakdown sum %d != total %d", sum, c.Total())
+	}
+	if c.Total() < 20e6 || c.Total() > 200e6 {
+		t.Errorf("total %d outside the paper's 50-100M-transistor class (with margin)", c.Total())
+	}
+}

@@ -1,0 +1,584 @@
+// Package levo is a behavioral, cycle-level model of the Levo prototype
+// microarchitecture of §4 of the paper: a CONDEL-2-derived static
+// instruction window machine extended with general branch prediction,
+// minimal (total) control dependencies, and Disjoint Eager Execution
+// side paths.
+//
+// # What is modelled
+//
+//   - The Instruction Queue (IQ): a window of Rows consecutive static
+//     instructions with Cols iteration columns. An instruction instance
+//     is identified by (window generation, pass, row): a pass is one
+//     sweep of the dynamic execution through the IQ rows (a loop
+//     iteration when the loop is captured); at most Cols passes are in
+//     flight at once — the RE/VE matrices have Cols columns.
+//   - Window relocation ("linear-code mode"): when execution leaves the
+//     IQ span, the window is re-anchored at the target; the old
+//     generation drains first and the refill costs one cycle.
+//   - Per-row branch predictors (2-bit counters, initialized weakly
+//     taken, paper §5.1); predictor state is attached to IQ rows and is
+//     lost on relocation.
+//   - Minimal data dependencies via the Shadow Sink (SSI) renaming
+//     matrices: exact producer instances for register and memory
+//     operands (internal/trace.DataDeps).
+//   - Minimal/total control dependencies: an instance executes as soon
+//     as its operands are available, regardless of branch state;
+//     instances total-control-dependent on a mispredicted branch (before
+//     its join, or reading state the wrong side may have written) are
+//     squashed and re-execute after resolution plus the one-cycle
+//     penalty.
+//   - DEE side paths: the first DEEPaths pending mispredicted... rather,
+//     the first DEEPaths unresolved branches hold DEE paths executing
+//     their not-predicted side. When such a branch resolves mispredicted,
+//     the side path's state is copied to the mainline in one cycle: the
+//     squashed instances inside the side path's span complete together
+//     rather than replaying their dependence chains.
+//
+// # Validation
+//
+// The model recomputes every instance's result value through the renamed
+// producer instances (cpu.Eval) and compares it with the architectural
+// value from the functional simulator; any wiring error is reported in
+// Result.ValueMismatches. Loads take their values from the functional
+// run (the SSI memory renaming identifies the producing store; byte
+// reassembly of partially overlapping stores is not re-modelled).
+package levo
+
+import (
+	"fmt"
+
+	"deesim/internal/cfg"
+	"deesim/internal/cpu"
+	"deesim/internal/isa"
+	"deesim/internal/trace"
+)
+
+// Config sizes the machine. The paper's targets: a 32×8 IQ and 3
+// single-column DEE paths for the ET=32-equivalent configuration, 11
+// two-column DEE paths for ET=100.
+type Config struct {
+	Rows     int // IQ length n (static instructions)
+	Cols     int // iteration columns m
+	DEEPaths int // DEE side paths
+	Penalty  int // mispredict restart penalty beyond the resolving cycle
+	// MaxInstrs caps the dynamic stream (0 = run to completion).
+	MaxInstrs uint64
+	// DeadlockLimit aborts a stuck simulation (0 = default).
+	DeadlockLimit int
+}
+
+// DefaultConfig is the paper's 32×8 IQ with 3 DEE paths.
+func DefaultConfig() Config {
+	return Config{Rows: 32, Cols: 8, DEEPaths: 3, Penalty: 1}
+}
+
+// Result reports a Levo run.
+type Result struct {
+	Config Config
+	Insts  int
+	Cycles int64
+	IPC    float64
+
+	Branches    int
+	Mispredicts int
+	Accuracy    float64
+	// DEECovered counts mispredicted branches that held a DEE path when
+	// they resolved (their penalty collapsed to the state-copy cycle).
+	DEECovered int
+
+	// Relocations counts window re-anchorings (linear-code mode moves);
+	// Passes counts execution sweeps across the IQ.
+	Relocations int
+	Passes      int
+
+	// ValueMismatches counts instances whose recomputed value differed
+	// from the architectural value — must be zero.
+	ValueMismatches int
+}
+
+// instance is the per-dynamic-instruction bookkeeping.
+type instance struct {
+	gen  int32 // window generation
+	pass int32 // sweep number within the generation
+	row  int16 // IQ row
+}
+
+// Machine runs the model over one program.
+type Machine struct {
+	cfg   Config
+	prog  *isa.Program
+	tr    *trace.Trace
+	graph *cfg.Graph
+	dd    *trace.DataDeps
+
+	inst    []instance
+	genBase []int32 // genBase[g] = dynamic index of generation g's first instance
+
+	correct    []bool // per dynamic branch ordinal
+	branchOrd  []int32
+	branchPos  []int32
+	joins      map[int32]int32
+	sideWrites map[int32][2]cfg.WriteSet
+	srcMask    []uint32
+	isLoad     []bool
+}
+
+// New prepares the machine for a program: records the dynamic stream,
+// assigns window coordinates, and trains the per-row predictors.
+func New(p *isa.Program, cfg_ Config) (*Machine, error) {
+	if cfg_.Rows <= 0 || cfg_.Cols <= 0 {
+		return nil, fmt.Errorf("levo: bad IQ geometry %dx%d", cfg_.Rows, cfg_.Cols)
+	}
+	if cfg_.DeadlockLimit == 0 {
+		cfg_.DeadlockLimit = 1 << 22
+	}
+	tr, err := trace.Record(p, cfg_.MaxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg_,
+		prog:  p,
+		tr:    tr,
+		graph: cfg.Build(p),
+		dd:    tr.DataDeps(false),
+	}
+	m.assignWindows()
+	m.trainPredictors()
+	m.computeControlAids()
+	return m, nil
+}
+
+// assignWindows walks the dynamic stream, assigning each instance its
+// (generation, pass, row) coordinates per the static-window semantics.
+func (m *Machine) assignWindows() {
+	n := len(m.tr.Ins)
+	m.inst = make([]instance, n)
+	gen, pass := int32(0), int32(0)
+	base := int32(0) // window base static index
+	prevRow := int16(-1)
+	m.genBase = []int32{0}
+	for i, din := range m.tr.Ins {
+		s := din.Static
+		if s < base || s >= base+int32(m.cfg.Rows) {
+			// Relocation: re-anchor the window at the target.
+			gen++
+			base = s
+			pass = 0
+			prevRow = -1
+			m.genBase = append(m.genBase, int32(i))
+		}
+		row := int16(s - base)
+		if prevRow >= 0 && row <= prevRow {
+			// Backward movement within the IQ: next iteration column.
+			pass++
+		}
+		m.inst[i] = instance{gen: gen, pass: pass, row: row}
+		prevRow = row
+	}
+}
+
+// trainPredictors runs the per-row 2-bit counters over the dynamic
+// branch stream. There is one predictor per IQ row (§4.3); its state is
+// tagged by the static instruction occupying the row, so a relocated
+// window that reloads the same code resumes the branch's history (the
+// usual predictor-table arrangement) rather than restarting cold.
+func (m *Machine) trainPredictors() {
+	counters := make(map[int32]uint8)
+	m.branchOrd = make([]int32, len(m.tr.Ins))
+	for i := range m.branchOrd {
+		m.branchOrd[i] = -1
+	}
+	for i, din := range m.tr.Ins {
+		if !din.IsBranch() {
+			continue
+		}
+		k := din.Static
+		c, ok := counters[k]
+		if !ok {
+			c = 2 // weakly taken
+		}
+		pred := c >= 2
+		m.branchOrd[i] = int32(len(m.branchPos))
+		m.branchPos = append(m.branchPos, int32(i))
+		m.correct = append(m.correct, pred == din.Taken)
+		if din.Taken {
+			if c < 3 {
+				c++
+			}
+		} else if c > 0 {
+			c--
+		}
+		counters[k] = c
+	}
+}
+
+// computeControlAids precomputes the join positions and wrong-side write
+// sets used for total-control-dependence decisions (same operational
+// rules as the limit simulator — this is the machine those rules model).
+func (m *Machine) computeControlAids() {
+	// Joins: first trace position after each dynamic branch where its
+	// immediate postdominator is reached.
+	wanted := make(map[int32][]int32)
+	for _, din := range m.tr.Ins {
+		if din.IsBranch() {
+			if ip := m.graph.IPdom(din.Static); ip >= 0 {
+				if _, ok := wanted[ip]; !ok {
+					wanted[ip] = nil
+				}
+			}
+		}
+	}
+	for i, din := range m.tr.Ins {
+		if _, ok := wanted[din.Static]; ok {
+			wanted[din.Static] = append(wanted[din.Static], int32(i))
+		}
+	}
+	m.joins = make(map[int32]int32)
+	cursor := make(map[int32]int)
+	for i, din := range m.tr.Ins {
+		if !din.IsBranch() {
+			continue
+		}
+		ip := m.graph.IPdom(din.Static)
+		if ip < 0 {
+			m.joins[int32(i)] = -1
+			continue
+		}
+		occ := wanted[ip]
+		c := cursor[ip]
+		for c < len(occ) && occ[c] <= int32(i) {
+			c++
+		}
+		cursor[ip] = c
+		if c < len(occ) {
+			m.joins[int32(i)] = occ[c]
+		} else {
+			m.joins[int32(i)] = -1
+		}
+	}
+
+	m.sideWrites = make(map[int32][2]cfg.WriteSet)
+	m.srcMask = make([]uint32, len(m.tr.Ins))
+	m.isLoad = make([]bool, len(m.tr.Ins))
+	for i, din := range m.tr.Ins {
+		in := m.prog.Code[din.Static]
+		var msk uint32
+		for _, r := range in.Src() {
+			if r != isa.Zero {
+				msk |= 1 << uint(r)
+			}
+		}
+		m.srcMask[i] = msk
+		m.isLoad[i] = isa.ClassOf(din.Op) == isa.ClassLoad
+		if din.IsBranch() {
+			if _, ok := m.sideWrites[din.Static]; !ok {
+				taken, fall := m.graph.SideWrites(din.Static)
+				m.sideWrites[din.Static] = [2]cfg.WriteSet{taken, fall}
+			}
+		}
+	}
+}
+
+func (m *Machine) wrongSideWrites(bpos int32) cfg.WriteSet {
+	w := m.sideWrites[m.tr.Ins[bpos].Static]
+	if m.tr.Ins[bpos].Taken {
+		return w[1]
+	}
+	return w[0]
+}
+
+// Accuracy returns the per-row predictor accuracy over the stream.
+func (m *Machine) Accuracy() float64 {
+	if len(m.correct) == 0 {
+		return 1
+	}
+	hits := 0
+	for _, ok := range m.correct {
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(m.correct))
+}
+
+// Trace exposes the recorded dynamic stream (for tooling).
+func (m *Machine) Trace() *trace.Trace { return m.tr }
+
+// Run simulates the machine cycle by cycle.
+func (m *Machine) Run() (Result, error) {
+	n := len(m.tr.Ins)
+	res := Result{Config: m.cfg, Insts: n, Branches: len(m.branchPos), Accuracy: m.Accuracy()}
+	for _, ok := range m.correct {
+		if !ok {
+			res.Mispredicts++
+		}
+	}
+	if n > 0 {
+		last := m.inst[n-1]
+		res.Relocations = int(last.gen)
+		// Total passes = sum of per-generation pass counts.
+		passes := 0
+		for i := 0; i < n; i++ {
+			if i == n-1 || m.inst[i+1].gen != m.inst[i].gen {
+				passes += int(m.inst[i].pass) + 1
+			}
+		}
+		res.Passes = passes
+	}
+
+	finish := make([]int64, n)
+	values := make([]uint32, n)
+	// boost[k] != 0: instance k is inside a DEE-path copy triggered at
+	// the given cycle; intra-scope dependence chains are collapsed.
+	boost := make([]int64, n)
+	boostID := make([]int32, n) // resolving branch per boost scope
+
+	head := 0 // oldest incomplete instance
+	var cycle int64
+	penalty := int64(m.cfg.Penalty)
+	idle := 0
+	brCursor := 0
+	type pend struct {
+		pos  int32
+		rank int
+	}
+	var unresolvedMis []pend
+	type restartEvent struct {
+		pos   int32
+		until int64 // instances after pos may not start at cycles <= until
+	}
+	var recentResolved []restartEvent
+	// genReady[g] = earliest cycle generation g's instances may execute
+	// (refill penalty after relocation).
+	genReady := make([]int64, len(m.genBase)+1)
+
+	var initRegs [isa.NumRegs]uint32
+	initRegs[isa.SP] = cpu.StackBase
+
+	valueOf := func(k int32, r isa.Reg, dep int32) uint32 {
+		if dep == trace.NoDep {
+			return initRegs[r]
+		}
+		return values[dep]
+	}
+
+	for head < n {
+		cycle++
+		if cycle > int64(m.cfg.DeadlockLimit)+int64(n) {
+			return res, fmt.Errorf("levo: cycle limit exceeded (head=%d/%d)", head, n)
+		}
+		headGen := m.inst[head].gen
+		headPass := m.inst[head].pass
+
+		// Unresolved branch bookkeeping for this cycle: the first
+		// DEEPaths unresolved branches hold DEE side paths; unresolved
+		// mispredicted branches block their total-control dependents.
+		// brCursor tracks the first branch ordinal at or after head.
+		for brCursor < len(m.branchPos) && int(m.branchPos[brCursor]) < head {
+			brCursor++
+		}
+		unresolvedMis = unresolvedMis[:0]
+		rank := 0
+		for ord := brCursor; ord < len(m.branchPos); ord++ {
+			bp := m.branchPos[ord]
+			if int(bp) >= head+m.cfg.Rows*m.cfg.Cols*2 {
+				break
+			}
+			if finish[bp] != 0 {
+				continue
+			}
+			if !m.correct[ord] {
+				unresolvedMis = append(unresolvedMis, pend{bp, rank})
+			}
+			rank++
+		}
+		// Prune expired restart events (resolved mispredictions whose
+		// penalty window has passed).
+		live := recentResolved[:0]
+		for _, ev := range recentResolved {
+			if cycle <= ev.until {
+				live = append(live, ev)
+			}
+		}
+		recentResolved = live
+
+		executed := 0
+		limit := head + m.cfg.Rows*m.cfg.Cols*2
+		if limit > n {
+			limit = n
+		}
+		for k := head; k < limit; k++ {
+			if finish[k] != 0 {
+				continue
+			}
+			ins := m.inst[k]
+			if ins.gen != headGen {
+				break // next generation waits for the refill
+			}
+			if ins.pass-headPass >= int32(m.cfg.Cols) {
+				break // beyond the live iteration columns
+			}
+			if cycle < genReady[ins.gen] {
+				continue
+			}
+			// Data dependencies through the shadow sinks: strictly
+			// earlier cycle, unless collapsed inside a DEE copy scope.
+			rsDep, rtDep, memDep := m.dd.Rs[k], m.dd.Rt[k], m.dd.Mem[k]
+			ready := true
+			sameScope := func(p int32) bool {
+				return boost[k] != 0 && boost[p] == boost[k] && boostID[p] == boostID[k]
+			}
+			for _, p := range [3]int32{rsDep, rtDep, memDep} {
+				if p == trace.NoDep {
+					continue
+				}
+				if finish[p] == 0 || finish[p] >= cycle {
+					if !(finish[p] != 0 && sameScope(p)) {
+						ready = false
+						break
+					}
+				}
+			}
+			if !ready {
+				continue
+			}
+			// Total control dependence on unresolved mispredicted
+			// branches: blocked before the join, or when the wrong side
+			// may write an operand.
+			blocked := false
+			for _, u := range unresolvedMis {
+				if u.pos >= int32(k) {
+					break
+				}
+				j := m.joins[u.pos]
+				if j >= 0 && j <= int32(k) {
+					w := m.wrongSideWrites(u.pos)
+					if m.srcMask[k]&w.Regs == 0 && !(m.isLoad[k] && w.Mem) {
+						continue
+					}
+				}
+				blocked = true
+				break
+			}
+			if blocked {
+				continue
+			}
+			// Restart penalty after resolved mispredictions: instances
+			// dynamically after a mispredicted branch resolved at f may
+			// not start at cycles <= f+penalty. A DEE copy scope pays
+			// the same one-cycle copy latency (boost time) but collapses
+			// the dependence chains inside the scope.
+			restartBlocked := false
+			for _, ev := range recentResolved {
+				if ev.pos < int32(k) && cycle <= ev.until {
+					restartBlocked = true
+					break
+				}
+			}
+			if restartBlocked {
+				continue
+			}
+			if boost[k] != 0 && cycle <= boost[k] {
+				continue
+			}
+
+			// Execute: compute the value through the renamed operands.
+			din := m.tr.Ins[k]
+			in := m.prog.Code[din.Static]
+			var val uint32
+			switch {
+			case m.isLoad[k]:
+				val = din.Val // memory reassembly not re-modelled
+			case in.Op == isa.JAL:
+				val = uint32(din.Static + 1)
+			case isa.ClassOf(in.Op) == isa.ClassStore:
+				val = valueOf(int32(k), in.Rt, rtDep) // the stored value
+			default:
+				rs := valueOf(int32(k), in.Rs, rsDep)
+				rt := valueOf(int32(k), in.Rt, rtDep)
+				val, _ = cpu.Eval(in, rs, rt)
+			}
+			values[k] = val
+			switch {
+			case m.isLoad[k] || isa.ClassOf(in.Op) == isa.ClassStore:
+				// Validate the effective address through the renamed
+				// base operand.
+				rs := valueOf(int32(k), in.Rs, rsDep)
+				if rs+uint32(in.Imm) != din.MemAddr {
+					res.ValueMismatches++
+				}
+			case din.IsBranch():
+				rs := valueOf(int32(k), in.Rs, rsDep)
+				rt := valueOf(int32(k), in.Rt, rtDep)
+				if _, tk := cpu.Eval(in, rs, rt); tk != din.Taken {
+					res.ValueMismatches++
+				}
+			default:
+				if dst, ok := in.Dst(); ok && dst != isa.Zero && val != din.Val {
+					res.ValueMismatches++
+					values[k] = din.Val // repair to contain the damage
+				}
+			}
+			finish[k] = cycle
+			executed++
+
+			// Branch resolution events.
+			if ord := m.branchOrd[k]; ord >= 0 && !m.correct[ord] {
+				recentResolved = append(recentResolved, restartEvent{int32(k), cycle + penalty})
+				// Did this branch hold a DEE path?
+				covered := false
+				for _, u := range unresolvedMis {
+					if u.pos == int32(k) && u.rank < m.cfg.DEEPaths {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					res.DEECovered++
+					// The side path's state is copied to the mainline in
+					// one cycle: dependents inside the side path's span
+					// complete together after the copy.
+					span := int32(k) + int32(m.cfg.Rows)
+					j := m.joins[int32(k)]
+					if j >= 0 && j < span {
+						span = j
+					}
+					if span > int32(n) {
+						span = int32(n)
+					}
+					for q := int32(k) + 1; q < span; q++ {
+						if finish[q] == 0 {
+							boost[q] = cycle + penalty
+							boostID[q] = int32(k)
+						}
+					}
+				}
+			}
+		}
+
+		for head < n && finish[head] != 0 {
+			// Crossing into a new generation sets its refill time.
+			if head+1 < n && m.inst[head+1].gen != m.inst[head].gen {
+				g := m.inst[head+1].gen
+				if genReady[g] < cycle+1 {
+					genReady[g] = cycle + 1 // one-cycle IQ refill
+				}
+			}
+			head++
+		}
+
+		if executed == 0 {
+			idle++
+			if idle > m.cfg.DeadlockLimit {
+				return res, fmt.Errorf("levo: deadlock at cycle %d (head=%d/%d)", cycle, head, n)
+			}
+		} else {
+			idle = 0
+		}
+	}
+
+	res.Cycles = cycle
+	res.IPC = float64(n) / float64(cycle)
+	return res, nil
+}

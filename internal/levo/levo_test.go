@@ -1,0 +1,329 @@
+package levo
+
+import (
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/bench"
+	"deesim/internal/isa"
+)
+
+func machineFor(t *testing.T, src string, cfg Config) *Machine {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+const tightLoop = `
+    li  $t0, 50
+loop:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+`
+
+func TestWindowAssignmentLoop(t *testing.T) {
+	m := machineFor(t, tightLoop, DefaultConfig())
+	// The whole program fits the IQ: one generation.
+	for i, ins := range m.inst {
+		if ins.gen != 0 {
+			t.Fatalf("instance %d in generation %d; loop should be captured", i, ins.gen)
+		}
+	}
+	// Each loop iteration is one pass: li+addi+bgtz is pass 0, then the
+	// backward branch begins a new pass per iteration.
+	last := m.inst[len(m.inst)-1]
+	if int(last.pass) != 50-1+1 { // 49 wraps + initial... passes = iterations
+		t.Logf("final pass = %d", last.pass)
+	}
+	if last.pass < 40 {
+		t.Errorf("final pass = %d, expected one pass per iteration", last.pass)
+	}
+}
+
+func TestWindowRelocation(t *testing.T) {
+	// Code spanning more than 32 rows with a jump between distant
+	// regions relocates the window.
+	src := `
+    li $t0, 3
+outer:
+    jal far
+    addi $t0, $t0, -1
+    bgtz $t0, outer
+    halt
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+far:
+    jr $ra
+`
+	m := machineFor(t, src, DefaultConfig())
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Relocations < 5 {
+		t.Errorf("relocations = %d, expected one per call and return", r.Relocations)
+	}
+	if r.ValueMismatches != 0 {
+		t.Errorf("value mismatches: %d", r.ValueMismatches)
+	}
+}
+
+func TestRunTightLoop(t *testing.T) {
+	m := machineFor(t, tightLoop, DefaultConfig())
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ValueMismatches != 0 {
+		t.Fatalf("value mismatches: %d", r.ValueMismatches)
+	}
+	if r.Relocations != 0 {
+		t.Errorf("relocations = %d for a captured loop", r.Relocations)
+	}
+	// The counter chain serializes at 1 iteration/cycle; with branch
+	// prediction the branch overlaps: IPC should be near 2 but cannot
+	// exceed the dataflow bound.
+	if r.IPC < 1.2 || r.IPC > 3 {
+		t.Errorf("IPC = %.2f, expected ≈2 for the counter-chained loop", r.IPC)
+	}
+}
+
+// TestValidationOnWorkloads: the dataflow wiring must reproduce every
+// architectural value on all five workloads.
+func TestValidationOnWorkloads(t *testing.T) {
+	for _, w := range bench.All() {
+		prog, err := w.Inputs[0].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.MaxInstrs = 120_000
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if r.ValueMismatches != 0 {
+			t.Errorf("%s: %d value mismatches", w.Name, r.ValueMismatches)
+		}
+		t.Logf("%s: IPC %.2f, accuracy %.3f, relocations %d, passes %d, DEE-covered %d/%d",
+			w.Name, r.IPC, r.Accuracy, r.Relocations, r.Passes, r.DEECovered, r.Mispredicts)
+	}
+}
+
+// TestColumnsHelp: more iteration columns increase captured-loop overlap.
+func TestColumnsHelp(t *testing.T) {
+	// A loop with independent per-iteration work (load/add/store on
+	// distinct addresses) so that iterations can overlap.
+	src := `
+    li  $t0, 0
+    la  $t1, buf
+loop:
+    sll $t2, $t0, 2
+    add $t2, $t1, $t2
+    lw  $t3, 0($t2)
+    addi $t3, $t3, 5
+    sw  $t3, 0($t2)
+    addi $t0, $t0, 1
+    li  $t4, 200
+    blt $t0, $t4, loop
+    halt
+.data
+buf: .space 1024
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := DefaultConfig()
+	one.Cols = 1
+	m1, err := New(p, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := m1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight := DefaultConfig()
+	m8, err := New(p, eight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := m8.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.IPC <= r1.IPC {
+		t.Errorf("8 columns (IPC %.2f) not faster than 1 column (%.2f)", r8.IPC, r1.IPC)
+	}
+	if r1.ValueMismatches != 0 || r8.ValueMismatches != 0 {
+		t.Error("value mismatches")
+	}
+}
+
+// TestDEEPathsHelp: on a mispredict-heavy captured loop, DEE side paths
+// reduce cycles versus none.
+func TestDEEPathsHelp(t *testing.T) {
+	// Data-dependent branch inside a captured loop: hard to predict.
+	prog, err := bench.BuildSynthetic(bench.SyntheticConfig{
+		Iterations: 3000, BranchesPerIter: 2, Bias: 75, Seed: 3, Work: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(paths int) Result {
+		cfg := DefaultConfig()
+		cfg.Rows = 64 // capture the generated loop body
+		cfg.DEEPaths = paths
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ValueMismatches != 0 {
+			t.Fatalf("value mismatches with %d DEE paths", paths)
+		}
+		return r
+	}
+	r0 := run(0)
+	r3 := run(3)
+	r11 := run(11)
+	if r0.DEECovered != 0 {
+		t.Errorf("0 DEE paths covered %d mispredicts", r0.DEECovered)
+	}
+	if r3.DEECovered == 0 {
+		t.Error("3 DEE paths covered nothing")
+	}
+	if r3.Cycles > r0.Cycles {
+		t.Errorf("3 DEE paths (%d cycles) slower than none (%d)", r3.Cycles, r0.Cycles)
+	}
+	if r11.Cycles > r3.Cycles {
+		t.Errorf("11 DEE paths (%d cycles) slower than 3 (%d)", r11.Cycles, r3.Cycles)
+	}
+	t.Logf("cycles: 0 paths %d, 3 paths %d, 11 paths %d (covered %d/%d, %d/%d)",
+		r0.Cycles, r3.Cycles, r11.Cycles, r3.DEECovered, r3.Mispredicts, r11.DEECovered, r11.Mispredicts)
+}
+
+// TestPerRowPredictorAccuracy: the per-row counters on a captured loop
+// behave like per-branch counters (same hardware, row-indexed).
+func TestPerRowPredictorAccuracy(t *testing.T) {
+	m := machineFor(t, tightLoop, DefaultConfig())
+	if acc := m.Accuracy(); acc < 0.9 {
+		t.Errorf("accuracy %.3f on a 50-iteration loop", acc)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	p := &isa.Program{Code: []isa.Inst{{Op: isa.HALT}}}
+	if _, err := New(p, Config{Rows: 0, Cols: 4}); err == nil {
+		t.Error("accepted zero rows")
+	}
+}
+
+// TestIQGeometryMattersForCapture: a 64-row IQ captures loops a 16-row
+// IQ cannot, reducing relocations (the paper's §4.2 argument for longer
+// queues).
+func TestIQGeometryMattersForCapture(t *testing.T) {
+	w, err := bench.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Inputs[0].Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloc := func(rows int) int {
+		cfg := DefaultConfig()
+		cfg.Rows = rows
+		cfg.MaxInstrs = 50_000
+		m, err := New(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Relocations
+	}
+	small := reloc(16)
+	big := reloc(64)
+	if big >= small {
+		t.Errorf("64-row IQ relocations (%d) not below 16-row (%d)", big, small)
+	}
+}
+
+// TestValidationOnSyntheticSpace: value-exact validation across a grid
+// of synthetic branch workloads and IQ geometries — a broad differential
+// test of the dataflow wiring.
+func TestValidationOnSyntheticSpace(t *testing.T) {
+	for _, bias := range []int{55, 75, 95} {
+		for _, rows := range []int{16, 32, 64} {
+			prog, err := bench.BuildSynthetic(bench.SyntheticConfig{
+				Iterations: 800, BranchesPerIter: 3, Bias: bias, Seed: uint32(bias*rows + 7), Work: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Rows = rows
+			m, err := New(prog, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := m.Run()
+			if err != nil {
+				t.Fatalf("bias=%d rows=%d: %v", bias, rows, err)
+			}
+			if r.ValueMismatches != 0 {
+				t.Errorf("bias=%d rows=%d: %d value mismatches", bias, rows, r.ValueMismatches)
+			}
+			if r.IPC <= 0.5 || r.IPC > float64(rows) {
+				t.Errorf("bias=%d rows=%d: implausible IPC %.2f", bias, rows, r.IPC)
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package predictor
+
+import (
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/bench"
+	"deesim/internal/trace"
+)
+
+func TestTwoBitStateMachine(t *testing.T) {
+	p := NewTwoBit()
+	// Initial state: weakly taken (the paper's "non-saturated taken").
+	if !p.Predict(1) {
+		t.Fatal("initial prediction should be taken")
+	}
+	// One not-taken drops to weakly not-taken.
+	p.Update(1, false)
+	if p.Predict(1) {
+		t.Error("after one not-taken, prediction should flip (from weak state)")
+	}
+	// Saturate taken: two updates from state 1 -> 3.
+	p.Update(1, true)
+	p.Update(1, true)
+	if !p.Predict(1) {
+		t.Error("should predict taken after re-training")
+	}
+	// One not-taken must NOT flip a saturated counter.
+	p.Update(1, false)
+	if !p.Predict(1) {
+		t.Error("single not-taken flipped a saturated taken counter")
+	}
+	// Counters are per-branch.
+	p.Update(2, false)
+	p.Update(2, false)
+	if p.Predict(2) == true && p.Predict(1) == false {
+		t.Error("counters aliased across branches")
+	}
+}
+
+func TestTwoBitSaturation(t *testing.T) {
+	p := NewTwoBit()
+	for i := 0; i < 10; i++ {
+		p.Update(7, false)
+	}
+	// Saturated not-taken: needs two takens to flip.
+	p.Update(7, true)
+	if p.Predict(7) {
+		t.Error("one taken flipped a saturated not-taken counter")
+	}
+	p.Update(7, true)
+	if !p.Predict(7) {
+		t.Error("two takens should flip prediction")
+	}
+}
+
+func TestPApLearnsAlternation(t *testing.T) {
+	// A strictly alternating branch defeats a 2-bit counter (~50%) but a
+	// PAp with 2 history bits learns it perfectly after warmup.
+	pap := NewPAp(2)
+	correct := 0
+	taken := false
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		taken = !taken
+		if pap.Predict(3) == taken {
+			correct++
+		}
+		pap.Update(3, taken)
+	}
+	if acc := float64(correct) / rounds; acc < 0.9 {
+		t.Errorf("PAp accuracy on alternation = %v, want > 0.9", acc)
+	}
+
+	tb := NewTwoBit()
+	correct = 0
+	taken = false
+	for i := 0; i < rounds; i++ {
+		taken = !taken
+		if tb.Predict(3) == taken {
+			correct++
+		}
+		tb.Update(3, taken)
+	}
+	if acc := float64(correct) / rounds; acc > 0.7 {
+		t.Errorf("2-bit accuracy on alternation = %v, expected to struggle", acc)
+	}
+}
+
+func TestPApPanicsOnBadHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPAp(0) did not panic")
+		}
+	}()
+	NewPAp(0)
+}
+
+func TestStaticPredictors(t *testing.T) {
+	at := AlwaysTaken{}
+	if !at.Predict(1) {
+		t.Error("AlwaysTaken predicted not-taken")
+	}
+	btfn := BTFN{Backward: map[int32]bool{5: true, 9: false}}
+	if !btfn.Predict(5) || btfn.Predict(9) {
+		t.Error("BTFN mispredicted")
+	}
+}
+
+func TestAccuracyOnLoop(t *testing.T) {
+	p, err := asm.Assemble(`
+    li  $t0, 100
+loop:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, correct := Accuracy(tr, NewTwoBit())
+	// 100 dynamic branches; initialized weakly-taken so the 99 takens
+	// hit, the final not-taken misses: 99%.
+	if len(correct) != 100 {
+		t.Fatalf("correctness vector length %d, want 100", len(correct))
+	}
+	if acc < 0.985 || acc > 0.995 {
+		t.Errorf("accuracy %v, want 0.99", acc)
+	}
+	if correct[99] {
+		t.Error("loop exit should be mispredicted")
+	}
+}
+
+func TestAccuracyBandOnWorkloads(t *testing.T) {
+	// The paper's evaluation measured an average 2-bit accuracy of
+	// 90.53% on SPECint92; the stand-ins must land in a plausible
+	// integer-code band.
+	var sum float64
+	var n int
+	for _, w := range bench.All() {
+		for _, in := range w.Inputs {
+			prog, err := in.Build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := trace.Record(prog, 2_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, _ := Accuracy(tr, NewTwoBit())
+			if acc < 0.70 || acc > 0.99 {
+				t.Errorf("%s/%s: 2-bit accuracy %.3f outside [0.70, 0.99]", w.Name, in.Name, acc)
+			}
+			sum += acc
+			n++
+			t.Logf("%s/%s: 2-bit accuracy %.4f", w.Name, in.Name, acc)
+		}
+	}
+	if mean := sum / float64(n); mean < 0.82 || mean > 0.97 {
+		t.Errorf("mean 2-bit accuracy %.3f too far from the paper's 0.905", mean)
+	}
+}
+
+func TestPApBeatsTwoBitOnWorkloadMix(t *testing.T) {
+	// PAp with history should not be significantly worse than the 2-bit
+	// counter across the suite (the paper expects it to be at least as
+	// good given speculative update).
+	var tbSum, papSum float64
+	var n int
+	for _, w := range bench.All() {
+		prog, err := w.Inputs[0].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.Record(prog, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, _ := Accuracy(tr, NewTwoBit())
+		pap, _ := Accuracy(tr, NewPAp(4))
+		tbSum += tb
+		papSum += pap
+		n++
+	}
+	if papSum < tbSum-0.02*float64(n) {
+		t.Errorf("PAp mean %.4f much worse than 2-bit mean %.4f", papSum/float64(n), tbSum/float64(n))
+	}
+}
+
+func TestFixedPredictor(t *testing.T) {
+	f := &Fixed{Directions: []bool{true, false, true}}
+	got := []bool{f.Predict(0), f.Predict(0), f.Predict(0), f.Predict(0)}
+	want := []bool{true, false, true, true} // exhausted -> taken
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Fixed.Predict %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"2bit", "taken", "pap2", "pap8"} {
+		p, err := New(name)
+		if err != nil || p == nil {
+			t.Errorf("New(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := New("magic"); err == nil {
+		t.Error("New accepted an unknown predictor")
+	}
+}
+
+// --- §4.3: update lag and speculative update ---
+
+// TestDelayedWrapsUpdates: with lag L, the inner predictor sees updates
+// L branches late.
+func TestDelayedWrapsUpdates(t *testing.T) {
+	d := NewDelayed(NewTwoBit(), 2)
+	// Train branch 1 toward not-taken; with lag 2, the first two updates
+	// are still queued after two calls.
+	d.Update(1, false)
+	d.Update(1, false)
+	if !d.Predict(1) {
+		t.Error("updates applied too early (lag not honored)")
+	}
+	d.Update(1, false) // releases the first queued update
+	d.Update(1, false) // releases the second: counter now at 0 or 1
+	if d.Predict(1) {
+		t.Error("released updates not applied")
+	}
+}
+
+// TestCounterDegradesWithLag: §4.3, part one — on a bursty branch (runs
+// of taken/not-taken, as at loop exits and mode changes) the classic
+// 2-bit counter loses accuracy as the resolution lag grows: it keeps
+// predicting from state that trails the current run.
+func TestCounterDegradesWithLag(t *testing.T) {
+	stream := burstyStream(60_000)
+	base := accOnStream(t, stream, NewTwoBit())
+	lagged := accOnStream(t, stream, NewDelayed(NewTwoBit(), 8))
+	t.Logf("2bit on bursty: %.4f -> %.4f at lag 8", base, lagged)
+	if lagged >= base-0.02 {
+		t.Errorf("2-bit counter did not degrade with lag: %.4f -> %.4f", base, lagged)
+	}
+}
+
+// TestSpecPApRealizableUnderLag: §4.3, part two — on a learnable
+// (periodic) branch pattern, speculative-update PAp sustains 90%-class
+// accuracy even when resolutions arrive 8 branches late, because its
+// history register advances with its own predictions; the lagged 2-bit
+// counter cannot reach that level on the same stream.
+func TestSpecPApRealizableUnderLag(t *testing.T) {
+	// Period-5 pattern TTTNN: fully determined by 5 bits of history.
+	pattern := []bool{true, true, true, false, false}
+	stream := make([]bool, 0, 60_000)
+	for len(stream) < 60_000 {
+		stream = append(stream, pattern...)
+	}
+	spec0 := accOnStream(t, stream, NewSpecPAp(5))
+	spec8 := accOnStream(t, stream, NewDelayed(NewSpecPAp(5), 8))
+	tb8 := accOnStream(t, stream, NewDelayed(NewTwoBit(), 8))
+	t.Logf("periodic: spec-pap5 %.4f (lag 0), %.4f (lag 8); 2bit at lag 8: %.4f", spec0, spec8, tb8)
+	if spec8 < 0.90 {
+		t.Errorf("speculative PAp under lag = %.4f, below the paper's 90%% realizability bar", spec8)
+	}
+	if spec8 <= tb8 {
+		t.Errorf("speculative PAp (%.4f) not above the lagged counter (%.4f)", spec8, tb8)
+	}
+}
+
+// burstyStream produces deterministic geometric-ish runs (mean ≈ 6).
+func burstyStream(n int) []bool {
+	var stream []bool
+	x := uint32(0x1234567)
+	next := func(m uint32) uint32 {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		return x % m
+	}
+	taken := true
+	for len(stream) < n {
+		runLen := 2 + int(next(9))
+		for i := 0; i < runLen; i++ {
+			stream = append(stream, taken)
+		}
+		taken = !taken
+	}
+	return stream
+}
+
+func accOnStream(t *testing.T, stream []bool, p Predictor) float64 {
+	t.Helper()
+	hits := 0
+	for _, tk := range stream {
+		if p.Predict(7) == tk {
+			hits++
+		}
+		p.Update(7, tk)
+	}
+	return float64(hits) / float64(len(stream))
+}
+
+func TestSpecPApPanicsOnBadHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSpecPAp(0) did not panic")
+		}
+	}()
+	NewSpecPAp(0)
+}

@@ -1,0 +1,186 @@
+// Package stats provides the aggregate statistics and table rendering
+// used by the experiment harness: harmonic means (the paper's summary
+// statistic for both the espresso multi-input datum and the overall
+// Figure 5 "Harmonic Mean" panel), geometric means, and aligned text or
+// CSV tables matching the figure's series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs; it is the right mean for
+// speedups over a common baseline. Zero or negative inputs are invalid.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %v", x))
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum
+}
+
+// GeometricMean returns the geometric mean of xs.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geometric mean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Table is a simple column-aligned text table with a numeric body.
+type Table struct {
+	Title    string
+	RowLabel string   // header of the label column
+	ColNames []string // one per value column
+	rowNames []string
+	rows     map[string][]float64
+	format   string
+}
+
+// NewTable creates a table; format is the fmt verb for cells (default
+// "%.2f").
+func NewTable(title, rowLabel string, colNames []string) *Table {
+	return &Table{
+		Title:    title,
+		RowLabel: rowLabel,
+		ColNames: colNames,
+		rows:     make(map[string][]float64),
+		format:   "%.2f",
+	}
+}
+
+// SetFormat overrides the cell format verb.
+func (t *Table) SetFormat(f string) { t.format = f }
+
+// Set stores a cell; rows appear in first-Set order.
+func (t *Table) Set(row string, col int, v float64) {
+	r, ok := t.rows[row]
+	if !ok {
+		r = make([]float64, len(t.ColNames))
+		for i := range r {
+			r[i] = math.NaN()
+		}
+		t.rows[row] = r
+		t.rowNames = append(t.rowNames, row)
+	}
+	if col < 0 || col >= len(t.ColNames) {
+		panic(fmt.Sprintf("stats: column %d out of range", col))
+	}
+	r[col] = v
+}
+
+// Get retrieves a cell (NaN if unset).
+func (t *Table) Get(row string, col int) float64 {
+	r, ok := t.rows[row]
+	if !ok {
+		return math.NaN()
+	}
+	return r[col]
+}
+
+// Rows returns row names in insertion order.
+func (t *Table) Rows() []string { return t.rowNames }
+
+// Render produces the aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	cells := make([][]string, 0, len(t.rowNames)+1)
+	head := append([]string{t.RowLabel}, t.ColNames...)
+	cells = append(cells, head)
+	for _, rn := range t.rowNames {
+		row := []string{rn}
+		for _, v := range t.rows[rn] {
+			if math.IsNaN(v) {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf(t.format, v))
+			}
+		}
+		cells = append(cells, row)
+	}
+	widths := make([]int, len(head))
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range cells {
+		for i, c := range row {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total-2))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// RenderCSV produces a CSV rendering of the table.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", csvEscape(t.RowLabel))
+	for _, c := range t.ColNames {
+		fmt.Fprintf(&b, ",%s", csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, rn := range t.rowNames {
+		fmt.Fprintf(&b, "%s", csvEscape(rn))
+		for _, v := range t.rows[rn] {
+			if math.IsNaN(v) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ","+t.format, v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// SortedKeys returns map keys in sorted order (deterministic reporting).
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

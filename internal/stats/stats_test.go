@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 2}, 2},
+		{[]float64{1, 4, 4}, 2},
+		{[]float64{40, 60}, 48},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := HarmonicMean(c.xs); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("HarmonicMean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero input")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestHarmonicLeGeometric(t *testing.T) {
+	// HM <= GM for positive inputs.
+	xs := []float64{3.1, 0.2, 44, 7, 7, 0.9}
+	if HarmonicMean(xs) > GeometricMean(xs)+1e-12 {
+		t.Errorf("HM %v > GM %v", HarmonicMean(xs), GeometricMean(xs))
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GM(2,8) = %v, want 4", got)
+	}
+	if got := GeometricMean(nil); got != 0 {
+		t.Errorf("GM(nil) = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("title", "model", []string{"8", "16"})
+	tb.Set("SP", 0, 1.5)
+	tb.Set("SP", 1, 2.25)
+	tb.Set("DEE", 0, 3)
+	out := tb.Render()
+	for _, want := range []string{"title", "model", "SP", "DEE", "1.50", "2.25", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Unset cell renders as '-'.
+	if !strings.Contains(out, "-") {
+		t.Errorf("unset cell not dashed:\n%s", out)
+	}
+	// Row order is insertion order.
+	if strings.Index(out, "SP") > strings.Index(out, "DEE") {
+		t.Error("row order not preserved")
+	}
+}
+
+func TestTableGet(t *testing.T) {
+	tb := NewTable("", "r", []string{"a"})
+	tb.Set("x", 0, 42)
+	if tb.Get("x", 0) != 42 {
+		t.Error("Get after Set failed")
+	}
+	if !math.IsNaN(tb.Get("y", 0)) {
+		t.Error("missing row should be NaN")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "model", []string{"a,b", "c"})
+	tb.Set(`quo"ted`, 0, 1)
+	out := tb.RenderCSV()
+	if !strings.Contains(out, `"a,b"`) {
+		t.Errorf("comma column not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"quo""ted"`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+	if !strings.HasPrefix(out, "model,") {
+		t.Errorf("header wrong: %s", out)
+	}
+}
+
+func TestTableSetPanicsOutOfRange(t *testing.T) {
+	tb := NewTable("", "r", []string{"a"})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad column")
+		}
+	}()
+	tb.Set("x", 3, 1)
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

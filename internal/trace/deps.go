@@ -1,0 +1,99 @@
+package trace
+
+import "deesim/internal/isa"
+
+// NoDep marks the absence of a producing instruction: the value comes
+// from the initial register file or memory image.
+const NoDep = int32(-1)
+
+// DataDeps holds the minimal (flow-only) data dependencies of a trace —
+// what survives register renaming and perfect memory disambiguation,
+// the paper's "minimal data dependencies" assumption.
+type DataDeps struct {
+	// Rs[k] / Rt[k] are the dynamic indices of the instructions that
+	// produced instruction k's rs / rt register operands (NoDep when
+	// the operand is the initial value, register zero, or unused).
+	Rs, Rt []int32
+	// Mem[k] is the producing store for a load (latest prior store to an
+	// overlapping byte; NoDep when the value comes from the initial
+	// memory image). Unused for non-loads.
+	Mem []int32
+}
+
+// DataDeps scans the trace once and computes flow dependencies. With
+// strictMem set, loads depend on the latest prior store regardless of
+// address (the no-disambiguation ablation).
+func (t *Trace) DataDeps(strictMem bool) *DataDeps {
+	n := len(t.Ins)
+	d := &DataDeps{
+		Rs:  make([]int32, n),
+		Rt:  make([]int32, n),
+		Mem: make([]int32, n),
+	}
+	var lastWrite [isa.NumRegs]int32
+	for i := range lastWrite {
+		lastWrite[i] = NoDep
+	}
+	lastStoreAt := make(map[uint32]int32)
+	lastStore := NoDep
+
+	for i, din := range t.Ins {
+		in := t.Prog.Code[din.Static]
+		d.Rs[i], d.Rt[i], d.Mem[i] = NoDep, NoDep, NoDep
+		readsRs, readsRt := readsOf(in)
+		if readsRs && in.Rs != isa.Zero {
+			d.Rs[i] = lastWrite[in.Rs]
+		}
+		if readsRt && in.Rt != isa.Zero {
+			d.Rt[i] = lastWrite[in.Rt]
+		}
+
+		switch isa.ClassOf(din.Op) {
+		case isa.ClassLoad:
+			if strictMem {
+				d.Mem[i] = lastStore
+			} else {
+				width := uint32(4)
+				if din.Op == isa.LB || din.Op == isa.LBU {
+					width = 1
+				}
+				dep := NoDep
+				for b := uint32(0); b < width; b++ {
+					if s, ok := lastStoreAt[din.MemAddr+b]; ok && s > dep {
+						dep = s
+					}
+				}
+				d.Mem[i] = dep
+			}
+		case isa.ClassStore:
+			width := uint32(4)
+			if din.Op == isa.SB {
+				width = 1
+			}
+			for b := uint32(0); b < width; b++ {
+				lastStoreAt[din.MemAddr+b] = int32(i)
+			}
+			lastStore = int32(i)
+		}
+
+		if dst, ok := in.Dst(); ok && dst != isa.Zero {
+			lastWrite[dst] = int32(i)
+		}
+	}
+	return d
+}
+
+// readsOf reports which of the rs/rt register fields an instruction
+// actually reads (consistent with isa.Inst.Src, but positional).
+func readsOf(in isa.Inst) (rs, rt bool) {
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.J, isa.JAL, isa.LUI:
+		return false, false
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.NOR, isa.SLT,
+		isa.SLTU, isa.SLLV, isa.SRLV, isa.SRAV, isa.MUL, isa.DIV, isa.REM,
+		isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.SW, isa.SB:
+		return true, true
+	default:
+		return true, false
+	}
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+func TestDataDepsSimpleChain(t *testing.T) {
+	tr := record(t, `
+    li   $t0, 1
+    addi $t1, $t0, 2
+    add  $t2, $t0, $t1
+    halt
+`, 0)
+	d := tr.DataDeps(false)
+	// addi reads t0 from inst 0.
+	if d.Rs[1] != 0 {
+		t.Errorf("Rs[1] = %d, want 0", d.Rs[1])
+	}
+	// add reads t0 (inst 0) and t1 (inst 1).
+	if d.Rs[2] != 0 || d.Rt[2] != 1 {
+		t.Errorf("add deps = (%d,%d), want (0,1)", d.Rs[2], d.Rt[2])
+	}
+	// li reads nothing.
+	if d.Rs[0] != NoDep || d.Rt[0] != NoDep {
+		t.Errorf("li deps = (%d,%d)", d.Rs[0], d.Rt[0])
+	}
+}
+
+func TestDataDepsMemoryGranularity(t *testing.T) {
+	tr := record(t, `
+    la  $t0, buf
+    li  $t1, 0x11223344
+    sw  $t1, 0($t0)
+    li  $t2, 0x55
+    sb  $t2, 2($t0)      # overwrites byte 2 of the word
+    lw  $t3, 0($t0)      # depends on the LATEST overlapping store (sb)
+    lb  $t4, 0($t0)      # byte 0: still the sw
+    lb  $t5, 2($t0)      # byte 2: the sb
+    halt
+.data
+buf: .space 8
+`, 0)
+	d := tr.DataDeps(false)
+	// Instruction indices: la=0,1 (lui+ori), li 0x11223344=2,3 (lui+ori),
+	// sw=4, li 0x55=5, sb=6, lw=7, lb@0=8, lb@2=9.
+	if d.Mem[7] != 6 {
+		t.Errorf("lw mem dep = %d, want 6 (the byte store)", d.Mem[7])
+	}
+	if d.Mem[8] != 4 {
+		t.Errorf("lb@0 mem dep = %d, want 4 (the word store)", d.Mem[8])
+	}
+	if d.Mem[9] != 6 {
+		t.Errorf("lb@2 mem dep = %d, want 6", d.Mem[9])
+	}
+}
+
+func TestDataDepsStrictMemory(t *testing.T) {
+	tr := record(t, `
+    la  $t0, buf
+    li  $t1, 7
+    sw  $t1, 0($t0)
+    lw  $t2, 4($t0)      # disjoint address
+    halt
+.data
+buf: .space 8
+`, 0)
+	exact := tr.DataDeps(false)
+	strict := tr.DataDeps(true)
+	lw := 4 // la=0,1, li=2, sw=3, lw=4
+	if exact.Mem[lw] != NoDep {
+		t.Errorf("exact disambiguation: lw dep = %d, want none", exact.Mem[lw])
+	}
+	if strict.Mem[lw] != 3 {
+		t.Errorf("strict memory: lw dep = %d, want 3", strict.Mem[lw])
+	}
+}
+
+// TestDataDepsInvariants: property test over random programs — every
+// producer precedes its consumer, writes the register read, and memory
+// producers are stores overlapping the load's address.
+func TestDataDepsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		prog := randomProgram(rng)
+		tr, err := Record(prog, 30_000)
+		if err != nil {
+			continue // random programs may fault (alignment); fine
+		}
+		d := tr.DataDeps(false)
+		for k, din := range tr.Ins {
+			in := prog.Code[din.Static]
+			for _, dep := range []struct {
+				p   int32
+				reg isa.Reg
+			}{{d.Rs[k], in.Rs}, {d.Rt[k], in.Rt}} {
+				if dep.p == NoDep {
+					continue
+				}
+				if dep.p >= int32(k) {
+					t.Fatalf("trial %d: producer %d not before consumer %d", trial, dep.p, k)
+				}
+				pin := prog.Code[tr.Ins[dep.p].Static]
+				dst, ok := pin.Dst()
+				if !ok || dst != dep.reg {
+					t.Fatalf("trial %d: producer %v does not write %v", trial, pin, dep.reg)
+				}
+				// No intervening writer of the same register.
+				for j := dep.p + 1; j < int32(k); j++ {
+					jin := prog.Code[tr.Ins[j].Static]
+					if jd, ok := jin.Dst(); ok && jd == dep.reg && jd != isa.Zero {
+						t.Fatalf("trial %d: intervening writer of %v at %d between %d and %d",
+							trial, dep.reg, j, dep.p, k)
+					}
+				}
+			}
+			if p := d.Mem[k]; p != NoDep {
+				if isa.ClassOf(tr.Ins[p].Op) != isa.ClassStore {
+					t.Fatalf("trial %d: memory producer %d is not a store", trial, p)
+				}
+				if p >= int32(k) {
+					t.Fatalf("trial %d: memory producer after consumer", trial)
+				}
+				// Overlap check.
+				la, lw := tr.Ins[k].MemAddr, width(tr.Ins[k].Op)
+				sa, sw := tr.Ins[p].MemAddr, width(tr.Ins[p].Op)
+				if la+lw <= sa || sa+sw <= la {
+					t.Fatalf("trial %d: store [%#x,%d) does not overlap load [%#x,%d)", trial, sa, sw, la, lw)
+				}
+			}
+		}
+	}
+}
+
+func width(op isa.Op) uint32 {
+	switch op {
+	case isa.LB, isa.LBU, isa.SB:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// randomProgram generates a terminating straight-line-plus-loops program
+// over a small register set and a private data buffer.
+func randomProgram(rng *rand.Rand) *isa.Program {
+	src := "    la $s7, buf\n    li $s6, " + itoa(5+rng.Intn(20)) + "\nloop:\n"
+	body := 4 + rng.Intn(12)
+	for i := 0; i < body; i++ {
+		r1 := rng.Intn(6)
+		r2 := rng.Intn(6)
+		switch rng.Intn(6) {
+		case 0:
+			src += "    addi $t" + itoa(r1) + ", $t" + itoa(r2) + ", " + itoa(rng.Intn(64)) + "\n"
+		case 1:
+			src += "    add $t" + itoa(r1) + ", $t" + itoa(r2) + ", $s6\n"
+		case 2:
+			src += "    xor $t" + itoa(r1) + ", $t" + itoa(r1) + ", $t" + itoa(r2) + "\n"
+		case 3:
+			off := 4 * rng.Intn(8)
+			src += "    sw $t" + itoa(r1) + ", " + itoa(off) + "($s7)\n"
+		case 4:
+			off := 4 * rng.Intn(8)
+			src += "    lw $t" + itoa(r1) + ", " + itoa(off) + "($s7)\n"
+		case 5:
+			off := rng.Intn(32)
+			src += "    lbu $t" + itoa(r1) + ", " + itoa(off) + "($s7)\n"
+		}
+	}
+	src += "    addi $s6, $s6, -1\n    bgtz $s6, loop\n    halt\n.data\nbuf: .space 64\n"
+	return asm.MustAssemble(src)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

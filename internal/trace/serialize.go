@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"deesim/internal/isa"
+)
+
+// Trace files let a recorded dynamic stream be snapshotted and replayed
+// without re-running the functional simulator — the usual workflow for
+// trace-driven evaluation (the paper's own simulator consumed prepared
+// traces). The format is a gzip-compressed gob of the program image and
+// the dynamic stream; it is versioned by a magic header.
+
+const fileMagic = "deesim-trace-v1\n"
+
+// serialized is the on-disk form (exported fields for gob).
+type serialized struct {
+	Code        []byte // isa.EncodeProgram image
+	Data        []byte
+	DataBase    uint32
+	Symbols     map[string]int
+	DataSymbols map[string]uint32
+	Ins         []DynInst
+}
+
+// WriteTo streams the trace. The returned count is bytes written.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if _, err := io.WriteString(cw, fileMagic); err != nil {
+		return cw.n, err
+	}
+	zw := gzip.NewWriter(cw)
+	enc := gob.NewEncoder(zw)
+	s := serialized{
+		Code:        isa.EncodeProgram(t.Prog),
+		Data:        t.Prog.Data,
+		DataBase:    t.Prog.DataBase,
+		Symbols:     t.Prog.Symbols,
+		DataSymbols: t.Prog.DataSymbols,
+		Ins:         t.Ins,
+	}
+	if err := enc.Encode(&s); err != nil {
+		return cw.n, fmt.Errorf("trace: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadTrace loads a trace written by WriteTo.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("trace: not a deesim trace file")
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer zr.Close()
+	var s serialized
+	if err := gob.NewDecoder(zr).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	prog, err := isa.DecodeProgram(s.Code)
+	if err != nil {
+		return nil, fmt.Errorf("trace: program image: %w", err)
+	}
+	prog.Data = s.Data
+	prog.DataBase = s.DataBase
+	prog.Symbols = s.Symbols
+	prog.DataSymbols = s.DataSymbols
+	t := &Trace{Prog: prog, Ins: s.Ins}
+	if len(t.Ins) == 0 {
+		return nil, fmt.Errorf("trace: empty trace file")
+	}
+	return t, nil
+}
+
+// SaveFile and LoadFile are path-based conveniences.
+func (t *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace file from disk.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

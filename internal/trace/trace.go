@@ -1,0 +1,212 @@
+// Package trace defines the dynamic instruction trace consumed by the ILP
+// limit simulator, its capture from the functional simulator, and the
+// branch-path segmentation and statistics the paper's methodology uses
+// (a "branch path" is the dynamic code between branches, including the
+// exit branch — §2 of the paper).
+package trace
+
+import (
+	"fmt"
+
+	"deesim/internal/cpu"
+	"deesim/internal/isa"
+)
+
+// DynInst is one retired dynamic instruction.
+type DynInst struct {
+	// Static is the instruction's index in Program.Code.
+	Static int32
+	// Op is the operation (copied out for locality).
+	Op isa.Op
+	// Taken is meaningful for control transfers: whether it redirected.
+	Taken bool
+	// Next is the dynamic successor's static index.
+	Next int32
+	// MemAddr is the effective address for loads and stores.
+	MemAddr uint32
+	// Val is the architectural result of the instruction: the value
+	// written to the destination register (loads included), or zero for
+	// instructions writing none. The Levo model validates its dataflow
+	// wiring against these values.
+	Val uint32
+}
+
+// IsBranch reports whether the dynamic instruction is a conditional
+// branch (the unit the speculation models reason about).
+func (d DynInst) IsBranch() bool { return isa.IsCondBranch(d.Op) }
+
+// Trace is a dynamic instruction stream plus the program it came from.
+type Trace struct {
+	Prog *isa.Program
+	Ins  []DynInst
+
+	// paths[i] is the index into Ins one past the end of branch path i.
+	// Computed lazily by Paths.
+	pathEnds []int32
+}
+
+// Record runs the program on the functional simulator, capturing up to
+// limit dynamic instructions (0 = unlimited, bounded only by HALT). A
+// program that exceeds the limit yields a truncated trace and no error,
+// matching the paper's "up to 100 million instructions" methodology.
+func Record(p *isa.Program, limit uint64) (*Trace, error) {
+	t := &Trace{Prog: p}
+	if limit > 0 {
+		t.Ins = make([]DynInst, 0, min64(limit, 1<<22))
+	}
+	c := cpu.New(p)
+	c.Hook = func(idx int, in isa.Inst, taken bool, next int, memAddr uint32, result uint32) {
+		t.Ins = append(t.Ins, DynInst{
+			Static:  int32(idx),
+			Op:      in.Op,
+			Taken:   taken,
+			Next:    int32(next),
+			MemAddr: memAddr,
+			Val:     result,
+		})
+	}
+	err := c.Run(limit)
+	if err != nil {
+		if _, truncated := err.(*cpu.ErrLimit); !truncated {
+			return nil, err
+		}
+	}
+	if len(t.Ins) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return t, nil
+}
+
+// Len is the number of dynamic instructions.
+func (t *Trace) Len() int { return len(t.Ins) }
+
+// Paths segments the trace into branch paths: each path is a maximal run
+// of instructions ending with a conditional branch (or with the final
+// instruction of the trace). Unconditional jumps do not end a path — the
+// speculation models only spend tree resources on conditional branches;
+// jumps never mispredict. The return value is a slice of end offsets:
+// path i covers Ins[start(i):end(i)) with start(i)=end(i-1).
+func (t *Trace) Paths() []int32 {
+	if t.pathEnds != nil {
+		return t.pathEnds
+	}
+	var ends []int32
+	for i, d := range t.Ins {
+		if d.IsBranch() {
+			ends = append(ends, int32(i+1))
+		}
+	}
+	if n := int32(len(t.Ins)); len(ends) == 0 || ends[len(ends)-1] != n {
+		ends = append(ends, n)
+	}
+	t.pathEnds = ends
+	return ends
+}
+
+// NumPaths is the number of branch paths in the trace.
+func (t *Trace) NumPaths() int { return len(t.Paths()) }
+
+// PathBounds returns the [start, end) dynamic-instruction range of path i.
+func (t *Trace) PathBounds(i int) (start, end int32) {
+	ends := t.Paths()
+	if i > 0 {
+		start = ends[i-1]
+	}
+	return start, ends[i]
+}
+
+// PathBranch returns the dynamic index of the branch terminating path i,
+// or -1 if the path is the trailing branchless tail.
+func (t *Trace) PathBranch(i int) int32 {
+	_, end := t.PathBounds(i)
+	if end > 0 && t.Ins[end-1].IsBranch() {
+		return end - 1
+	}
+	return -1
+}
+
+// Stats summarizes the properties the paper's §5.1 discusses.
+type Stats struct {
+	DynInsts          int     // dynamic instruction count
+	CondBranches      int     // dynamic conditional branches
+	Jumps             int     // dynamic unconditional transfers
+	Loads, Stores     int     // dynamic memory operations
+	TakenRate         float64 // fraction of conditional branches taken
+	BranchDensity     float64 // conditional branches per instruction
+	MeanPathLen       float64 // mean branch-path length in instructions
+	StaticInsts       int     // program size
+	StaticBranches    int     // static conditional branch sites
+	BackwardTakenRate float64 // taken rate of backward branches
+}
+
+// ComputeStats walks the trace once.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{DynInsts: len(t.Ins), StaticInsts: len(t.Prog.Code)}
+	taken := 0
+	backTaken, backTotal := 0, 0
+	staticBr := make(map[int32]struct{})
+	for _, d := range t.Ins {
+		switch {
+		case d.IsBranch():
+			s.CondBranches++
+			staticBr[d.Static] = struct{}{}
+			if d.Taken {
+				taken++
+			}
+			if backward := t.Prog.Code[d.Static].Imm <= d.Static; backward {
+				backTotal++
+				if d.Taken {
+					backTaken++
+				}
+			}
+		case isa.ClassOf(d.Op) == isa.ClassJump:
+			s.Jumps++
+		case isa.ClassOf(d.Op) == isa.ClassLoad:
+			s.Loads++
+		case isa.ClassOf(d.Op) == isa.ClassStore:
+			s.Stores++
+		}
+	}
+	s.StaticBranches = len(staticBr)
+	if s.CondBranches > 0 {
+		s.TakenRate = float64(taken) / float64(s.CondBranches)
+		s.BranchDensity = float64(s.CondBranches) / float64(s.DynInsts)
+		s.MeanPathLen = float64(s.DynInsts) / float64(t.NumPaths())
+	}
+	if backTotal > 0 {
+		s.BackwardTakenRate = float64(backTaken) / float64(backTotal)
+	}
+	return s
+}
+
+// LoopCaptureRate reports the fraction of dynamic taken-backward-branch
+// loop bodies whose span (branch index − target index + 1) fits within a
+// static window of iqSize instructions. The paper (§4.2) reports >70% of
+// SPECint92 conditional-backward-branch loops fitting an IQ of length 32.
+func (t *Trace) LoopCaptureRate(iqSize int) float64 {
+	fits, total := 0, 0
+	for _, d := range t.Ins {
+		if !d.IsBranch() || !d.Taken {
+			continue
+		}
+		target := t.Prog.Code[d.Static].Imm
+		if target > d.Static {
+			continue // forward branch
+		}
+		total++
+		if int(d.Static-target)+1 <= iqSize {
+			fits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fits) / float64(total)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

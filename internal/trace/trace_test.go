@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/isa"
+)
+
+func record(t *testing.T, src string, limit uint64) *Trace {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(p, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+const loopSrc = `
+    li  $t0, 4
+loop:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+`
+
+func TestRecordBasic(t *testing.T) {
+	tr := record(t, loopSrc, 0)
+	// li(1) + 4 iterations × 2 + halt = 10 dynamic instructions.
+	if tr.Len() != 10 {
+		t.Fatalf("trace length %d, want 10", tr.Len())
+	}
+	branches := 0
+	takens := 0
+	for _, d := range tr.Ins {
+		if d.IsBranch() {
+			branches++
+			if d.Taken {
+				takens++
+			}
+		}
+	}
+	if branches != 4 || takens != 3 {
+		t.Errorf("branches=%d takens=%d, want 4/3", branches, takens)
+	}
+}
+
+func TestRecordTruncates(t *testing.T) {
+	tr := record(t, "spin: b spin\n    halt", 500)
+	if tr.Len() != 500 {
+		t.Errorf("truncated trace length %d, want 500", tr.Len())
+	}
+}
+
+func TestPaths(t *testing.T) {
+	tr := record(t, loopSrc, 0)
+	// Branch paths end at each conditional branch; the tail (halt) forms
+	// the final path. 4 branches + tail = 5 paths.
+	if got := tr.NumPaths(); got != 5 {
+		t.Fatalf("paths = %d, want 5", got)
+	}
+	// First path: li, addi, bgtz = instructions 0..2.
+	s, e := tr.PathBounds(0)
+	if s != 0 || e != 3 {
+		t.Errorf("path 0 bounds [%d,%d), want [0,3)", s, e)
+	}
+	// Middle paths: addi, bgtz.
+	s, e = tr.PathBounds(1)
+	if e-s != 2 {
+		t.Errorf("path 1 length %d, want 2", e-s)
+	}
+	// Final path: halt alone; no terminating branch.
+	if br := tr.PathBranch(4); br != -1 {
+		t.Errorf("tail path branch = %d, want -1", br)
+	}
+	if br := tr.PathBranch(0); br != 2 {
+		t.Errorf("path 0 branch at %d, want 2", br)
+	}
+}
+
+func TestJumpsDoNotEndPaths(t *testing.T) {
+	tr := record(t, `
+    li $t0, 2
+loop:
+    b  skip
+skip:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+`, 0)
+	// Jumps (b → j) stay inside branch paths.
+	for i := 0; i < tr.NumPaths()-1; i++ {
+		br := tr.PathBranch(i)
+		if br < 0 || !tr.Ins[br].IsBranch() {
+			t.Errorf("path %d not terminated by a conditional branch", i)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := record(t, loopSrc, 0)
+	st := tr.ComputeStats()
+	if st.DynInsts != 10 || st.CondBranches != 4 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.TakenRate != 0.75 {
+		t.Errorf("taken rate %v, want 0.75", st.TakenRate)
+	}
+	if st.StaticBranches != 1 {
+		t.Errorf("static branches %d, want 1", st.StaticBranches)
+	}
+	if st.BackwardTakenRate != 0.75 {
+		t.Errorf("backward taken rate %v, want 0.75", st.BackwardTakenRate)
+	}
+	if st.MeanPathLen != 2 {
+		t.Errorf("mean path length %v, want 2", st.MeanPathLen)
+	}
+}
+
+func TestLoopCaptureRate(t *testing.T) {
+	tr := record(t, loopSrc, 0)
+	// The loop spans 2 instructions: fits any window ≥ 2.
+	if r := tr.LoopCaptureRate(32); r != 1 {
+		t.Errorf("capture rate %v, want 1", r)
+	}
+	if r := tr.LoopCaptureRate(1); r != 0 {
+		t.Errorf("capture rate with window 1 = %v, want 0", r)
+	}
+}
+
+func TestMemAddrRecorded(t *testing.T) {
+	tr := record(t, `
+    la $t0, buf
+    li $t1, 7
+    sw $t1, 4($t0)
+    lw $t2, 4($t0)
+    halt
+.data
+buf: .space 8
+`, 0)
+	var stores, loads int
+	var addr uint32
+	for _, d := range tr.Ins {
+		switch isa.ClassOf(d.Op) {
+		case isa.ClassStore:
+			stores++
+			addr = d.MemAddr
+		case isa.ClassLoad:
+			loads++
+			if d.MemAddr != addr {
+				t.Errorf("load addr %#x != store addr %#x", d.MemAddr, addr)
+			}
+		}
+	}
+	if stores != 1 || loads != 1 {
+		t.Errorf("stores=%d loads=%d", stores, loads)
+	}
+}
+
+func TestRecordPropagatesFaults(t *testing.T) {
+	p, err := asm.Assemble(`
+    la $t0, buf
+    lw $t1, 2($t0)
+    halt
+.data
+buf: .space 8
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Record(p, 0); err == nil {
+		t.Error("unaligned fault not propagated")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tr := record(t, loopSrc, 0)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ins) != len(tr.Ins) {
+		t.Fatalf("round trip length %d -> %d", len(tr.Ins), len(got.Ins))
+	}
+	for i := range tr.Ins {
+		if got.Ins[i] != tr.Ins[i] {
+			t.Fatalf("inst %d: %+v != %+v", i, got.Ins[i], tr.Ins[i])
+		}
+	}
+	for i := range tr.Prog.Code {
+		if got.Prog.Code[i] != tr.Prog.Code[i] {
+			t.Fatalf("code %d differs", i)
+		}
+	}
+	// Same branch-path segmentation and stats after reload.
+	if got.NumPaths() != tr.NumPaths() {
+		t.Errorf("paths %d -> %d", tr.NumPaths(), got.NumPaths())
+	}
+	if a, b := tr.ComputeStats(), got.ComputeStats(); a != b {
+		t.Errorf("stats changed: %+v vs %+v", a, b)
+	}
+}
+
+func TestSerializeFile(t *testing.T) {
+	tr := record(t, loopSrc, 0)
+	path := t.TempDir() + "/loop.trace"
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Errorf("file round trip length %d -> %d", tr.Len(), got.Len())
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace at all......"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte(""))); err == nil {
+		t.Error("empty input accepted")
+	}
+}

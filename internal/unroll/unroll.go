@@ -1,0 +1,317 @@
+// Package unroll is the machine-code to machine-code loop unrolling
+// filter of §4.2 of the paper: "The execution of loops with lengths less
+// than that of the Instruction Queue can be enhanced by a machine-code
+// to machine-code loop unrolling filter program, to achieve average loop
+// sizes of about 3/4 the length of the Queue."
+//
+// The filter finds simple natural loops — a conditional backward branch
+// b→t whose target dominates it, with a contiguous body [t, b] that no
+// outside branch enters — and unrolls them in place: k−1 body copies are
+// inserted directly after the original, iteration-continuation falls
+// through from copy to copy (intermediate exit tests are
+// condition-inverted branches to the relocated exit), and the last copy
+// branches back to the top. Semantics are preserved exactly; the
+// transformation is validated by running the workloads to completion and
+// comparing results (see tests).
+//
+// Caveat: programs that materialize code addresses into registers (e.g.
+// `la` of a text label used for computed jumps) cannot be shifted
+// safely; Apply refuses programs whose LUI/ORI pairs resolve to text
+// addresses is not detectable in general, so the caller is responsible
+// for applying the filter only to position-independent-by-construction
+// code (all of internal/bench qualifies — their only computed targets
+// are JAL-produced return addresses, which remain correct).
+package unroll
+
+import (
+	"fmt"
+
+	"deesim/internal/cfg"
+	"deesim/internal/isa"
+)
+
+// Options controls the filter.
+type Options struct {
+	// TargetSize is the unrolled-body size ceiling in instructions; the
+	// paper suggests ~3/4 of the IQ length (24 for a 32-entry queue).
+	TargetSize int
+	// MaxBody bounds the original body size eligible for unrolling
+	// (bodies above TargetSize/2 cannot double and are skipped anyway).
+	MaxBody int
+	// MaxLoops bounds how many loops are transformed (0 = no bound).
+	MaxLoops int
+	// WindowSize is the IQ length the code must stay capturable in: a
+	// loop is not unrolled (or its factor is reduced) when the growth
+	// would push an enclosing loop's body beyond this size, which would
+	// trade captured-loop execution for relocation storms. 0 disables
+	// the guard.
+	WindowSize int
+}
+
+// DefaultOptions targets the paper's 32-row IQ.
+func DefaultOptions() Options {
+	return Options{TargetSize: 24, MaxBody: 12, WindowSize: 32}
+}
+
+// Report summarizes a filter run.
+type Report struct {
+	LoopsFound    int // candidate simple loops
+	LoopsUnrolled int
+	CopiesAdded   int // body copies inserted
+	SizeBefore    int
+	SizeAfter     int
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("unroll: %d/%d loops unrolled, +%d copies, %d -> %d instructions",
+		r.LoopsUnrolled, r.LoopsFound, r.CopiesAdded, r.SizeBefore, r.SizeAfter)
+}
+
+// invert returns the opposite-sense conditional branch.
+func invert(op isa.Op) isa.Op {
+	switch op {
+	case isa.BEQ:
+		return isa.BNE
+	case isa.BNE:
+		return isa.BEQ
+	case isa.BLT:
+		return isa.BGE
+	case isa.BGE:
+		return isa.BLT
+	case isa.BLEZ:
+		return isa.BGTZ
+	case isa.BGTZ:
+		return isa.BLEZ
+	}
+	panic(fmt.Sprintf("unroll: not a conditional branch: %v", op))
+}
+
+// loop is a candidate: a conditional backward branch at b targeting t.
+type loop struct{ t, b int32 }
+
+// findLoops returns the simple contiguous natural loops, innermost
+// (smallest body) first.
+func findLoops(p *isa.Program) []loop {
+	g := cfg.Build(p)
+	idom := g.Dominators()
+	var out []loop
+	for b, in := range p.Code {
+		if !isa.IsCondBranch(in.Op) || in.Imm > int32(b) {
+			continue
+		}
+		t := in.Imm
+		if !cfg.Dominates(idom, t, int32(b)) {
+			continue
+		}
+		if !simpleBody(p, t, int32(b)) {
+			continue
+		}
+		out = append(out, loop{t, int32(b)})
+	}
+	// Smallest bodies first; ties by position.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			si, sj := out[j].b-out[j].t, out[j-1].b-out[j-1].t
+			if si < sj || (si == sj && out[j].t < out[j-1].t) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// simpleBody checks the contiguous range [t, b] qualifies: the only
+// backward branch in it is the closing one, no instruction outside
+// branches into (t, b], and it contains no JR (a return out of the
+// middle of a copied body is fine semantically, but a JR used as a
+// computed jump is not analyzable — we refuse both) and no HALT.
+func simpleBody(p *isa.Program, t, b int32) bool {
+	for i := t; i <= b; i++ {
+		in := p.Code[i]
+		switch in.Op {
+		case isa.JR, isa.HALT:
+			return false
+		}
+		// A second backward branch inside the body means a nested loop;
+		// handle inner loops on their own (they sort first).
+		if isa.IsCondBranch(in.Op) && in.Imm <= i && !(i == b && in.Imm == t) {
+			return false
+		}
+		if in.Op == isa.J && in.Imm <= i && in.Imm >= t {
+			return false // backward jump inside the body
+		}
+	}
+	// No branch from outside may enter the body other than at t.
+	for i, in := range p.Code {
+		if int32(i) >= t && int32(i) <= b {
+			continue
+		}
+		switch {
+		case isa.IsCondBranch(in.Op) || in.Op == isa.J || in.Op == isa.JAL:
+			if in.Imm > t && in.Imm <= b {
+				return false
+			}
+		}
+	}
+	// Fall-through entry from t-1 is fine (it enters at t... actually a
+	// fall-through into the middle is impossible for a contiguous range:
+	// only t-1 falls into t).
+	return true
+}
+
+// Apply runs the filter, returning a transformed copy of the program
+// (the input is not modified) and a report.
+func Apply(p *isa.Program, opt Options) (*isa.Program, Report, error) {
+	if opt.TargetSize <= 0 {
+		opt = DefaultOptions()
+	}
+	if opt.MaxBody <= 0 {
+		opt.MaxBody = opt.TargetSize / 2
+	}
+	out := &isa.Program{
+		Code:        append([]isa.Inst(nil), p.Code...),
+		Data:        append([]byte(nil), p.Data...),
+		DataBase:    p.DataBase,
+		Symbols:     map[string]int{},
+		DataSymbols: p.DataSymbols,
+	}
+	for k, v := range p.Symbols {
+		out.Symbols[k] = v
+	}
+	rep := Report{SizeBefore: len(p.Code)}
+
+	done := 0
+	for {
+		loops := findLoops(out)
+		if done == 0 {
+			rep.LoopsFound = len(loops)
+		}
+		var picked *loop
+		k := 0
+		for i := range loops {
+			body := int(loops[i].b - loops[i].t + 1)
+			if body > opt.MaxBody || 2*body > opt.TargetSize {
+				continue
+			}
+			kc := opt.TargetSize / body
+			// Enclosing-loop guard: growing this loop must not push any
+			// enclosing loop body — simple or not, so every backward
+			// conditional branch spanning the candidate counts — beyond
+			// the IQ window, or captured loops turn into relocation
+			// storms.
+			if opt.WindowSize > 0 {
+				for b2, in2 := range out.Code {
+					backEdge := (isa.IsCondBranch(in2.Op) || in2.Op == isa.J) && in2.Imm <= int32(b2)
+					if !backEdge {
+						continue
+					}
+					t2 := in2.Imm
+					if t2 <= loops[i].t && int32(b2) >= loops[i].b &&
+						!(t2 == loops[i].t && int32(b2) == loops[i].b) {
+						room := opt.WindowSize - (int(b2) - int(t2) + 1)
+						maxK := 1 + room/body
+						if maxK < kc {
+							kc = maxK
+						}
+					}
+				}
+				// The loop's own unrolled body must also fit the window.
+				if kc*body > opt.WindowSize {
+					kc = opt.WindowSize / body
+				}
+			}
+			if kc >= 2 {
+				picked = &loops[i]
+				k = kc
+				break
+			}
+		}
+		if picked == nil {
+			break
+		}
+		unrollOne(out, picked.t, picked.b, k)
+		rep.LoopsUnrolled++
+		rep.CopiesAdded += k - 1
+		done++
+		if opt.MaxLoops > 0 && done >= opt.MaxLoops {
+			break
+		}
+		if len(out.Code) > 16*len(p.Code)+1024 {
+			break // runaway guard
+		}
+	}
+	rep.SizeAfter = len(out.Code)
+	if err := out.Validate(); err != nil {
+		return nil, rep, fmt.Errorf("unroll: produced invalid program: %w", err)
+	}
+	return out, rep, nil
+}
+
+// unrollOne rewrites a single loop in place: k-1 copies inserted after b.
+func unrollOne(p *isa.Program, t, b int32, k int) {
+	bodyLen := b - t + 1
+	delta := int32(k-1) * bodyLen
+	exit := b + 1 + delta // the relocated fall-through exit
+
+	// Shift every control target beyond b.
+	adjust := func(in isa.Inst) isa.Inst {
+		switch {
+		case isa.IsCondBranch(in.Op), in.Op == isa.J, in.Op == isa.JAL:
+			if in.Imm > b {
+				in.Imm += delta
+			}
+		}
+		return in
+	}
+	oldCode := p.Code
+	newCode := make([]isa.Inst, 0, len(oldCode)+int(delta))
+	for i := int32(0); i <= b; i++ {
+		newCode = append(newCode, adjust(oldCode[i]))
+	}
+	// Copies 1..k-1.
+	for c := 1; c < k; c++ {
+		base := b + 1 + int32(c-1)*bodyLen
+		for i := t; i <= b; i++ {
+			in := oldCode[i]
+			if i == b {
+				// The closing branch: intermediate copies invert and
+				// branch to the exit (falling through to the next
+				// copy); the last copy keeps the original sense and
+				// returns to the top.
+				if c < k-1 {
+					in.Op = invert(in.Op)
+					in.Imm = exit
+				} // else: in.Imm stays t
+			} else {
+				switch {
+				case isa.IsCondBranch(in.Op), in.Op == isa.J, in.Op == isa.JAL:
+					switch {
+					case in.Imm >= t && in.Imm <= b:
+						in.Imm = base + (in.Imm - t)
+					case in.Imm > b:
+						in.Imm += delta
+					}
+				}
+			}
+			newCode = append(newCode, in)
+		}
+	}
+	for i := b + 1; i < int32(len(oldCode)); i++ {
+		newCode = append(newCode, adjust(oldCode[i]))
+	}
+	// The ORIGINAL closing branch (still at index b): iterate by falling
+	// through into copy 1; exit jumps past the copies.
+	orig := newCode[b]
+	orig.Op = invert(oldCode[b].Op)
+	orig.Imm = exit
+	newCode[b] = orig
+
+	p.Code = newCode
+	for name, idx := range p.Symbols {
+		if int32(idx) > b {
+			p.Symbols[name] = idx + int(delta)
+		}
+	}
+}

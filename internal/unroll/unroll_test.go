@@ -1,0 +1,346 @@
+package unroll
+
+import (
+	"testing"
+
+	"deesim/internal/asm"
+	"deesim/internal/bench"
+	"deesim/internal/cpu"
+	"deesim/internal/isa"
+	"deesim/internal/levo"
+	"deesim/internal/trace"
+)
+
+// runBoth executes the original and the transformed program and checks
+// architectural equivalence: identical result registers and identical
+// dynamic instruction counts (unrolling duplicates code, not work).
+func runBoth(t *testing.T, p *isa.Program, opt Options) (Report, *cpu.CPU, *cpu.CPU) {
+	t.Helper()
+	q, rep, err := Apply(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := cpu.New(p)
+	if err := c1.Run(80_000_000); err != nil {
+		t.Fatal(err)
+	}
+	c2 := cpu.New(q)
+	if err := c2.Run(80_000_000); err != nil {
+		t.Fatalf("transformed program faulted: %v (%s)", err, rep)
+	}
+	if c1.Steps() != c2.Steps() {
+		t.Errorf("dynamic length changed: %d -> %d (%s)", c1.Steps(), c2.Steps(), rep)
+	}
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if r == isa.RA {
+			continue // return addresses legitimately differ after relocation
+		}
+		if c1.Regs[r] != c2.Regs[r] {
+			t.Errorf("register %v differs: %#x vs %#x (%s)", r, c1.Regs[r], c2.Regs[r], rep)
+		}
+	}
+	return rep, c1, c2
+}
+
+func TestUnrollSimpleLoop(t *testing.T) {
+	p, err := asm.Assemble(`
+    li  $t0, 0
+    li  $t1, 0
+loop:
+    add $t1, $t1, $t0
+    addi $t0, $t0, 1
+    li  $t2, 100
+    blt $t0, $t2, loop
+    move $s0, $t1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, c1, _ := runBoth(t, p, Options{TargetSize: 16, MaxBody: 8})
+	if rep.LoopsUnrolled != 1 {
+		t.Errorf("unrolled %d loops, want 1 (%s)", rep.LoopsUnrolled, rep)
+	}
+	if rep.SizeAfter <= rep.SizeBefore {
+		t.Errorf("no code growth: %s", rep)
+	}
+	if c1.Regs[isa.S0] != 4950 {
+		t.Errorf("reference sum wrong: %d", c1.Regs[isa.S0])
+	}
+}
+
+func TestUnrollTripCountsNotMultiple(t *testing.T) {
+	// Trip counts that are not a multiple of the unroll factor must
+	// still exit exactly on time (the inverted intermediate tests).
+	for _, n := range []int{1, 2, 3, 5, 7, 97, 100, 101} {
+		src := `
+    li  $t0, ` + itoa(n) + `
+    li  $t1, 0
+loop:
+    addi $t1, $t1, 3
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    move $s0, $t1
+    halt
+`
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c1, c2 := runBoth(t, p, Options{TargetSize: 12, MaxBody: 6})
+		if got := c2.Regs[isa.S0]; got != uint32(3*n) {
+			t.Errorf("n=%d: transformed result %d, want %d (orig %d)", n, got, 3*n, c1.Regs[isa.S0])
+		}
+	}
+}
+
+func TestUnrollNestedLoops(t *testing.T) {
+	p, err := asm.Assemble(`
+    li  $s0, 0
+    li  $t0, 0
+outer:
+    li  $t1, 0
+inner:
+    add $s0, $s0, $t1
+    addi $t1, $t1, 1
+    li  $t2, 7
+    blt $t1, $t2, inner
+    addi $t0, $t0, 1
+    li  $t2, 13
+    blt $t0, $t2, outer
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, c2 := runBoth(t, p, Options{TargetSize: 20, MaxBody: 10})
+	if rep.LoopsUnrolled < 1 {
+		t.Errorf("inner loop not unrolled: %s", rep)
+	}
+	want := uint32(13 * (6 * 7 / 2))
+	if c2.Regs[isa.S0] != want {
+		t.Errorf("nested sum = %d, want %d", c2.Regs[isa.S0], want)
+	}
+}
+
+func TestUnrollLoopWithCall(t *testing.T) {
+	// A call inside the body: return addresses land in the right copy.
+	p, err := asm.Assemble(`
+    li  $s0, 0
+    li  $s1, 10
+loop:
+    move $a0, $s0
+    jal  double
+    add  $s0, $v0, $zero
+    addi $s0, $s0, 1
+    addi $s1, $s1, -1
+    bgtz $s1, loop
+    halt
+double:
+    add $v0, $a0, $a0
+    jr  $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, _ := runBoth(t, p, Options{TargetSize: 18, MaxBody: 9})
+	if rep.LoopsUnrolled != 1 {
+		t.Errorf("call-containing loop not unrolled: %s", rep)
+	}
+}
+
+func TestRejectsLoopWithJR(t *testing.T) {
+	p, err := asm.Assemble(`
+main:
+    li  $s1, 3
+loop:
+    jal f
+    addi $s1, $s1, -1
+    bgtz $s1, loop
+    halt
+f:
+    jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop body [loop..branch] contains no JR (the callee is outside)
+	// so it IS eligible; but a body directly containing jr must not be.
+	p2, err := asm.Assemble(`
+    li  $s1, 3
+    jal setup
+loop:
+    addi $s1, $s1, -1
+    jal  helper
+    bgtz $s1, loop
+    halt
+setup:
+    jr $ra
+helper:
+    jr $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBoth(t, p, Options{TargetSize: 12, MaxBody: 6})
+	runBoth(t, p2, Options{TargetSize: 12, MaxBody: 6})
+}
+
+func TestRejectsMultiEntryRegion(t *testing.T) {
+	// A branch into the middle of the loop body disqualifies it.
+	p, err := asm.Assemble(`
+    li  $t0, 5
+    li  $t1, 0
+    beq $zero, $zero, mid    # jumps INTO the body? No: 'b' is a jump...
+loop:
+    addi $t1, $t1, 1
+mid:
+    addi $t1, $t1, 2
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    move $s0, $t1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, rep, err := Apply(p, Options{TargetSize: 16, MaxBody: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoopsUnrolled != 0 {
+		t.Errorf("multi-entry loop was unrolled: %s", rep)
+	}
+	_ = q
+	runBoth(t, p, Options{TargetSize: 16, MaxBody: 8})
+}
+
+func TestInvertCoversAllBranches(t *testing.T) {
+	pairs := map[isa.Op]isa.Op{
+		isa.BEQ: isa.BNE, isa.BNE: isa.BEQ, isa.BLT: isa.BGE,
+		isa.BGE: isa.BLT, isa.BLEZ: isa.BGTZ, isa.BGTZ: isa.BLEZ,
+	}
+	for op, want := range pairs {
+		if got := invert(op); got != want {
+			t.Errorf("invert(%v) = %v, want %v", op, got, want)
+		}
+		if back := invert(invert(op)); back != op {
+			t.Errorf("invert not an involution for %v", op)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invert(ADD) did not panic")
+		}
+	}()
+	invert(isa.ADD)
+}
+
+// TestWorkloadsSurviveUnrolling: the five stand-ins produce identical
+// results and dynamic lengths through the filter — the strongest
+// semantic check.
+func TestWorkloadsSurviveUnrolling(t *testing.T) {
+	for _, w := range bench.All() {
+		prog, err := w.Inputs[0].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, rep, err := Apply(prog, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		tr1, err := trace.Record(prog, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := trace.Record(q, 1_000_000)
+		if err != nil {
+			t.Fatalf("%s (unrolled): %v", w.Name, err)
+		}
+		if tr1.Len() != tr2.Len() {
+			t.Errorf("%s: dynamic length %d -> %d (%s)", w.Name, tr1.Len(), tr2.Len(), rep)
+		}
+		// Compare result words architecturally.
+		c1 := cpu.New(prog)
+		c2 := cpu.New(q)
+		if err := c1.Run(2_000_000); err != nil {
+			if _, lim := err.(*cpu.ErrLimit); !lim {
+				t.Fatal(err)
+			}
+		}
+		if err := c2.Run(2_000_000); err != nil {
+			if _, lim := err.(*cpu.ErrLimit); !lim {
+				t.Fatal(err)
+			}
+		}
+		if c1.Halted() != c2.Halted() {
+			t.Errorf("%s: halt divergence", w.Name)
+		}
+		if c1.Halted() {
+			g1, err1 := bench.ReadResultWords(prog, c1.Mem, 2)
+			g2, err2 := bench.ReadResultWords(q, c2.Mem, 2)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: %v %v", w.Name, err1, err2)
+			}
+			if g1[0] != g2[0] || g1[1] != g2[1] {
+				t.Errorf("%s: results differ: %v vs %v (%s)", w.Name, g1, g2, rep)
+			}
+		}
+		t.Logf("%s: %s", w.Name, rep)
+	}
+}
+
+// TestUnrollReducesLevoPasses: the point of the filter for the Levo IQ
+// (§4.2) — each pass over the queue now covers several original
+// iterations, so the pass count drops sharply.
+func TestUnrollReducesLevoPasses(t *testing.T) {
+	p, err := asm.Assemble(`
+    li  $t0, 2000
+    li  $t1, 0
+loop:
+    add $t1, $t1, $t0
+    xor $t1, $t1, $t0
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    move $s0, $t1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, rep, err := Apply(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes := func(prog *isa.Program) int {
+		m, err := levo.New(prog, levo.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ValueMismatches != 0 {
+			t.Fatalf("value mismatches on %s", rep)
+		}
+		return r.Passes
+	}
+	before := passes(p)
+	after := passes(q)
+	if after*3 > before {
+		t.Errorf("passes %d -> %d; expected at least a 3x reduction (%s)", before, after, rep)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
