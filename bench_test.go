@@ -62,7 +62,7 @@ func sims(b *testing.B) map[string]*ilpsim.Sim {
 				panic(err)
 			}
 			trCache[w.Name] = tr
-			simCache[w.Name] = ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
+			simCache[w.Name] = ilpsim.MustNew(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
 		}
 	})
 	return simCache

@@ -22,9 +22,17 @@
 //	-study all       everything
 //
 // Usage: ablate [-study all] [-bench xlisp] [-et 64,256] [-max 150000]
+//
+//	[-timeout 30s] [-deadlock-limit N]
+//
+// Studies run under a cancellable context: SIGINT/SIGTERM or an expired
+// -timeout stops the current simulation at the next checkpoint, the
+// studies already printed stand, and the process exits non-zero with a
+// structured error naming the model, ET, and cycle that was running.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,9 +44,14 @@ import (
 	"deesim/internal/dee"
 	"deesim/internal/ilpsim"
 	"deesim/internal/predictor"
+	"deesim/internal/runx"
 	"deesim/internal/stats"
 	"deesim/internal/trace"
 )
+
+// deadlockLimit is the -deadlock-limit flag value, applied to every
+// simulator the studies construct.
+var deadlockLimit int
 
 func main() {
 	var (
@@ -46,8 +59,14 @@ func main() {
 		benchFlag = flag.String("bench", "xlisp", "workload")
 		etFlag    = flag.String("et", "64,256", "resource levels")
 		max       = flag.Uint64("max", 150_000, "dynamic instruction cap")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
+		dlFlag    = flag.Int("deadlock-limit", 0, fmt.Sprintf("abort a simulation after this many cycles without progress (0 = default %d)", ilpsim.DefaultDeadlockLimit))
 	)
 	flag.Parse()
+	deadlockLimit = *dlFlag
+
+	ctx, stop := runx.MainContext(*timeout)
+	defer stop()
 
 	w, err := bench.ByName(*benchFlag)
 	if err != nil {
@@ -57,7 +76,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := trace.Record(prog, *max)
+	tr, err := trace.RecordContext(ctx, prog, *max)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,30 +90,42 @@ func main() {
 	}
 	fmt.Printf("workload %s: %d dynamic instructions\n\n", w.Name, tr.Len())
 
-	if *study == "penalty" || *study == "all" {
-		penaltyStudy(tr, ets)
+	studies := []struct {
+		name string
+		run  func(context.Context, *trace.Trace, []int) error
+	}{
+		{"penalty", penaltyStudy},
+		{"memory", memoryStudy},
+		{"designp", designPStudy},
+		{"pe", peStudy},
+		{"latency", latencyStudy},
+		{"cache", cacheStudy},
+		{"tree", treeStudy},
+		{"accuracy", func(ctx context.Context, _ *trace.Trace, ets []int) error {
+			return accuracyStudy(ctx, ets)
+		}},
 	}
-	if *study == "memory" || *study == "all" {
-		memoryStudy(tr, ets)
+	known := false
+	for _, st := range studies {
+		if *study != st.name && *study != "all" {
+			continue
+		}
+		known = true
+		if err := st.run(ctx, tr, ets); err != nil {
+			fatal(err)
+		}
 	}
-	if *study == "designp" || *study == "all" {
-		designPStudy(tr, ets)
+	if !known {
+		fatal(fmt.Errorf("unknown study %q", *study))
 	}
-	if *study == "pe" || *study == "all" {
-		peStudy(tr, ets)
+}
+
+// newSim builds a simulator with the CLI-wide deadlock limit applied.
+func newSim(ctx context.Context, tr *trace.Trace, opts ilpsim.Options) (*ilpsim.Sim, error) {
+	if opts.DeadlockLimit == 0 {
+		opts.DeadlockLimit = deadlockLimit
 	}
-	if *study == "latency" || *study == "all" {
-		latencyStudy(tr, ets)
-	}
-	if *study == "cache" || *study == "all" {
-		cacheStudy(tr, ets)
-	}
-	if *study == "tree" || *study == "all" {
-		treeStudy(tr, ets)
-	}
-	if *study == "accuracy" || *study == "all" {
-		accuracyStudy(ets)
-	}
+	return ilpsim.NewContext(ctx, tr, predictor.NewTwoBit(), opts)
 }
 
 // accuracyStudy sweeps branch predictability on the synthetic workload:
@@ -102,7 +133,7 @@ func main() {
 // versus degree of DEE realization and its cost ... The data suggest
 // that some use of DEE is likely to be beneficial, regardless of the
 // predictor accuracy."
-func accuracyStudy(ets []int) {
+func accuracyStudy(ctx context.Context, ets []int) error {
 	et := ets[len(ets)-1]
 	t := stats.NewTable(
 		fmt.Sprintf("Ablation: branch predictability vs DEE benefit (ET=%d)", et),
@@ -112,20 +143,23 @@ func accuracyStudy(ets []int) {
 			Iterations: 4000, BranchesPerIter: 4, Bias: bias, Seed: uint32(bias), Work: 3,
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		tr, err := trace.Record(prog, 0)
+		tr, err := trace.RecordContext(ctx, prog, 0)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1})
-		sp, err := sim.Run(ilpsim.ModelSP, et)
+		sim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		de, err := sim.Run(ilpsim.ModelDEECDMF, et)
+		sp, err := sim.RunContext(ctx, ilpsim.ModelSP, et)
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		de, err := sim.RunContext(ctx, ilpsim.ModelDEECDMF, et)
+		if err != nil {
+			return err
 		}
 		name := fmt.Sprintf("%d%%", bias)
 		t.Set(name, 0, 100*sim.Accuracy())
@@ -137,12 +171,16 @@ func accuracyStudy(ets []int) {
 	fmt.Println("DEE's advantage over plain prediction persists across the whole")
 	fmt.Println("predictability range and grows as branches get harder.")
 	fmt.Println()
+	return nil
 }
 
-func treeStudy(tr *trace.Trace, ets []int) {
+func treeStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: DEE tree construction (CD-MF speedup)",
 		"tree", cols(ets))
-	sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1})
+	sim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1})
+	if err != nil {
+		return err
+	}
 	rows := []struct {
 		name  string
 		model ilpsim.Model
@@ -153,9 +191,9 @@ func treeStudy(tr *trace.Trace, ets []int) {
 	}
 	for _, row := range rows {
 		for i, et := range ets {
-			r, err := sim.Run(row.model, et)
+			r, err := sim.RunContext(ctx, row.model, et)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			t.Set(row.name, i, r.Speedup)
 		}
@@ -166,9 +204,10 @@ func treeStudy(tr *trace.Trace, ets []int) {
 	fmt.Println("below-average-accuracy branches would ideally be DEE'd earlier —")
 	fmt.Println("the dynamic per-branch tree quantifies exactly that headroom.")
 	fmt.Println()
+	return nil
 }
 
-func peStudy(tr *trace.Trace, ets []int) {
+func peStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: processing elements per cycle (DEE-CD-MF speedup)",
 		"PEs", cols(ets))
 	for _, pes := range []int{1, 2, 4, 8, 16, 32, 64, 0} {
@@ -176,11 +215,14 @@ func peStudy(tr *trace.Trace, ets []int) {
 		if pes == 0 {
 			name = "unlimited"
 		}
-		sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1, PEs: pes})
+		sim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1, PEs: pes})
+		if err != nil {
+			return err
+		}
 		for i, et := range ets {
-			r, err := sim.Run(ilpsim.ModelDEECDMF, et)
+			r, err := sim.RunContext(ctx, ilpsim.ModelDEECDMF, et)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			t.Set(name, i, r.Speedup)
 		}
@@ -189,23 +231,30 @@ func peStudy(tr *trace.Trace, ets []int) {
 	fmt.Println("Speedups saturate well before the window's theoretical instruction")
 	fmt.Println("capacity, matching the paper's note that implicit PE usage was low.")
 	fmt.Println()
+	return nil
 }
 
-func latencyStudy(tr *trace.Trace, ets []int) {
+func latencyStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: instruction latencies (speedup at the largest ET)",
 		"model", []string{"unit", "realistic", "retained%"})
 	et := ets[len(ets)-1]
 	for _, m := range []ilpsim.Model{ilpsim.ModelSP, ilpsim.ModelEE, ilpsim.ModelDEE,
 		ilpsim.ModelSPCDMF, ilpsim.ModelDEECDMF} {
-		unitSim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1})
-		realSim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1, Lat: ilpsim.RealisticLatencies()})
-		ru, err := unitSim.Run(m, et)
+		unitSim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1})
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		rr, err := realSim.Run(m, et)
+		realSim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1, Lat: ilpsim.RealisticLatencies()})
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		ru, err := unitSim.RunContext(ctx, m, et)
+		if err != nil {
+			return err
+		}
+		rr, err := realSim.RunContext(ctx, m, et)
+		if err != nil {
+			return err
 		}
 		t.Set(m.String(), 0, ru.Speedup)
 		t.Set(m.String(), 1, rr.Speedup)
@@ -215,9 +264,10 @@ func latencyStudy(tr *trace.Trace, ets []int) {
 	fmt.Println("§5.3: \"It is not yet clear what the net effect of assuming non-unit")
 	fmt.Println("latencies on the DEE-CD-MF model will be\" — here is one data point.")
 	fmt.Println()
+	return nil
 }
 
-func cacheStudy(tr *trace.Trace, ets []int) {
+func cacheStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: data cache (DEE-CD-MF speedup)",
 		"memory", append(cols(ets), "miss%"))
 	for _, withCache := range []bool{false, true} {
@@ -228,17 +278,21 @@ func cacheStudy(tr *trace.Trace, ets []int) {
 			c := cache.Default16K()
 			opts.Cache = &c
 		}
-		sim := ilpsim.New(tr, predictor.NewTwoBit(), opts)
+		sim, err := newSim(ctx, tr, opts)
+		if err != nil {
+			return err
+		}
 		for i, et := range ets {
-			r, err := sim.Run(ilpsim.ModelDEECDMF, et)
+			r, err := sim.RunContext(ctx, ilpsim.ModelDEECDMF, et)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			t.Set(name, i, r.Speedup)
 		}
 		t.Set(name, len(ets), 100*sim.CacheMissRate())
 	}
 	fmt.Println(t.Render())
+	return nil
 }
 
 func cols(ets []int) []string {
@@ -249,23 +303,27 @@ func cols(ets []int) []string {
 	return out
 }
 
-func penaltyStudy(tr *trace.Trace, ets []int) {
+func penaltyStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: misprediction restart penalty (DEE-CD-MF speedup)",
 		"penalty", cols(ets))
 	for _, pen := range []int{0, 1, 2, 4} {
-		sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: pen})
+		sim, err := newSim(ctx, tr, ilpsim.Options{Penalty: pen})
+		if err != nil {
+			return err
+		}
 		for i, et := range ets {
-			r, err := sim.Run(ilpsim.ModelDEECDMF, et)
+			r, err := sim.RunContext(ctx, ilpsim.ModelDEECDMF, et)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			t.Set(fmt.Sprintf("%d cycles", pen), i, r.Speedup)
 		}
 	}
 	fmt.Println(t.Render())
+	return nil
 }
 
-func memoryStudy(tr *trace.Trace, ets []int) {
+func memoryStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: memory disambiguation (DEE-CD-MF speedup; oracle in last column)",
 		"memory model", append(cols(ets), "oracle"))
 	for _, strict := range []bool{false, true} {
@@ -273,20 +331,24 @@ func memoryStudy(tr *trace.Trace, ets []int) {
 		if strict {
 			name = "none (loads after all stores)"
 		}
-		sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1, StrictMemory: strict})
+		sim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1, StrictMemory: strict})
+		if err != nil {
+			return err
+		}
 		for i, et := range ets {
-			r, err := sim.Run(ilpsim.ModelDEECDMF, et)
+			r, err := sim.RunContext(ctx, ilpsim.ModelDEECDMF, et)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			t.Set(name, i, r.Speedup)
 		}
 		t.Set(name, len(ets), sim.Oracle().Speedup)
 	}
 	fmt.Println(t.Render())
+	return nil
 }
 
-func designPStudy(tr *trace.Trace, ets []int) {
+func designPStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: static-tree design accuracy (DEE-CD-MF speedup; l/h at the largest ET)",
 		"design p", append(cols(ets), "l", "h"))
 	for _, dp := range []float64{0, 0.70, 0.80, 0.90, 0.95, 0.98} {
@@ -294,12 +356,15 @@ func designPStudy(tr *trace.Trace, ets []int) {
 		if dp == 0 {
 			name = "measured"
 		}
-		sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1, DesignP: dp})
+		sim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1, DesignP: dp})
+		if err != nil {
+			return err
+		}
 		var last ilpsim.Result
 		for i, et := range ets {
-			r, err := sim.Run(ilpsim.ModelDEECDMF, et)
+			r, err := sim.RunContext(ctx, ilpsim.ModelDEECDMF, et)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			t.Set(name, i, r.Speedup)
 			last = r
@@ -311,6 +376,7 @@ func designPStudy(tr *trace.Trace, ets []int) {
 	fmt.Println("A tree designed for too-low p wastes mainline depth on side paths;")
 	fmt.Println("one designed for too-high p degenerates toward SP — the paper's")
 	fmt.Println("motivation for measuring a characteristic accuracy (§3.1 step 1).")
+	return nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,12 @@
 //	deesim [-bench all|name[,name...]] [-resources 8,16,32,64,128,256]
 //	       [-models all|csv] [-predictor 2bit|papN|taken] [-scale N]
 //	       [-max N] [-penalty N] [-strictmem] [-stats] [-csv]
+//	       [-timeout 30s] [-deadlock-limit N]
+//
+// The run is cancellable: SIGINT/SIGTERM or an expired -timeout stops
+// the sweep at the next cycle-loop checkpoint, prints whatever workload
+// panels completed, and exits non-zero with a structured error naming
+// the failing model, ET, benchmark, and cycle.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"deesim/internal/dee"
 	"deesim/internal/experiments"
 	"deesim/internal/ilpsim"
+	"deesim/internal/runx"
 )
 
 func main() {
@@ -39,6 +46,8 @@ func main() {
 		pesFlag     = flag.Int("pes", 0, "processing elements issued per cycle (0 = unlimited, the paper's assumption)")
 		latFlag     = flag.String("latency", "unit", "instruction latencies: unit (the paper) or realistic")
 		cacheFlag   = flag.String("cache", "none", "data cache: none (the paper) or 16k (16KiB 4-way, 10-cycle miss)")
+		timeoutFlag = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s or 1m (0 = none)")
+		dlFlag      = flag.Int("deadlock-limit", 0, fmt.Sprintf("abort a simulation after this many cycles without progress (0 = default %d)", ilpsim.DefaultDeadlockLimit))
 	)
 	flag.Parse()
 
@@ -47,9 +56,10 @@ func main() {
 		MaxInstrs: *maxFlag,
 		Predictor: *predFlag,
 		Opts: ilpsim.Options{
-			Penalty:      *penaltyFlag,
-			StrictMemory: *strictMem,
-			PEs:          *pesFlag,
+			Penalty:       *penaltyFlag,
+			StrictMemory:  *strictMem,
+			PEs:           *pesFlag,
+			DeadlockLimit: *dlFlag,
 		},
 	}
 	switch *latFlag {
@@ -81,11 +91,11 @@ func main() {
 		fatal(err)
 	}
 
-	results, err := experiments.RunAll(ws, cfg)
-	if err != nil {
-		fatal(err)
-	}
-	for _, r := range results {
+	// Stream each workload's panel as it completes, so a cancelled or
+	// failed sweep still shows everything that finished.
+	printed := make(map[string]bool)
+	emit := func(r *experiments.WorkloadResult) {
+		printed[r.Workload] = true
 		fmt.Println(experiments.Render(r, cfg))
 		if *statsFlag && r.Workload != "harmonic-mean" {
 			printRootStats(r, cfg)
@@ -93,6 +103,20 @@ func main() {
 		if *csvFlag {
 			fmt.Println(renderCSV(r, cfg))
 		}
+	}
+	cfg.OnResult = emit
+
+	ctx, stop := runx.MainContext(*timeoutFlag)
+	defer stop()
+	results, err := experiments.RunAllContext(ctx, ws, cfg)
+	for _, r := range results {
+		if !printed[r.Workload] {
+			emit(r)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deesim: %d of %d workloads completed before failure\n", len(results), len(ws))
+		fatal(err)
 	}
 }
 

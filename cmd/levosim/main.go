@@ -6,7 +6,12 @@
 // Usage:
 //
 //	levosim [-bench all|name,...] [-rows 32] [-cols 8] [-dee 3]
-//	        [-penalty 1] [-max N] [-scale N]
+//	        [-penalty 1] [-max N] [-scale N] [-timeout 30s]
+//	        [-deadlock-limit N]
+//
+// SIGINT/SIGTERM or an expired -timeout stops the run at the next
+// cycle-loop checkpoint; rows completed so far are printed and the
+// process exits non-zero with the structured error.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"deesim/internal/bench"
 	"deesim/internal/levo"
+	"deesim/internal/runx"
 	"deesim/internal/stats"
 	"deesim/internal/unroll"
 )
@@ -32,13 +38,18 @@ func main() {
 		scale     = flag.Int("scale", 0, "workload input scale (0 = default)")
 		unrollFlg = flag.Bool("unroll", false, "apply the §4.2 machine-code loop-unrolling filter (target 3/4 of the IQ)")
 		costFlg   = flag.Bool("cost", false, "print the §4.3 hardware cost estimates and exit")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
+		dlFlag    = flag.Int("deadlock-limit", 0, "abort a simulation after this many cycles without progress (0 = default 2^22)")
 	)
 	flag.Parse()
 
 	cfg := levo.Config{
 		Rows: *rows, Cols: *cols, DEEPaths: *deePaths,
-		Penalty: *penalty, MaxInstrs: *max,
+		Penalty: *penalty, MaxInstrs: *max, DeadlockLimit: *dlFlag,
 	}
+
+	ctx, stop := runx.MainContext(*timeout)
+	defer stop()
 
 	if *costFlg {
 		fmt.Println("Hardware cost estimates (§4.3 of the paper):")
@@ -88,12 +99,14 @@ func main() {
 				}
 				fmt.Printf("%s/%s: %s\n", w.Name, in.Name, rep)
 			}
-			m, err := levo.New(prog, cfg)
+			m, err := levo.NewContext(ctx, prog, cfg)
 			if err != nil {
+				partial(t, ipcs)
 				fatal(err)
 			}
-			r, err := m.Run()
+			r, err := m.RunContext(ctx)
 			if err != nil {
+				partial(t, ipcs)
 				fatal(err)
 			}
 			name := w.Name + "/" + in.Name
@@ -114,7 +127,22 @@ func main() {
 	}
 	t.SetFormat("%.2f")
 	fmt.Println(t.Render())
-	fmt.Printf("harmonic-mean IPC: %.2f\n", stats.HarmonicMean(ipcs))
+	hm, err := stats.HarmonicMean(ipcs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("harmonic-mean IPC: %.2f\n", hm)
+}
+
+// partial prints the rows completed before a failure, so a cancelled
+// run still reports what it measured.
+func partial(t *stats.Table, ipcs []float64) {
+	if len(ipcs) == 0 {
+		return
+	}
+	t.SetFormat("%.2f")
+	fmt.Printf("partial results (%d inputs completed):\n", len(ipcs))
+	fmt.Println(t.Render())
 }
 
 func fatal(err error) {

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	tracegen [-bench all|name,...] [-max N] [-scale N] [-predictors]
-//	         [-iq 32,64] [-save dir]
+//	         [-iq 32,64] [-save dir] [-timeout 30s] [-deadlock-limit N]
+//
+// SIGINT/SIGTERM or an expired -timeout stops trace capture at the next
+// checkpoint; rows completed so far are printed before the non-zero
+// exit. (-deadlock-limit is accepted for CLI uniformity; trace capture
+// is bounded by -max and the context rather than a cycle watchdog.)
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 
 	"deesim/internal/bench"
 	"deesim/internal/predictor"
+	"deesim/internal/runx"
 	"deesim/internal/stats"
 	"deesim/internal/trace"
 )
@@ -32,8 +38,14 @@ func main() {
 		preds     = flag.Bool("predictors", false, "compare predictor accuracies")
 		iq        = flag.String("iq", "32,64", "IQ sizes for loop capture rates")
 		saveDir   = flag.String("save", "", "directory to write .trace snapshot files into (gzip'd, replayable)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
+		_         = flag.Int("deadlock-limit", 0, "accepted for CLI uniformity; capture is bounded by -max and -timeout")
 	)
 	flag.Parse()
+
+	ctx, stop := runx.MainContext(*timeout)
+	defer stop()
+	rowsDone := 0
 
 	var ws []bench.Workload
 	if *benchFlag == "all" {
@@ -76,8 +88,12 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			tr, err := trace.Record(prog, *max)
+			tr, err := trace.RecordContext(ctx, prog, *max)
 			if err != nil {
+				if rowsDone > 0 {
+					fmt.Printf("partial results (%d inputs completed):\n", rowsDone)
+					fmt.Println(t.Render())
+				}
 				fatal(err)
 			}
 			if *saveDir != "" {
@@ -107,6 +123,7 @@ func main() {
 					predTable.Set(name, i, 100*acc)
 				}
 			}
+			rowsDone++
 		}
 	}
 	fmt.Println(t.Render())

@@ -9,6 +9,12 @@
 //	            closed forms).
 //
 // Custom points: treeviz -p 0.85 -et 48 [-strategy greedy|sp|ee|static]
+//
+// Like the simulator CLIs, treeviz honours -timeout and SIGINT/SIGTERM:
+// tree construction runs under a context and a runaway build (huge -et)
+// is abandoned with a structured error and a non-zero exit.
+// (-deadlock-limit is accepted for CLI uniformity; tree construction
+// has no cycle loop to watch.)
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 
 	"deesim/internal/dee"
+	"deesim/internal/runx"
 	"deesim/internal/stats"
 )
 
@@ -27,18 +34,45 @@ func main() {
 		p        = flag.Float64("p", 0.9, "branch prediction accuracy")
 		et       = flag.Int("et", 34, "branch path resources")
 		strategy = flag.String("strategy", "greedy", "tree: greedy, sp, ee, static")
+		timeout  = flag.Duration("timeout", 0, "wall-clock limit, e.g. 10s (0 = none)")
+		_        = flag.Int("deadlock-limit", 0, "accepted for CLI uniformity; tree construction has no cycle loop")
 	)
 	flag.Parse()
 
-	switch {
-	case *figure == 1:
-		figure1()
-	case *figure == 2:
-		figure2()
-	case *sweep:
-		geometrySweep()
-	default:
-		custom(*strategy, *p, *et)
+	ctx, stop := runx.MainContext(*timeout)
+	defer stop()
+
+	// The analytic figures are pure computation; run them on a worker
+	// goroutine so a signal or deadline still interrupts a huge -et.
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- runx.FromPanic(r, "treeviz")
+			}
+		}()
+		switch {
+		case *figure == 1:
+			figure1()
+		case *figure == 2:
+			figure2()
+		case *sweep:
+			geometrySweep()
+		default:
+			done <- custom(*strategy, *p, *et)
+			return
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "treeviz:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "treeviz:", runx.CtxErr(ctx, "treeviz"))
+		os.Exit(1)
 	}
 }
 
@@ -104,7 +138,7 @@ func geometrySweep() {
 	fmt.Println("curves for DEE and SP coincide at and below 16 branch paths.")
 }
 
-func custom(strategy string, p float64, et int) {
+func custom(strategy string, p float64, et int) error {
 	var tr *dee.Tree
 	switch strategy {
 	case "greedy":
@@ -116,9 +150,9 @@ func custom(strategy string, p float64, et int) {
 	case "static":
 		tr = dee.BuildStatic(p, et)
 	default:
-		fmt.Fprintf(os.Stderr, "treeviz: unknown strategy %q\n", strategy)
-		os.Exit(1)
+		return runx.Newf(runx.KindInvalidInput, "treeviz", "unknown strategy %q", strategy)
 	}
 	fmt.Println(tr.Summary())
 	fmt.Println(tr.Render())
+	return nil
 }

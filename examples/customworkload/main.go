@@ -110,7 +110,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
+	sim := ilpsim.MustNew(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
 	fmt.Printf("%d dynamic instructions, predictor accuracy %.1f%%, oracle %.1fx\n\n",
 		tr.Len(), 100*sim.Accuracy(), sim.Oracle().Speedup)
 

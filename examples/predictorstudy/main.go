@@ -47,7 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sim := ilpsim.New(tr, p, ilpsim.DefaultOptions())
+		sim := ilpsim.MustNew(tr, p, ilpsim.DefaultOptions())
 		table.Set(name, 0, 100*sim.Accuracy())
 		run := func(m ilpsim.Model) ilpsim.Result {
 			r, err := sim.Run(m, et)

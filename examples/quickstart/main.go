@@ -77,7 +77,7 @@ func main() {
 		st.DynInsts, tr.NumPaths(), st.MeanPathLen)
 
 	// Simulate with the paper's 2-bit predictor.
-	sim := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
+	sim := ilpsim.MustNew(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
 	fmt.Printf("2-bit predictor accuracy: %.1f%%\n", 100*sim.Accuracy())
 	fmt.Printf("oracle (unlimited, branch-free) speedup: %.1fx\n\n", sim.Oracle().Speedup)
 

@@ -6,9 +6,11 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"deesim/internal/isa"
+	"deesim/internal/runx"
 )
 
 // Memory is a sparse byte-addressed memory built from fixed-size pages, so
@@ -219,9 +221,23 @@ func (c *CPU) Step() error {
 // (limit 0 means no limit). Reaching the limit returns *ErrLimit; the
 // machine state remains valid and inspectable.
 func (c *CPU) Run(limit uint64) error {
+	return c.RunContext(context.Background(), limit)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is consulted
+// every few thousand retired instructions, so a wall-clock deadline or
+// SIGINT bounds a runaway program that never reaches HALT. Cancellation
+// is reported as a structured *runx.Error; the machine state remains
+// valid and inspectable, so callers can salvage the partial execution.
+func (c *CPU) RunContext(ctx context.Context, limit uint64) error {
+	tick := runx.NewTicker(4096)
 	for !c.halted {
 		if limit > 0 && c.steps >= limit {
 			return &ErrLimit{Steps: limit}
+		}
+		if cerr := tick.Check(ctx, "cpu.Run"); cerr != nil {
+			cerr.Cycle = int64(c.steps)
+			return cerr
 		}
 		if err := c.Step(); err != nil {
 			return err

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -12,6 +13,7 @@ import (
 	"deesim/internal/ilpsim"
 	"deesim/internal/isa"
 	"deesim/internal/predictor"
+	"deesim/internal/runx"
 	"deesim/internal/stats"
 	"deesim/internal/trace"
 )
@@ -35,6 +37,11 @@ type Config struct {
 	Predictor string
 	// Opts are passed to the simulator.
 	Opts ilpsim.Options
+	// OnResult, if non-nil, observes each workload result as it
+	// completes (called serially). It lets a CLI stream partial results
+	// during a long sweep — and print whatever finished when the sweep
+	// is cancelled.
+	OnResult func(*WorkloadResult)
 }
 
 func (c Config) withDefaults() Config {
@@ -80,20 +87,32 @@ type WorkloadResult struct {
 // RunInput simulates one program input under every model and resource
 // level.
 func RunInput(name string, prog buildable, cfg Config) (*InputResult, error) {
+	return RunInputContext(context.Background(), name, prog, cfg)
+}
+
+// RunInputContext is RunInput under a context: trace capture, simulator
+// construction, and every model×ET run check ctx, so a deadline or
+// SIGINT interrupts the sweep at the next few-thousand-cycle boundary.
+// Failures are annotated with the input name (runx.Annotate) so an
+// error out of a large sweep names its benchmark.
+func RunInputContext(ctx context.Context, name string, prog buildable, cfg Config) (*InputResult, error) {
 	cfg = cfg.withDefaults()
 	p, err := prog(cfg.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", name, err)
 	}
-	tr, err := trace.Record(p, cfg.MaxInstrs)
+	tr, err := trace.RecordContext(ctx, p, cfg.MaxInstrs)
 	if err != nil {
-		return nil, fmt.Errorf("trace %s: %w", name, err)
+		return nil, runx.Annotate(err, name)
 	}
 	pred, err := predictor.New(cfg.Predictor)
 	if err != nil {
 		return nil, err
 	}
-	sim := ilpsim.New(tr, pred, cfg.Opts)
+	sim, err := ilpsim.NewContext(ctx, tr, pred, cfg.Opts)
+	if err != nil {
+		return nil, runx.Annotate(err, name)
+	}
 	res := &InputResult{
 		Input:    name,
 		Insts:    tr.Len(),
@@ -110,12 +129,12 @@ func RunInput(name string, prog buildable, cfg Config) (*InputResult, error) {
 			var err error
 			if et == 0 {
 				// Resource level 0 = the Lam & Wilson unlimited setting.
-				r, err = sim.RunUnlimited(m)
+				r, err = sim.RunUnlimitedContext(ctx, m)
 			} else {
-				r, err = sim.Run(m, et)
+				r, err = sim.RunContext(ctx, m, et)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("%s %v ET=%d: %w", name, m, et, err)
+				return nil, runx.Annotate(err, name)
 			}
 			ms[et] = r.Speedup
 			rs[et] = r.RootResolutionRate()
@@ -131,13 +150,19 @@ type buildable = func(scale int) (*isa.Program, error)
 // RunWorkload simulates all of a workload's inputs and harmonic-means
 // them.
 func RunWorkload(w bench.Workload, cfg Config) (*WorkloadResult, error) {
+	return RunWorkloadContext(context.Background(), w, cfg)
+}
+
+// RunWorkloadContext is RunWorkload under a context (see
+// RunInputContext).
+func RunWorkloadContext(ctx context.Context, w bench.Workload, cfg Config) (*WorkloadResult, error) {
 	cfg = cfg.withDefaults()
 	out := &WorkloadResult{
 		Workload: w.Name,
 		Speedup:  make(map[string]map[int]float64),
 	}
 	for _, in := range w.Inputs {
-		ir, err := RunInput(w.Name+"/"+in.Name, in.Build, cfg)
+		ir, err := RunInputContext(ctx, w.Name+"/"+in.Name, in.Build, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +173,10 @@ func RunWorkload(w bench.Workload, cfg Config) (*WorkloadResult, error) {
 		oracles = append(oracles, ir.Oracle)
 		accs = append(accs, ir.Accuracy)
 	}
-	out.Oracle = stats.HarmonicMean(oracles)
+	var err error
+	if out.Oracle, err = stats.HarmonicMean(oracles); err != nil {
+		return nil, fmt.Errorf("%s oracle mean: %w", w.Name, err)
+	}
 	for _, a := range accs {
 		out.Accuracy += a
 	}
@@ -160,7 +188,9 @@ func RunWorkload(w bench.Workload, cfg Config) (*WorkloadResult, error) {
 			for _, ir := range out.Inputs {
 				xs = append(xs, ir.Speedup[m.String()][et])
 			}
-			ms[et] = stats.HarmonicMean(xs)
+			if ms[et], err = stats.HarmonicMean(xs); err != nil {
+				return nil, fmt.Errorf("%s %v ET=%d mean: %w", w.Name, m, et, err)
+			}
 		}
 		out.Speedup[m.String()] = ms
 	}
@@ -171,49 +201,90 @@ func RunWorkload(w bench.Workload, cfg Config) (*WorkloadResult, error) {
 // workload — and appends the cross-workload harmonic mean as a synthetic
 // result named "harmonic-mean" (Figure 5's summary panel).
 func RunAll(ws []bench.Workload, cfg Config) ([]*WorkloadResult, error) {
+	return RunAllContext(context.Background(), ws, cfg)
+}
+
+// RunAllContext is RunAll under a context. On failure or cancellation
+// it fails fast — the first error cancels the sibling workloads — and
+// returns the workload results that did complete alongside the error,
+// so callers can report partial progress. The first non-cancellation
+// error is preferred as the returned cause (a deadlocked workload, not
+// the cancellations it triggered).
+func RunAllContext(ctx context.Context, ws []bench.Workload, cfg Config) ([]*WorkloadResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	out := make([]*WorkloadResult, len(ws))
 	errs := make([]error, len(ws))
+	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for i, w := range ws {
 		wg.Add(1)
 		go func(i int, w bench.Workload) {
 			defer wg.Done()
-			out[i], errs[i] = RunWorkload(w, cfg)
+			r, err := RunWorkloadContext(ctx, w, cfg)
+			out[i], errs[i] = r, err
+			if err != nil {
+				cancel() // fail fast: stop sibling workloads
+				return
+			}
+			if cfg.OnResult != nil {
+				mu.Lock()
+				cfg.OnResult(r)
+				mu.Unlock()
+			}
 		}(i, w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	done := make([]*WorkloadResult, 0, len(out))
+	for _, r := range out {
+		if r != nil {
+			done = append(done, r)
 		}
 	}
-	if len(out) > 1 {
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (runx.IsKind(firstErr, runx.KindCanceled) && !runx.IsKind(err, runx.KindCanceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return done, firstErr
+	}
+	if len(done) > 1 {
 		hm := &WorkloadResult{
 			Workload: "harmonic-mean",
 			Speedup:  make(map[string]map[int]float64),
 		}
 		var oracles []float64
-		for _, r := range out {
+		for _, r := range done {
 			oracles = append(oracles, r.Oracle)
 			hm.Accuracy += r.Accuracy
 		}
-		hm.Accuracy /= float64(len(out))
-		hm.Oracle = stats.HarmonicMean(oracles)
+		hm.Accuracy /= float64(len(done))
+		var err error
+		if hm.Oracle, err = stats.HarmonicMean(oracles); err != nil {
+			return done, fmt.Errorf("harmonic-mean oracle: %w", err)
+		}
 		for _, m := range cfg.Models {
 			ms := make(map[int]float64, len(cfg.Resources))
 			for _, et := range cfg.Resources {
 				var xs []float64
-				for _, r := range out {
+				for _, r := range done {
 					xs = append(xs, r.Speedup[m.String()][et])
 				}
-				ms[et] = stats.HarmonicMean(xs)
+				if ms[et], err = stats.HarmonicMean(xs); err != nil {
+					return done, fmt.Errorf("harmonic-mean %v ET=%d: %w", m, et, err)
+				}
 			}
 			hm.Speedup[m.String()] = ms
 		}
-		out = append(out, hm)
+		done = append(done, hm)
 	}
-	return out, nil
+	return done, nil
 }
 
 // Render formats one workload result as a Figure 5 panel.
@@ -233,7 +304,9 @@ func Render(r *WorkloadResult, cfg Config) string {
 		"model \\ resources", cols)
 	for _, m := range cfg.Models {
 		for i, et := range cfg.Resources {
-			t.Set(m.String(), i, r.Speedup[m.String()][et])
+			// Columns are built from the same Resources slice, so Set
+			// cannot be out of range.
+			_ = t.Set(m.String(), i, r.Speedup[m.String()][et])
 		}
 	}
 	return t.Render()

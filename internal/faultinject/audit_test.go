@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"deesim/internal/bench"
+	"deesim/internal/cache"
+	"deesim/internal/ilpsim"
+	"deesim/internal/predictor"
+	"deesim/internal/runx"
+	"deesim/internal/trace"
+)
+
+// auditTrace is a moderate synthetic trace shared by the audit
+// scenarios: big enough to exercise every model's window machinery,
+// small enough that scenarios × models × ETs stays fast.
+func auditTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	prog, err := bench.BuildSynthetic(bench.SyntheticConfig{
+		Iterations: 1200, BranchesPerIter: 3, Bias: 85, Seed: 17, Work: 3,
+	})
+	if err != nil {
+		t.Fatalf("build synthetic: %v", err)
+	}
+	tr, err := trace.Record(prog, 20_000)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return tr
+}
+
+func mustCache(t *testing.T) *cache.Cache {
+	t.Helper()
+	cfg := cache.Default16K()
+	c, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestAuditUnderInjectors is the invariant-audit suite the hardened
+// runtime must pass: under every fault injector, every paper model at
+// every resource level either returns a result satisfying the
+// structural invariants (CheckInvariants against the same simulation's
+// oracle) or fails with a typed *runx.Error — never a panic, never a
+// silently inconsistent result.
+func TestAuditUnderInjectors(t *testing.T) {
+	tr := auditTrace(t)
+	ets := []int{16, 64}
+
+	scenarios := []struct {
+		name string
+		sim  func(t *testing.T) (*ilpsim.Sim, error)
+	}{
+		{"clean", func(t *testing.T) (*ilpsim.Sim, error) {
+			return ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1})
+		}},
+		{"flip-25%", func(t *testing.T) (*ilpsim.Sim, error) {
+			p := NewFlipPredictor(predictor.NewTwoBit(), 0.25, 1)
+			return ilpsim.New(tr, p, ilpsim.Options{Penalty: 1})
+		}},
+		{"flip-100%", func(t *testing.T) (*ilpsim.Sim, error) {
+			p := NewFlipPredictor(predictor.NewTwoBit(), 1.0, 2)
+			return ilpsim.New(tr, p, ilpsim.Options{Penalty: 1})
+		}},
+		{"faulty-cache", func(t *testing.T) (*ilpsim.Sim, error) {
+			m := NewFaultyMem(mustCache(t), 0.3, 50, 0.2, 7)
+			return ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1, Mem: m})
+		}},
+		{"truncated-trace", func(t *testing.T) (*ilpsim.Sim, error) {
+			return ilpsim.New(TruncateTrace(tr, len(tr.Ins)/2), predictor.NewTwoBit(), ilpsim.Options{Penalty: 1})
+		}},
+		{"bit-flipped-trace", func(t *testing.T) (*ilpsim.Sim, error) {
+			return ilpsim.New(BitFlipTrace(tr, 0.01, 3), predictor.NewTwoBit(), ilpsim.Options{Penalty: 1})
+		}},
+	}
+
+	// requireTyped asserts a failure is a structured *runx.Error, the
+	// contract for every non-nil error out of the hardened entry points.
+	requireTyped := func(t *testing.T, err error, where string) {
+		t.Helper()
+		if _, ok := runx.As(err); !ok {
+			t.Fatalf("%s: error is not a *runx.Error: %v", where, err)
+		}
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			sim, err := sc.sim(t)
+			if err != nil {
+				// Construction may legitimately reject corrupted input
+				// (e.g. a bit-flipped trace failing validation) — but only
+				// with a typed error.
+				requireTyped(t, err, "New")
+				return
+			}
+			oracle := sim.Oracle()
+			if err := ilpsim.CheckInvariants(oracle, nil); err != nil {
+				t.Fatalf("oracle violates invariants: %v", err)
+			}
+			for _, m := range ilpsim.PaperModels {
+				for _, et := range ets {
+					r, err := sim.RunContext(t.Context(), m, et)
+					if err != nil {
+						requireTyped(t, err, m.String())
+						continue
+					}
+					if err := ilpsim.CheckInvariants(r, &oracle); err != nil {
+						t.Errorf("%s/%v/ET=%d: %v", sc.name, m, et, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAuditMonotonicCleanSweep checks coverage monotonicity on an
+// uninjected run: for each paper model, speedup over an ascending ET
+// sweep never drops by more than AuditTolerance.
+func TestAuditMonotonicCleanSweep(t *testing.T) {
+	tr := auditTrace(t)
+	sim, err := ilpsim.New(tr, predictor.NewTwoBit(), ilpsim.Options{Penalty: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ilpsim.PaperModels {
+		var rs []ilpsim.Result
+		for _, et := range []int{4, 16, 64, 256} {
+			r, err := sim.RunContext(t.Context(), m, et)
+			if err != nil {
+				t.Fatalf("%v/ET=%d: %v", m, et, err)
+			}
+			rs = append(rs, r)
+		}
+		if err := ilpsim.CheckMonotonic(rs); err != nil {
+			t.Errorf("%v: %v", m, err)
+		}
+	}
+}
+
+// TestWatchdogTripsOnHostileInjector starves the simulator of forward
+// progress — a flip-everything predictor plus an absurd restart penalty
+// — and checks the watchdog converts the stall into a structured
+// deadlock error naming the model, resource level, and stalled cycle,
+// with a runtime snapshot attached.
+func TestWatchdogTripsOnHostileInjector(t *testing.T) {
+	tr := auditTrace(t)
+	p := NewFlipPredictor(predictor.NewTwoBit(), 1.0, 9)
+	sim, err := ilpsim.New(tr, p, ilpsim.Options{Penalty: 100_000, DeadlockLimit: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(ilpsim.ModelSP, 4)
+	if err == nil {
+		t.Fatal("hostile injector did not trip the watchdog")
+	}
+	re, ok := runx.As(err)
+	if !ok {
+		t.Fatalf("not a *runx.Error: %v", err)
+	}
+	if re.Kind != runx.KindDeadlock {
+		t.Fatalf("kind = %v, want KindDeadlock (err: %v)", re.Kind, err)
+	}
+	if re.Model != "SP" {
+		t.Errorf("error does not name the model: %q", re.Model)
+	}
+	if re.ET != 4 {
+		t.Errorf("error does not name the resource level: %d", re.ET)
+	}
+	if re.Cycle <= 0 {
+		t.Errorf("error does not name the stalled cycle: %d", re.Cycle)
+	}
+	if re.Snap == nil {
+		t.Error("deadlock error carries no runtime snapshot")
+	}
+	if !strings.Contains(err.Error(), "no forward progress") {
+		t.Errorf("error does not describe the stall: %v", err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package faultinject provides deterministic, seeded fault injectors
+// for the simulation stack — the degraded-predictor and perturbed-input
+// regime under which speculative-execution results must stay trustworthy
+// (Mitrevski & Gušev; see PAPERS.md). Three fault surfaces are covered:
+//
+//   - the branch predictor (FlipPredictor: flip a fraction of
+//     predictions);
+//   - the data cache (FaultyMem: delayed and corrupted responses);
+//   - the trace stream (TruncateTrace, BitFlipTrace: truncated and
+//     bit-flipped dynamic instructions).
+//
+// All injectors are driven by a splitmix64 generator seeded by the
+// caller, so a failing configuration replays exactly. The invariant
+// audit suite (audit_test.go) drives every simulator model through every
+// injector and asserts the hardened-runtime contract: a correct result
+// or a typed *runx.Error — never a panic, a hang, or a silently wrong
+// speedup.
+package faultinject
+
+import (
+	"fmt"
+
+	"deesim/internal/predictor"
+	"deesim/internal/trace"
+)
+
+// rng is a splitmix64 generator: tiny, seedable, and good enough for
+// fault scheduling (no dependency on math/rand ordering guarantees).
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed ^ 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// hit reports a fault event with probability rate.
+func (r *rng) hit(rate float64) bool { return rate > 0 && r.float() < rate }
+
+// --- predictor faults ---
+
+// FlipPredictor wraps a predictor and deterministically flips a fraction
+// Rate of its predictions — the "degraded predictor" regime. Updates
+// pass through unflipped, so the inner predictor still trains on the
+// true outcome stream.
+type FlipPredictor struct {
+	Inner predictor.Predictor
+	Rate  float64
+	r     *rng
+}
+
+// NewFlipPredictor wraps inner, flipping rate (0..1) of predictions
+// under the given seed.
+func NewFlipPredictor(inner predictor.Predictor, rate float64, seed uint64) *FlipPredictor {
+	return &FlipPredictor{Inner: inner, Rate: rate, r: newRNG(seed)}
+}
+
+func (p *FlipPredictor) Name() string {
+	return fmt.Sprintf("flip%.0f%%(%s)", 100*p.Rate, p.Inner.Name())
+}
+
+func (p *FlipPredictor) Predict(pc int32) bool {
+	v := p.Inner.Predict(pc)
+	if p.r.hit(p.Rate) {
+		return !v
+	}
+	return v
+}
+
+func (p *FlipPredictor) Update(pc int32, taken bool) { p.Inner.Update(pc, taken) }
+
+// --- cache faults ---
+
+// Mem is the memory-system surface the ILP simulator consumes
+// (structurally identical to ilpsim.MemSystem and satisfied by
+// *cache.Cache), re-declared here so the wrapper does not import the
+// simulator.
+type Mem interface {
+	Access(addr uint32) bool
+	Latency(addr uint32) int
+	Stats() (accesses, misses uint64, missRate float64)
+}
+
+// FaultyMem wraps a memory system with two deterministic fault modes:
+// delayed responses (ExtraLatency added with probability DelayRate) and
+// corrupted responses (the accessed address has a random low bit flipped
+// with probability CorruptRate before reaching the inner cache — the
+// request observes the wrong line, perturbing both latency and
+// replacement state).
+type FaultyMem struct {
+	Inner       Mem
+	DelayRate   float64
+	ExtraCycles int
+	CorruptRate float64
+	r           *rng
+
+	delays, corruptions uint64
+}
+
+// NewFaultyMem wraps inner with the given fault rates under seed.
+func NewFaultyMem(inner Mem, delayRate float64, extraCycles int, corruptRate float64, seed uint64) *FaultyMem {
+	return &FaultyMem{Inner: inner, DelayRate: delayRate, ExtraCycles: extraCycles, CorruptRate: corruptRate, r: newRNG(seed)}
+}
+
+func (m *FaultyMem) perturb(addr uint32) uint32 {
+	if m.r.hit(m.CorruptRate) {
+		m.corruptions++
+		addr ^= 1 << (m.r.next() % 16)
+	}
+	return addr
+}
+
+func (m *FaultyMem) Access(addr uint32) bool { return m.Inner.Access(m.perturb(addr)) }
+
+func (m *FaultyMem) Latency(addr uint32) int {
+	l := m.Inner.Latency(m.perturb(addr))
+	if m.r.hit(m.DelayRate) {
+		m.delays++
+		l += m.ExtraCycles
+	}
+	return l
+}
+
+func (m *FaultyMem) Stats() (accesses, misses uint64, missRate float64) { return m.Inner.Stats() }
+
+// Faults reports how many responses were delayed and corrupted.
+func (m *FaultyMem) Faults() (delays, corruptions uint64) { return m.delays, m.corruptions }
+
+// --- trace faults ---
+
+// TruncateTrace returns a view of tr keeping only the first n dynamic
+// instructions — a stream cut mid-flight. n is clamped to [0, len]; a
+// zero-length result models a wholly lost stream (the simulators reject
+// it with a structured validation error).
+func TruncateTrace(tr *trace.Trace, n int) *trace.Trace {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(tr.Ins) {
+		n = len(tr.Ins)
+	}
+	return &trace.Trace{Prog: tr.Prog, Ins: tr.Ins[:n:n]}
+}
+
+// BitFlipTrace returns a deep copy of tr in which each dynamic
+// instruction is, with probability rate, corrupted by one random bit
+// flip in one of its fields (static index, opcode, direction, memory
+// address, or result value). Corruptions that break referential
+// integrity (static index out of range, opcode desynchronized from the
+// program) are caught by trace validation in the simulators and come
+// back as typed errors; the rest produce runnable-but-wrong streams the
+// invariant audit must still bound.
+func BitFlipTrace(tr *trace.Trace, rate float64, seed uint64) *trace.Trace {
+	r := newRNG(seed)
+	ins := make([]trace.DynInst, len(tr.Ins))
+	copy(ins, tr.Ins)
+	for i := range ins {
+		if !r.hit(rate) {
+			continue
+		}
+		switch r.next() % 5 {
+		case 0:
+			ins[i].Static ^= 1 << (r.next() % 31)
+		case 1:
+			ins[i].Op ^= 1 << (r.next() % 6)
+		case 2:
+			ins[i].Taken = !ins[i].Taken
+		case 3:
+			ins[i].MemAddr ^= 1 << (r.next() % 32)
+		case 4:
+			ins[i].Val ^= 1 << (r.next() % 32)
+		}
+	}
+	return &trace.Trace{Prog: tr.Prog, Ins: ins}
+}

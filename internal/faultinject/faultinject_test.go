@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"testing"
+
+	"deesim/internal/bench"
+	"deesim/internal/cache"
+	"deesim/internal/predictor"
+	"deesim/internal/trace"
+)
+
+func testTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	prog, err := bench.BuildSynthetic(bench.DefaultSynthetic())
+	if err != nil {
+		t.Fatalf("build synthetic: %v", err)
+	}
+	tr, err := trace.Record(prog, 1<<16)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return tr
+}
+
+func TestFlipPredictorDeterministicAndRateZeroIdentity(t *testing.T) {
+	mk := func(rate float64, seed uint64) []bool {
+		p := NewFlipPredictor(predictor.NewTwoBit(), rate, seed)
+		out := make([]bool, 0, 256)
+		for i := 0; i < 256; i++ {
+			pc := int32(i % 17)
+			out = append(out, p.Predict(pc))
+			p.Update(pc, i%3 == 0)
+		}
+		return out
+	}
+	a, b := mk(0.5, 42), mk(0.5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	plain := func() []bool {
+		p := predictor.NewTwoBit()
+		out := make([]bool, 0, 256)
+		for i := 0; i < 256; i++ {
+			pc := int32(i % 17)
+			out = append(out, p.Predict(pc))
+			p.Update(pc, i%3 == 0)
+		}
+		return out
+	}()
+	zero := mk(0, 7)
+	for i := range plain {
+		if plain[i] != zero[i] {
+			t.Fatalf("rate 0 is not the identity at %d", i)
+		}
+	}
+	flipped := mk(1.0, 7)
+	for i := range plain {
+		if plain[i] == flipped[i] {
+			t.Fatalf("rate 1 did not flip prediction %d", i)
+		}
+	}
+}
+
+func TestFaultyMemDelaysAndCorrupts(t *testing.T) {
+	c, err := cache.New(cache.Config{SizeBytes: 1 << 10, LineBytes: 16, Ways: 1, HitLatency: 1, MissLatency: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewFaultyMem(c, 0.5, 100, 0.5, 99)
+	var boosted int
+	for i := 0; i < 1000; i++ {
+		if m.Latency(uint32(i*4)) >= 100 {
+			boosted++
+		}
+	}
+	delays, corruptions := m.Faults()
+	if delays == 0 || corruptions == 0 {
+		t.Fatalf("no faults fired: delays=%d corruptions=%d", delays, corruptions)
+	}
+	if boosted == 0 {
+		t.Fatal("ExtraCycles never observed in latency")
+	}
+	// Stats pass through to the inner cache.
+	if acc, _, _ := m.Stats(); acc == 0 {
+		t.Fatal("stats not passed through")
+	}
+
+	// Rate zero is a transparent wrapper.
+	c2, _ := cache.New(cache.Config{SizeBytes: 1 << 10, LineBytes: 16, Ways: 1, HitLatency: 1, MissLatency: 10})
+	c3, _ := cache.New(cache.Config{SizeBytes: 1 << 10, LineBytes: 16, Ways: 1, HitLatency: 1, MissLatency: 10})
+	clean := NewFaultyMem(c2, 0, 0, 0, 1)
+	for i := 0; i < 1000; i++ {
+		if clean.Latency(uint32(i*8)) != c3.Latency(uint32(i*8)) {
+			t.Fatalf("zero-rate wrapper diverged at access %d", i)
+		}
+	}
+}
+
+func TestTruncateTraceClamps(t *testing.T) {
+	tr := testTrace(t)
+	n := len(tr.Ins)
+	if got := TruncateTrace(tr, n/2); len(got.Ins) != n/2 {
+		t.Fatalf("half truncation: got %d, want %d", len(got.Ins), n/2)
+	}
+	if got := TruncateTrace(tr, -5); len(got.Ins) != 0 {
+		t.Fatal("negative n not clamped to 0")
+	}
+	if got := TruncateTrace(tr, n+100); len(got.Ins) != n {
+		t.Fatal("overlong n not clamped to len")
+	}
+	if TruncateTrace(tr, n/2).Prog != tr.Prog {
+		t.Fatal("program pointer not preserved")
+	}
+}
+
+func TestBitFlipTraceDeterministicAndNonDestructive(t *testing.T) {
+	tr := testTrace(t)
+	orig := make([]trace.DynInst, len(tr.Ins))
+	copy(orig, tr.Ins)
+
+	a := BitFlipTrace(tr, 0.25, 123)
+	b := BitFlipTrace(tr, 0.25, 123)
+	var diffs int
+	for i := range a.Ins {
+		if a.Ins[i] != b.Ins[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a.Ins[i] != orig[i] {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("rate 0.25 flipped nothing")
+	}
+	// The source trace must be untouched.
+	for i := range tr.Ins {
+		if tr.Ins[i] != orig[i] {
+			t.Fatalf("BitFlipTrace mutated its input at %d", i)
+		}
+	}
+	clean := BitFlipTrace(tr, 0, 5)
+	for i := range clean.Ins {
+		if clean.Ins[i] != orig[i] {
+			t.Fatalf("rate 0 is not the identity at %d", i)
+		}
+	}
+}

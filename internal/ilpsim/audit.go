@@ -1,0 +1,96 @@
+package ilpsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// AuditTolerance is the slack allowed when comparing speedups across
+// runs in CheckMonotonic: the static tree re-sizes with ET, so coverage
+// gain is monotone only up to small shape-boundary effects.
+const AuditTolerance = 0.02
+
+// CheckInvariants audits one simulation result against the structural
+// invariants every correct run must satisfy, regardless of how degraded
+// the predictor, memory system, or trace was:
+//
+//   - accounting: instruction, branch, and mispredict counts are
+//     consistent (0 ≤ mispredicts ≤ branches ≤ insts, accuracy in [0,1],
+//     root-resolved mispredicts ≤ mispredicts);
+//   - time sanity: cycles ≥ 1 and cycles ≥ insts/speedup by definition;
+//     the run can never beat the pure dataflow schedule, so when the
+//     oracle result for the same prepared simulation is supplied,
+//     cycles ≥ oracle cycles and speedup ≤ oracle speedup;
+//   - a constrained run is no faster than one instruction-per-PE-cycle
+//     accounting allows: AvgPEs = speedup, MaxPEs ≥ ceil(AvgPEs).
+//
+// A violation is returned as a descriptive error naming the failing
+// invariant; nil means the result is internally consistent.
+func CheckInvariants(r Result, oracle *Result) error {
+	if r.Insts <= 0 {
+		return fmt.Errorf("audit: non-positive instruction count %d", r.Insts)
+	}
+	if r.Cycles < 1 {
+		return fmt.Errorf("audit: non-positive cycle count %d", r.Cycles)
+	}
+	if r.Branches < 0 || r.Branches > r.Insts {
+		return fmt.Errorf("audit: branch count %d outside [0, %d]", r.Branches, r.Insts)
+	}
+	if r.Mispredicts < 0 || r.Mispredicts > r.Branches {
+		return fmt.Errorf("audit: mispredict count %d outside [0, %d]", r.Mispredicts, r.Branches)
+	}
+	if r.RootResolvedMispredicts < 0 || r.RootResolvedMispredicts > r.Mispredicts {
+		return fmt.Errorf("audit: root-resolved mispredicts %d outside [0, %d]", r.RootResolvedMispredicts, r.Mispredicts)
+	}
+	if r.Accuracy < 0 || r.Accuracy > 1 || math.IsNaN(r.Accuracy) {
+		return fmt.Errorf("audit: accuracy %v outside [0,1]", r.Accuracy)
+	}
+	if r.Speedup <= 0 || math.IsNaN(r.Speedup) || math.IsInf(r.Speedup, 0) {
+		return fmt.Errorf("audit: non-finite or non-positive speedup %v", r.Speedup)
+	}
+	if got := float64(r.Insts) / float64(r.Cycles); math.Abs(got-r.Speedup) > 1e-9*got {
+		return fmt.Errorf("audit: speedup %v inconsistent with insts/cycles = %v", r.Speedup, got)
+	}
+	// Sequential 1-IPC execution takes Insts cycles; squashes and stalls
+	// only add to that, so speedup cannot exceed available parallelism:
+	// at least one cycle must elapse.
+	if r.MaxPEs < 0 || (r.MaxPEs > 0 && float64(r.MaxPEs) < r.AvgPEs-1e-9) {
+		return fmt.Errorf("audit: MaxPEs %d below AvgPEs %v", r.MaxPEs, r.AvgPEs)
+	}
+	if oracle != nil {
+		if oracle.Insts != r.Insts {
+			return fmt.Errorf("audit: oracle covers %d insts, result covers %d", oracle.Insts, r.Insts)
+		}
+		// Cycles ≥ critical path: the dataflow schedule is a lower bound
+		// for every constrained model.
+		if r.Cycles < oracle.Cycles {
+			return fmt.Errorf("audit: cycles %d beat the oracle critical path %d", r.Cycles, oracle.Cycles)
+		}
+		if r.Speedup > oracle.Speedup*(1+1e-9) {
+			return fmt.Errorf("audit: speedup %v exceeds oracle %v", r.Speedup, oracle.Speedup)
+		}
+	}
+	return nil
+}
+
+// CheckMonotonic audits coverage monotonicity across a resource sweep:
+// results for the same model at increasing ET must not lose speedup
+// beyond AuditTolerance (more branch-path resources can only cover more
+// of the tree; the tolerance absorbs static-tree shape boundaries).
+// Results must be pre-sorted by ET ascending.
+func CheckMonotonic(rs []Result) error {
+	for i := 1; i < len(rs); i++ {
+		prev, cur := rs[i-1], rs[i]
+		if cur.Model != prev.Model {
+			return fmt.Errorf("audit: model changed mid-sweep (%v then %v)", prev.Model, cur.Model)
+		}
+		if cur.ET < prev.ET {
+			return fmt.Errorf("audit: ET sweep not ascending (%d then %d)", prev.ET, cur.ET)
+		}
+		if cur.Speedup < prev.Speedup*(1-AuditTolerance) {
+			return fmt.Errorf("audit: %v speedup fell from %.4f (ET=%d) to %.4f (ET=%d)",
+				cur.Model, prev.Speedup, prev.ET, cur.Speedup, cur.ET)
+		}
+	}
+	return nil
+}

@@ -38,13 +38,13 @@ func TestLatencyChain(t *testing.T) {
 	tr := mustTrace(t, src)
 	opts := DefaultOptions()
 	opts.Lat = Latencies{Mul: 3}
-	s := New(tr, predictor.NewTwoBit(), opts)
+	s := MustNew(tr, predictor.NewTwoBit(), opts)
 	r := s.Oracle()
 	if r.Cycles != 31 {
 		t.Errorf("oracle cycles = %d, want 31 (1 + 10×3)", r.Cycles)
 	}
 	// Unit latency: 11.
-	s1 := New(tr, predictor.NewTwoBit(), DefaultOptions())
+	s1 := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 	if r1 := s1.Oracle(); r1.Cycles != 11 {
 		t.Errorf("unit oracle cycles = %d, want 11", r1.Cycles)
 	}
@@ -60,7 +60,7 @@ func TestLatencyInWindowedRun(t *testing.T) {
 	tr := mustTrace(t, src)
 	opts := DefaultOptions()
 	opts.Lat = Latencies{Mul: 4}
-	s := New(tr, predictor.NewTwoBit(), opts)
+	s := MustNew(tr, predictor.NewTwoBit(), opts)
 	r := run(t, s, ModelSPCDMF, 8)
 	if r.Cycles != 41 {
 		t.Errorf("cycles = %d, want 41 (1 + 10×4)", r.Cycles)
@@ -82,7 +82,7 @@ func TestPECapLimitsThroughput(t *testing.T) {
 	}{{0, 1}, {4, 7}, {1, 25}} {
 		opts := DefaultOptions()
 		opts.PEs = c.pes
-		s := New(tr, predictor.NewTwoBit(), opts)
+		s := MustNew(tr, predictor.NewTwoBit(), opts)
 		r := run(t, s, ModelSPCDMF, 8)
 		// halt is the 25th instruction.
 		if c.pes == 0 && r.Cycles != 1 {
@@ -111,7 +111,7 @@ func TestPEMonotonicity(t *testing.T) {
 	for _, pes := range []int{1, 2, 4, 8, 16, 0} {
 		opts := DefaultOptions()
 		opts.PEs = pes
-		s := New(tr, predictor.NewTwoBit(), opts)
+		s := MustNew(tr, predictor.NewTwoBit(), opts)
 		r := run(t, s, ModelDEECDMF, 64)
 		cyc := r.Cycles
 		if cyc > prev {
@@ -135,8 +135,8 @@ func TestPEsSaturate(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.PEs = 256
-	a := run(t, New(tr, predictor.NewTwoBit(), opts), ModelDEECDMF, 64)
-	b := run(t, New(tr, predictor.NewTwoBit(), DefaultOptions()), ModelDEECDMF, 64)
+	a := run(t, MustNew(tr, predictor.NewTwoBit(), opts), ModelDEECDMF, 64)
+	b := run(t, MustNew(tr, predictor.NewTwoBit(), DefaultOptions()), ModelDEECDMF, 64)
 	if a.Cycles != b.Cycles {
 		t.Errorf("256 PEs (%d cycles) differs from unlimited (%d)", a.Cycles, b.Cycles)
 	}
@@ -178,7 +178,7 @@ buf: .space 8192
 	runWith := func(cfg *cache.Config) (int64, float64) {
 		opts := DefaultOptions()
 		opts.Cache = cfg
-		s := New(tr, predictor.NewTwoBit(), opts)
+		s := MustNew(tr, predictor.NewTwoBit(), opts)
 		r := run(t, s, ModelDEECDMF, 64)
 		return r.Cycles, s.CacheMissRate()
 	}
@@ -194,7 +194,7 @@ buf: .space 8192
 		t.Errorf("cycles: thrashing cache (%d) not slower than fitting cache (%d)", cSmall, cBig)
 	}
 	// No cache at all equals unit-latency loads: fastest.
-	noCache := run(t, New(tr, predictor.NewTwoBit(), DefaultOptions()), ModelDEECDMF, 64)
+	noCache := run(t, MustNew(tr, predictor.NewTwoBit(), DefaultOptions()), ModelDEECDMF, 64)
 	if noCache.Cycles > cBig {
 		t.Errorf("unit-latency run (%d) slower than cached (%d)", noCache.Cycles, cBig)
 	}
@@ -210,10 +210,10 @@ func TestRealisticLatenciesSlowdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	unit := run(t, New(tr, predictor.NewTwoBit(), DefaultOptions()), ModelDEECDMF, 64)
+	unit := run(t, MustNew(tr, predictor.NewTwoBit(), DefaultOptions()), ModelDEECDMF, 64)
 	opts := DefaultOptions()
 	opts.Lat = RealisticLatencies()
-	real := run(t, New(tr, predictor.NewTwoBit(), opts), ModelDEECDMF, 64)
+	real := run(t, MustNew(tr, predictor.NewTwoBit(), opts), ModelDEECDMF, 64)
 	if real.Cycles <= unit.Cycles {
 		t.Errorf("realistic latencies (%d cycles) not slower than unit (%d)", real.Cycles, unit.Cycles)
 	}
@@ -236,7 +236,7 @@ func TestPEDemandBand(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := New(tr, predictor.NewTwoBit(), DefaultOptions())
+		s := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 		r := run(t, s, ModelDEECDMF, 100)
 		if r.MaxPEs <= 0 || r.MaxPEs >= 600 {
 			t.Errorf("%s: peak PE demand %d implausible", name, r.MaxPEs)
@@ -263,7 +263,7 @@ func TestUnlimitedEECDMFEqualsOracle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(tr, predictor.NewTwoBit(), DefaultOptions())
+	s := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 	r, err := s.RunUnlimited(Model{dee.EE, CDMF})
 	if err != nil {
 		t.Fatal(err)
@@ -287,7 +287,7 @@ func TestConstrainedApproachesUnlimited(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(tr, predictor.NewTwoBit(), DefaultOptions())
+	s := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 	for _, m := range []Model{ModelSP, ModelSPCD, ModelSPCDMF} {
 		u, err := s.RunUnlimited(m)
 		if err != nil {
@@ -324,7 +324,7 @@ func TestUnlimitedOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(tr, predictor.NewTwoBit(), DefaultOptions())
+	s := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 	for _, cd := range []CDMode{Restrictive, CD, CDMF} {
 		sp, err := s.RunUnlimited(Model{dee.SP, cd})
 		if err != nil {
@@ -361,7 +361,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := New(tr, predictor.NewTwoBit(), DefaultOptions())
+		s := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 		r := run(t, s, ModelDEECDMF, 64)
 		return r
 	}

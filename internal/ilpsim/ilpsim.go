@@ -37,6 +37,7 @@
 package ilpsim
 
 import (
+	"context"
 	"fmt"
 
 	"deesim/internal/cache"
@@ -44,6 +45,7 @@ import (
 	"deesim/internal/dee"
 	"deesim/internal/isa"
 	"deesim/internal/predictor"
+	"deesim/internal/runx"
 	"deesim/internal/trace"
 )
 
@@ -163,6 +165,22 @@ func (l Latencies) of(op isa.Op) int {
 	}
 }
 
+// DefaultDeadlockLimit is the number of consecutive cycles without
+// forward progress (and the margin over the instruction count) after
+// which a run is declared deadlocked when Options.DeadlockLimit is zero.
+const DefaultDeadlockLimit = 1 << 22
+
+// MemSystem is the memory-system surface the simulator consumes when
+// replaying loads and stores: per-access latency, allocation, and
+// aggregate statistics. *cache.Cache satisfies it; fault-injection
+// wrappers (internal/faultinject) satisfy it structurally without the
+// simulator knowing.
+type MemSystem interface {
+	Access(addr uint32) bool
+	Latency(addr uint32) int
+	Stats() (accesses, misses uint64, missRate float64)
+}
+
 // Options tunes the simulation.
 type Options struct {
 	// DesignP is the characteristic prediction accuracy used to size the
@@ -178,7 +196,7 @@ type Options struct {
 	// regardless of address (ablation of perfect disambiguation).
 	StrictMemory bool
 	// DeadlockLimit aborts after this many cycles with no progress
-	// (safety net; 0 = default).
+	// (safety net; 0 = DefaultDeadlockLimit, 2^22 cycles).
 	DeadlockLimit int
 
 	// Lat sets per-class instruction latencies (zero value = the paper's
@@ -193,6 +211,10 @@ type Options struct {
 	// in dynamic order and uses per-access hit/miss latencies for loads
 	// (the "suitable memory system" of the paper's future work).
 	Cache *cache.Config
+	// Mem, when non-nil, takes precedence over Cache and supplies the
+	// memory system directly — the hook fault injectors and alternative
+	// hierarchies plug into.
+	Mem MemSystem
 }
 
 // DefaultOptions matches the paper's evaluation assumptions.
@@ -340,17 +362,61 @@ type Sim struct {
 // New prepares the simulator: records dependencies, runs the predictor
 // over the trace (predict-then-update in trace order, as the paper's
 // 2-bit counters are trained), and computes control-dependence joins.
-func New(tr *trace.Trace, pred predictor.Predictor, opts Options) *Sim {
+// The trace and options are validated; a bad input comes back as a
+// *runx.Error of kind KindInvalidInput instead of a downstream panic.
+func New(tr *trace.Trace, pred predictor.Predictor, opts Options) (*Sim, error) {
+	return NewContext(context.Background(), tr, pred, opts)
+}
+
+// MustNew is New for tests and examples with known-good inputs; it
+// panics on error.
+func MustNew(tr *trace.Trace, pred predictor.Predictor, opts Options) *Sim {
+	s, err := New(tr, pred, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewContext is New with cooperative cancellation: the precompute phases
+// (dependency extraction, predictor replay, join computation, cache
+// warmup) check ctx between passes, so a deadline set before a heavy
+// sweep also bounds simulator construction.
+func NewContext(ctx context.Context, tr *trace.Trace, pred predictor.Predictor, opts Options) (s *Sim, err error) {
+	const stage = "ilpsim.New"
+	defer func() {
+		if r := recover(); r != nil {
+			s, err = nil, runx.FromPanic(r, stage)
+		}
+	}()
+	if tr == nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stage, "nil trace")
+	}
+	if verr := tr.Validate(); verr != nil {
+		return nil, &runx.Error{Kind: runx.KindInvalidInput, Stage: stage, Err: verr}
+	}
+	if pred == nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stage, "nil predictor")
+	}
+	if opts.DeadlockLimit < 0 {
+		return nil, runx.Newf(runx.KindInvalidInput, stage, "negative DeadlockLimit %d", opts.DeadlockLimit)
+	}
 	if opts.DeadlockLimit == 0 {
-		opts.DeadlockLimit = 1 << 22
+		opts.DeadlockLimit = DefaultDeadlockLimit
+	}
+	if cerr := runx.CtxErr(ctx, stage); cerr != nil {
+		return nil, cerr
 	}
 	g := cfg.Build(tr.Prog)
-	s := &Sim{
+	s = &Sim{
 		tr:    tr,
 		g:     g,
 		d:     computeDeps(tr, opts.StrictMemory),
 		joins: computeJoins(tr, g),
 		opts:  opts,
+	}
+	if cerr := runx.CtxErr(ctx, stage); cerr != nil {
+		return nil, cerr
 	}
 	s.accuracy, s.correct = predictor.Accuracy(tr, pred)
 	s.branchOrd = make([]int32, len(tr.Ins))
@@ -391,35 +457,50 @@ func New(tr *trace.Trace, pred predictor.Predictor, opts Options) *Sim {
 			s.sideWrites[din.Static] = [2]cfg.WriteSet{taken, fall}
 		}
 	}
-	s.computeLatencies()
-	return s
+	if cerr := runx.CtxErr(ctx, stage); cerr != nil {
+		return nil, cerr
+	}
+	if lerr := s.computeLatencies(); lerr != nil {
+		return nil, lerr
+	}
+	return s, nil
 }
 
 // computeLatencies assigns per-instruction latencies, replaying memory
-// accesses through the configured cache (in dynamic order — the standard
-// trace-driven warmup) when one is present.
-func (s *Sim) computeLatencies() {
+// accesses through the configured memory system (in dynamic order — the
+// standard trace-driven warmup) when one is present. Options.Mem takes
+// precedence over Options.Cache; an invalid cache geometry is reported
+// as a structured error, not a panic.
+func (s *Sim) computeLatencies() error {
 	lat := s.opts.Lat.normalized()
 	s.lat = make([]int32, len(s.tr.Ins))
-	var dc *cache.Cache
-	if s.opts.Cache != nil {
-		dc = cache.MustNew(*s.opts.Cache)
+	mem := s.opts.Mem
+	if mem == nil && s.opts.Cache != nil {
+		dc, err := cache.New(*s.opts.Cache)
+		if err != nil {
+			return &runx.Error{Kind: runx.KindInvalidInput, Stage: "ilpsim.New", Err: err}
+		}
+		mem = dc
 	}
 	for i, din := range s.tr.Ins {
 		l := lat.of(din.Op)
-		if dc != nil {
+		if mem != nil {
 			switch isa.ClassOf(din.Op) {
 			case isa.ClassLoad:
-				l = dc.Latency(din.MemAddr)
+				l = mem.Latency(din.MemAddr)
 			case isa.ClassStore:
-				dc.Access(din.MemAddr) // stores allocate but retire off the critical path
+				mem.Access(din.MemAddr) // stores allocate but retire off the critical path
 			}
+		}
+		if l < 1 {
+			l = 1 // a faulty memory system cannot bend time backwards
 		}
 		s.lat[i] = int32(l)
 	}
-	if dc != nil {
-		_, _, s.cacheMissRate = dc.Stats()
+	if mem != nil {
+		_, _, s.cacheMissRate = mem.Stats()
 	}
+	return nil
 }
 
 // CacheMissRate reports the data-cache miss rate when a cache is
@@ -525,6 +606,41 @@ func (s *Sim) branchProfile() map[int32]float64 {
 // moves — the computation the paper deems impractical in hardware,
 // simulated here to quantify the heuristic's loss).
 func (s *Sim) Run(m Model, et int) (Result, error) {
+	return s.RunContext(context.Background(), m, et)
+}
+
+// attribute fills model/ET/cycle attribution on a structured error so a
+// failure inside a large sweep can be located without re-running it.
+func attribute(e *runx.Error, m Model, et int, cycle int64) *runx.Error {
+	if e.Model == "" {
+		e.Model = m.String()
+	}
+	if e.ET == 0 {
+		e.ET = et
+	}
+	if e.Cycle == 0 {
+		e.Cycle = cycle
+	}
+	return e
+}
+
+// RunContext is Run with cooperative cancellation and a hardened cycle
+// loop: the context is consulted every few thousand cycles (deadline and
+// SIGINT turn into typed *runx.Error values), a progress watchdog
+// converts stalls into structured deadlock errors carrying a
+// cycle/window/heap snapshot, and any panic is recovered at this
+// boundary and returned as a *runx.Error with the stack attached.
+func (s *Sim) RunContext(ctx context.Context, m Model, et int) (res Result, err error) {
+	const stage = "ilpsim.Run"
+	var cycle int64
+	defer func() {
+		if r := recover(); r != nil {
+			err = attribute(runx.FromPanic(r, stage), m, et, cycle)
+		}
+	}()
+	if et < 1 {
+		return res, attribute(runx.Newf(runx.KindInvalidInput, stage, "branch-path resources ET must be >= 1, got %d", et), m, et, 0)
+	}
 	vectorCov := m.Strategy == dee.DEEPure || m.Strategy == dee.DEEProfile
 	profile := m.Strategy == dee.DEEProfile
 
@@ -532,7 +648,7 @@ func (s *Sim) Run(m Model, et int) (Result, error) {
 	if !profile {
 		shape = dee.NewShape(m.Strategy, s.designP(), et)
 	}
-	res := Result{
+	res = Result{
 		Model: m, ET: et, Insts: len(s.tr.Ins),
 		Branches: len(s.branchPos), Accuracy: s.accuracy,
 		TreeML: shape.ML, TreeH: shape.H,
@@ -577,9 +693,9 @@ func (s *Sim) Run(m Model, et int) (Result, error) {
 	}
 
 	hp := 0
-	var cycle int64
 	penalty := int64(s.opts.Penalty)
-	idle := 0
+	tick := runx.NewTicker(4096)
+	wd := runx.NewWatchdog(int64(s.opts.DeadlockLimit))
 
 	// knownAt reports whether the branch terminating the given absolute
 	// path has a usable direction at cycle c: predicted correctly,
@@ -599,8 +715,14 @@ func (s *Sim) Run(m Model, et int) (Result, error) {
 
 	for hp < np {
 		cycle++
+		if cerr := tick.Check(ctx, stage); cerr != nil {
+			cerr.Snap = runx.TakeSnapshot(cycle, int64(hp), int64(np), wd.Idle())
+			return res, attribute(cerr, m, et, cycle)
+		}
 		if cycle > int64(s.opts.DeadlockLimit)+int64(n) {
-			return res, fmt.Errorf("ilpsim: %v ET=%d exceeded cycle limit (deadlock?)", m, et)
+			e := runx.Newf(runx.KindDeadlock, stage, "exceeded cycle limit %d over %d instructions (hp=%d/%d)", s.opts.DeadlockLimit, n, hp, np)
+			e.Snap = runx.TakeSnapshot(cycle, int64(hp), int64(np), wd.Idle())
+			return res, attribute(e, m, et, cycle)
 		}
 
 		if profile && hp != lastHP {
@@ -792,13 +914,10 @@ func (s *Sim) Run(m Model, et int) (Result, error) {
 			}
 			hp++
 		}
-		if executed == 0 {
-			idle++
-			if idle > s.opts.DeadlockLimit {
-				return res, fmt.Errorf("ilpsim: %v ET=%d deadlocked at cycle %d (hp=%d/%d)", m, et, cycle, hp, np)
-			}
-		} else {
-			idle = 0
+		if wd.Step(executed > 0) {
+			e := runx.Newf(runx.KindDeadlock, stage, "no forward progress for %d cycles (hp=%d/%d)", wd.Idle(), hp, np)
+			e.Snap = runx.TakeSnapshot(cycle, int64(hp), int64(np), wd.Idle())
+			return res, attribute(e, m, et, cycle)
 		}
 	}
 

@@ -25,7 +25,7 @@ func mustTrace(t *testing.T, src string) *trace.Trace {
 
 func simOf(t *testing.T, src string) *Sim {
 	t.Helper()
-	return New(mustTrace(t, src), predictor.NewTwoBit(), DefaultOptions())
+	return MustNew(mustTrace(t, src), predictor.NewTwoBit(), DefaultOptions())
 }
 
 func run(t *testing.T, s *Sim, m Model, et int) Result {
@@ -148,7 +148,7 @@ func TestWindowLimitsLookahead(t *testing.T) {
 	}
 	sb = append(sb, []byte("    halt\n")...)
 	tr := mustTrace(t, string(sb))
-	s := New(tr, &perfectPredictor{tr: tr}, DefaultOptions())
+	s := MustNew(tr, &perfectPredictor{tr: tr}, DefaultOptions())
 	small := run(t, s, ModelSPCDMF, 2)
 	big := run(t, s, ModelSPCDMF, 32)
 	if small.Cycles < 2*big.Cycles {
@@ -179,7 +179,7 @@ loop:
 		}
 	}
 	fixed := &perfectPredictor{tr: tr}
-	s := New(tr, fixed, DefaultOptions())
+	s := MustNew(tr, fixed, DefaultOptions())
 	if s.Accuracy() != 1 {
 		t.Fatalf("perfect predictor accuracy = %v", s.Accuracy())
 	}
@@ -232,7 +232,7 @@ off:
     halt
 `
 	tr := mustTrace(t, src)
-	s := New(tr, predictor.AlwaysTaken{}, DefaultOptions())
+	s := MustNew(tr, predictor.AlwaysTaken{}, DefaultOptions())
 	r := run(t, s, ModelSP, 8)
 	if r.Mispredicts != 1 {
 		t.Fatalf("mispredicts = %d, want 1", r.Mispredicts)
@@ -245,7 +245,7 @@ off:
 		t.Errorf("cycles = %d, want 4", r.Cycles)
 	}
 	// With penalty 0 the restart happens at cycle 3.
-	s0 := New(tr, predictor.AlwaysTaken{}, Options{Penalty: 0})
+	s0 := MustNew(tr, predictor.AlwaysTaken{}, Options{Penalty: 0})
 	r0 := run(t, s0, ModelSP, 8)
 	if r0.Cycles != 3 {
 		t.Errorf("penalty-0 cycles = %d, want 3", r0.Cycles)
@@ -274,7 +274,7 @@ off:
 	opts := DefaultOptions()
 	opts.DesignP = 0.7 // forces a DEE region at small ET
 	mk := func() *Sim {
-		return New(tr, &predictor.Fixed{Directions: []bool{true, false, false}}, opts)
+		return MustNew(tr, &predictor.Fixed{Directions: []bool{true, false, false}}, opts)
 	}
 	// First branch mispredicted (predicted taken, actually not taken);
 	// remaining two predicted correctly.
@@ -303,8 +303,8 @@ func TestEEPredictorInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := New(tr, predictor.NewTwoBit(), DefaultOptions())
-	b := New(tr, predictor.AlwaysTaken{}, DefaultOptions())
+	a := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
+	b := MustNew(tr, predictor.AlwaysTaken{}, DefaultOptions())
 	ra := run(t, a, ModelEE, 32)
 	rb := run(t, b, ModelEE, 32)
 	if ra.Cycles != rb.Cycles {
@@ -330,7 +330,7 @@ func workloadSims(t *testing.T) map[string]*Sim {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sims[name] = New(tr, predictor.NewTwoBit(), DefaultOptions())
+		sims[name] = MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 	}
 	return sims
 }
@@ -429,7 +429,7 @@ func TestPenaltyMonotonicity(t *testing.T) {
 	}
 	prev := int64(-1)
 	for _, pen := range []int{0, 1, 3, 8} {
-		s := New(tr, predictor.NewTwoBit(), Options{Penalty: pen})
+		s := MustNew(tr, predictor.NewTwoBit(), Options{Penalty: pen})
 		r := run(t, s, ModelDEECDMF, 64)
 		if prev >= 0 && r.Cycles < prev {
 			t.Errorf("penalty %d: cycles %d below smaller penalty's %d", pen, r.Cycles, prev)
@@ -450,10 +450,10 @@ func TestStrictMemoryHurts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel := New(tr, predictor.NewTwoBit(), DefaultOptions())
+	rel := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
 	strictOpts := DefaultOptions()
 	strictOpts.StrictMemory = true
-	str := New(tr, predictor.NewTwoBit(), strictOpts)
+	str := MustNew(tr, predictor.NewTwoBit(), strictOpts)
 	a := rel.Oracle()
 	b := str.Oracle()
 	if b.Speedup > a.Speedup {
@@ -535,7 +535,7 @@ func TestDEEPureHighAccuracyNearSP(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.DesignP = 0.995
-	s := New(tr, predictor.NewTwoBit(), opts)
+	s := MustNew(tr, predictor.NewTwoBit(), opts)
 	pure := run(t, s, Model{dee.DEEPure, Restrictive}, 16)
 	sp := run(t, s, Model{dee.SP, Restrictive}, 16)
 	if pure.Cycles != sp.Cycles {

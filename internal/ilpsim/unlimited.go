@@ -1,9 +1,10 @@
 package ilpsim
 
 import (
-	"fmt"
+	"context"
 
 	"deesim/internal/dee"
+	"deesim/internal/runx"
 )
 
 // RunUnlimited simulates a model with unconstrained branch-path
@@ -32,11 +33,26 @@ import (
 // instruction; gates are pruned as control passes their joins and as
 // their times fall below the already-required start time.
 func (s *Sim) RunUnlimited(m Model) (Result, error) {
+	return s.RunUnlimitedContext(context.Background(), m)
+}
+
+// RunUnlimitedContext is RunUnlimited with cooperative cancellation and
+// panic isolation: the forward pass checks ctx every few thousand
+// instructions, and a panic is recovered at this boundary into a typed
+// *runx.Error with model attribution.
+func (s *Sim) RunUnlimitedContext(ctx context.Context, m Model) (res Result, err error) {
+	const stage = "ilpsim.RunUnlimited"
+	defer func() {
+		if r := recover(); r != nil {
+			err = attribute(runx.FromPanic(r, stage), m, 0, 0)
+		}
+	}()
 	if m.Strategy == dee.DEEPure || m.Strategy == dee.DEEProfile {
-		return Result{}, fmt.Errorf("ilpsim: unlimited mode supports SP, EE and DEE")
+		return Result{}, attribute(runx.Newf(runx.KindInvalidInput, stage, "unlimited mode supports SP, EE and DEE"), m, 0, 0)
 	}
+	tick := runx.NewTicker(4096)
 	n := len(s.tr.Ins)
-	res := Result{
+	res = Result{
 		Model: m, ET: 0, Insts: n,
 		Branches: len(s.branchPos), Accuracy: s.accuracy,
 	}
@@ -64,6 +80,9 @@ func (s *Sim) RunUnlimited(m Model) (Result, error) {
 	var rg1, rg2 int64 // restrictive-mode top-2 gate times
 
 	for k := 0; k < n; k++ {
+		if cerr := tick.Check(ctx, stage); cerr != nil {
+			return Result{}, attribute(cerr, m, 0, int64(k))
+		}
 		// Data readiness: start > producer finishes.
 		var ready int64
 		for _, p := range [3]int32{s.d.dd.Rs[k], s.d.dd.Rt[k], s.d.dd.Mem[k]} {

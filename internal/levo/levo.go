@@ -45,11 +45,12 @@
 package levo
 
 import (
-	"fmt"
+	"context"
 
 	"deesim/internal/cfg"
 	"deesim/internal/cpu"
 	"deesim/internal/isa"
+	"deesim/internal/runx"
 	"deesim/internal/trace"
 )
 
@@ -126,17 +127,32 @@ type Machine struct {
 // New prepares the machine for a program: records the dynamic stream,
 // assigns window coordinates, and trains the per-row predictors.
 func New(p *isa.Program, cfg_ Config) (*Machine, error) {
+	return NewContext(context.Background(), p, cfg_)
+}
+
+// NewContext is New with cooperative cancellation (trace capture checks
+// ctx) and panic isolation at the package boundary.
+func NewContext(ctx context.Context, p *isa.Program, cfg_ Config) (m *Machine, err error) {
+	const stage = "levo.New"
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, runx.FromPanic(r, stage)
+		}
+	}()
 	if cfg_.Rows <= 0 || cfg_.Cols <= 0 {
-		return nil, fmt.Errorf("levo: bad IQ geometry %dx%d", cfg_.Rows, cfg_.Cols)
+		return nil, runx.Newf(runx.KindInvalidInput, stage, "bad IQ geometry %dx%d", cfg_.Rows, cfg_.Cols)
+	}
+	if cfg_.DeadlockLimit < 0 {
+		return nil, runx.Newf(runx.KindInvalidInput, stage, "negative DeadlockLimit %d", cfg_.DeadlockLimit)
 	}
 	if cfg_.DeadlockLimit == 0 {
 		cfg_.DeadlockLimit = 1 << 22
 	}
-	tr, err := trace.Record(p, cfg_.MaxInstrs)
+	tr, err := trace.RecordContext(ctx, p, cfg_.MaxInstrs)
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{
+	m = &Machine{
 		cfg:   cfg_,
 		prog:  p,
 		tr:    tr,
@@ -307,8 +323,25 @@ func (m *Machine) Trace() *trace.Trace { return m.tr }
 
 // Run simulates the machine cycle by cycle.
 func (m *Machine) Run() (Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext is Run with the hardened cycle loop: cooperative
+// cancellation (ctx consulted every few thousand cycles), a progress
+// watchdog converting stalls into structured deadlock errors with a
+// cycle/head/heap snapshot, and panic isolation at the package boundary.
+func (m *Machine) RunContext(ctx context.Context) (res Result, err error) {
+	const stage = "levo.Run"
+	var cycle int64
+	defer func() {
+		if r := recover(); r != nil {
+			e := runx.FromPanic(r, stage)
+			e.Cycle = cycle
+			err = e
+		}
+	}()
 	n := len(m.tr.Ins)
-	res := Result{Config: m.cfg, Insts: n, Branches: len(m.branchPos), Accuracy: m.Accuracy()}
+	res = Result{Config: m.cfg, Insts: n, Branches: len(m.branchPos), Accuracy: m.Accuracy()}
 	for _, ok := range m.correct {
 		if !ok {
 			res.Mispredicts++
@@ -335,9 +368,9 @@ func (m *Machine) Run() (Result, error) {
 	boostID := make([]int32, n) // resolving branch per boost scope
 
 	head := 0 // oldest incomplete instance
-	var cycle int64
 	penalty := int64(m.cfg.Penalty)
-	idle := 0
+	tick := runx.NewTicker(4096)
+	wd := runx.NewWatchdog(int64(m.cfg.DeadlockLimit))
 	brCursor := 0
 	type pend struct {
 		pos  int32
@@ -365,8 +398,16 @@ func (m *Machine) Run() (Result, error) {
 
 	for head < n {
 		cycle++
+		if cerr := tick.Check(ctx, stage); cerr != nil {
+			cerr.Cycle = cycle
+			cerr.Snap = runx.TakeSnapshot(cycle, int64(head), int64(n), wd.Idle())
+			return res, cerr
+		}
 		if cycle > int64(m.cfg.DeadlockLimit)+int64(n) {
-			return res, fmt.Errorf("levo: cycle limit exceeded (head=%d/%d)", head, n)
+			e := runx.Newf(runx.KindDeadlock, stage, "exceeded cycle limit %d (head=%d/%d)", m.cfg.DeadlockLimit, head, n)
+			e.Cycle = cycle
+			e.Snap = runx.TakeSnapshot(cycle, int64(head), int64(n), wd.Idle())
+			return res, e
 		}
 		headGen := m.inst[head].gen
 		headPass := m.inst[head].pass
@@ -568,13 +609,11 @@ func (m *Machine) Run() (Result, error) {
 			head++
 		}
 
-		if executed == 0 {
-			idle++
-			if idle > m.cfg.DeadlockLimit {
-				return res, fmt.Errorf("levo: deadlock at cycle %d (head=%d/%d)", cycle, head, n)
-			}
-		} else {
-			idle = 0
+		if wd.Step(executed > 0) {
+			e := runx.Newf(runx.KindDeadlock, stage, "no forward progress for %d cycles (head=%d/%d)", wd.Idle(), head, n)
+			e.Cycle = cycle
+			e.Snap = runx.TakeSnapshot(cycle, int64(head), int64(n), wd.Idle())
+			return res, e
 		}
 	}
 

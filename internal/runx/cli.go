@@ -1,0 +1,27 @@
+package runx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// MainContext builds the root context every CLI runs under: it is
+// cancelled by SIGINT/SIGTERM (first signal cancels gracefully so
+// partial results can be printed; a second signal kills the process via
+// the restored default handler) and, when timeout > 0, expires after
+// the wall-clock timeout. The returned stop function releases the
+// signal registration.
+func MainContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		tcancel()
+		stop()
+	}
+}

@@ -1,0 +1,141 @@
+package runx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrorMessageCarriesAttribution(t *testing.T) {
+	e := &Error{
+		Kind: KindDeadlock, Stage: "ilpsim.Run",
+		Model: "DEE-CD-MF", Benchmark: "xlisp/queens", ET: 64, Cycle: 1234,
+		Err: errors.New("no forward progress"),
+	}
+	msg := e.Error()
+	for _, want := range []string{"ilpsim.Run", "deadlock", "DEE-CD-MF", "ET=64", "xlisp/queens", "cycle 1234", "no forward progress"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestErrorOmitsZeroFields(t *testing.T) {
+	e := Newf(KindInvalidInput, "cache.New", "bad geometry")
+	msg := e.Error()
+	if strings.Contains(msg, "model") || strings.Contains(msg, "ET=") || strings.Contains(msg, "cycle") {
+		t.Errorf("zero attribution leaked into %q", msg)
+	}
+}
+
+func TestFromPanicKeepsCauseAndStack(t *testing.T) {
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = FromPanic(r, "test.Entry")
+			}
+		}()
+		panic(fmt.Errorf("boom"))
+	}()
+	e, ok := As(err)
+	if !ok || e.Kind != KindPanic {
+		t.Fatalf("got %v, want KindPanic", err)
+	}
+	if !strings.Contains(e.Error(), "boom") || len(e.Stack) == 0 {
+		t.Errorf("panic error %q lost cause or stack", e.Error())
+	}
+}
+
+func TestCtxErrClassification(t *testing.T) {
+	if CtxErr(context.Background(), "s") != nil {
+		t.Error("live context reported an error")
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if e := CtxErr(canceled, "s"); e == nil || e.Kind != KindCanceled || !errors.Is(e, context.Canceled) {
+		t.Errorf("canceled: %v", e)
+	}
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if e := CtxErr(expired, "s"); e == nil || e.Kind != KindDeadline || !errors.Is(e, context.DeadlineExceeded) {
+		t.Errorf("deadline: %v", e)
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	e := Newf(KindDeadlock, "ilpsim.Run", "stuck")
+	if got, _ := As(Annotate(e, "compress")); got.Benchmark != "compress" {
+		t.Errorf("benchmark not filled: %v", got)
+	}
+	// An already-attributed error is not overwritten.
+	if got, _ := As(Annotate(e, "other")); got.Benchmark != "compress" {
+		t.Errorf("benchmark overwritten: %v", got)
+	}
+	plain := Annotate(errors.New("plain"), "xlisp")
+	if !strings.Contains(plain.Error(), "xlisp") {
+		t.Errorf("plain error lost attribution: %v", plain)
+	}
+	if Annotate(nil, "x") != nil {
+		t.Error("nil in, non-nil out")
+	}
+}
+
+func TestTickerChecksEveryN(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	tick := NewTicker(4)
+	var hits int
+	for i := 0; i < 12; i++ {
+		if tick.Check(canceled, "s") != nil {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Errorf("12 calls at every=4 produced %d checks, want 3", hits)
+	}
+}
+
+func TestWatchdogTripsOnlyOnSustainedStall(t *testing.T) {
+	wd := NewWatchdog(3)
+	for i := 0; i < 3; i++ {
+		if wd.Step(false) {
+			t.Fatalf("tripped at idle %d, limit 3", wd.Idle())
+		}
+	}
+	if !wd.Step(false) {
+		t.Error("did not trip past the limit")
+	}
+	wd = NewWatchdog(3)
+	for i := 0; i < 100; i++ {
+		stalled := wd.Step(i%2 == 0) // progress every other step
+		if stalled {
+			t.Fatal("tripped despite regular progress")
+		}
+	}
+	fresh := NewWatchdog(0)
+	if fresh.Idle() != 0 {
+		t.Error("fresh watchdog not idle-zero")
+	}
+}
+
+func TestIsKind(t *testing.T) {
+	e := Newf(KindDeadline, "s", "late")
+	wrapped := fmt.Errorf("outer: %w", e)
+	if !IsKind(wrapped, KindDeadline) || IsKind(wrapped, KindDeadlock) {
+		t.Errorf("IsKind misclassified %v", wrapped)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := TakeSnapshot(100, 3, 10, 42)
+	str := s.String()
+	for _, want := range []string{"cycle 100", "3/10", "idle 42", "goroutines"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("snapshot %q missing %q", str, want)
+		}
+	}
+}

@@ -13,34 +13,37 @@ import (
 )
 
 // HarmonicMean returns the harmonic mean of xs; it is the right mean for
-// speedups over a common baseline. Zero or negative inputs are invalid.
-func HarmonicMean(xs []float64) float64 {
+// speedups over a common baseline. The empty mean is 0 by convention;
+// zero or negative inputs are reported as an error rather than a NaN
+// that would silently poison a whole sweep's summary row.
+func HarmonicMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
-	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %v", x))
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: harmonic mean of non-positive value %v at index %d", x, i)
 		}
 		sum += 1 / x
 	}
-	return float64(len(xs)) / sum
+	return float64(len(xs)) / sum, nil
 }
 
-// GeometricMean returns the geometric mean of xs.
-func GeometricMean(xs []float64) float64 {
+// GeometricMean returns the geometric mean of xs; like HarmonicMean it
+// rejects non-positive inputs with an error.
+func GeometricMean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	sum := 0.0
-	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: geometric mean of non-positive value %v", x))
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: geometric mean of non-positive value %v at index %d", x, i)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
 }
 
 // Table is a simple column-aligned text table with a numeric body.
@@ -68,8 +71,14 @@ func NewTable(title, rowLabel string, colNames []string) *Table {
 // SetFormat overrides the cell format verb.
 func (t *Table) SetFormat(f string) { t.format = f }
 
-// Set stores a cell; rows appear in first-Set order.
-func (t *Table) Set(row string, col int, v float64) {
+// Set stores a cell; rows appear in first-Set order. A column outside
+// the table's value columns is reported as an error (callers assembling
+// tables from untrusted sweep output can surface it instead of
+// crashing mid-render).
+func (t *Table) Set(row string, col int, v float64) error {
+	if col < 0 || col >= len(t.ColNames) {
+		return fmt.Errorf("stats: column %d out of range [0,%d)", col, len(t.ColNames))
+	}
 	r, ok := t.rows[row]
 	if !ok {
 		r = make([]float64, len(t.ColNames))
@@ -79,10 +88,8 @@ func (t *Table) Set(row string, col int, v float64) {
 		t.rows[row] = r
 		t.rowNames = append(t.rowNames, row)
 	}
-	if col < 0 || col >= len(t.ColNames) {
-		panic(fmt.Sprintf("stats: column %d out of range", col))
-	}
 	r[col] = v
+	return nil
 }
 
 // Get retrieves a cell (NaN if unset).

@@ -18,34 +18,43 @@ func TestHarmonicMean(t *testing.T) {
 		{nil, 0},
 	}
 	for _, c := range cases {
-		if got := HarmonicMean(c.xs); math.Abs(got-c.want) > 1e-9 {
+		got, err := HarmonicMean(c.xs)
+		if err != nil {
+			t.Errorf("HarmonicMean(%v) error: %v", c.xs, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
 			t.Errorf("HarmonicMean(%v) = %v, want %v", c.xs, got, c.want)
 		}
 	}
 }
 
-func TestHarmonicMeanPanicsOnNonPositive(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic on zero input")
-		}
-	}()
-	HarmonicMean([]float64{1, 0})
+func TestHarmonicMeanRejectsNonPositive(t *testing.T) {
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("no error on zero input")
+	}
+	if _, err := HarmonicMean([]float64{1, -2}); err == nil {
+		t.Error("no error on negative input")
+	}
+	if _, err := GeometricMean([]float64{0}); err == nil {
+		t.Error("geometric mean accepted zero")
+	}
 }
 
 func TestHarmonicLeGeometric(t *testing.T) {
 	// HM <= GM for positive inputs.
 	xs := []float64{3.1, 0.2, 44, 7, 7, 0.9}
-	if HarmonicMean(xs) > GeometricMean(xs)+1e-12 {
-		t.Errorf("HM %v > GM %v", HarmonicMean(xs), GeometricMean(xs))
+	hm, _ := HarmonicMean(xs)
+	gm, _ := GeometricMean(xs)
+	if hm > gm+1e-12 {
+		t.Errorf("HM %v > GM %v", hm, gm)
 	}
 }
 
 func TestGeometricMean(t *testing.T) {
-	if got := GeometricMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+	if got, _ := GeometricMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
 		t.Errorf("GM(2,8) = %v, want 4", got)
 	}
-	if got := GeometricMean(nil); got != 0 {
+	if got, _ := GeometricMean(nil); got != 0 {
 		t.Errorf("GM(nil) = %v", got)
 	}
 }
@@ -97,14 +106,21 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
-func TestTableSetPanicsOutOfRange(t *testing.T) {
+func TestTableSetRejectsOutOfRange(t *testing.T) {
 	tb := NewTable("", "r", []string{"a"})
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic on bad column")
-		}
-	}()
-	tb.Set("x", 3, 1)
+	if err := tb.Set("x", 3, 1); err == nil {
+		t.Error("no error on bad column")
+	}
+	if err := tb.Set("x", -1, 1); err == nil {
+		t.Error("no error on negative column")
+	}
+	// A failed Set must not create a phantom row.
+	if len(tb.Rows()) != 0 {
+		t.Errorf("failed Set created rows: %v", tb.Rows())
+	}
+	if err := tb.Set("x", 0, 1); err != nil {
+		t.Errorf("in-range Set failed: %v", err)
+	}
 }
 
 func TestSortedKeys(t *testing.T) {

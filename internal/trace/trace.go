@@ -6,6 +6,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 
 	"deesim/internal/cpu"
@@ -50,6 +51,13 @@ type Trace struct {
 // program that exceeds the limit yields a truncated trace and no error,
 // matching the paper's "up to 100 million instructions" methodology.
 func Record(p *isa.Program, limit uint64) (*Trace, error) {
+	return RecordContext(context.Background(), p, limit)
+}
+
+// RecordContext is Record with cooperative cancellation: the functional
+// simulator checks ctx every few thousand retired instructions, so a
+// deadline bounds trace capture as well as simulation.
+func RecordContext(ctx context.Context, p *isa.Program, limit uint64) (*Trace, error) {
 	t := &Trace{Prog: p}
 	if limit > 0 {
 		t.Ins = make([]DynInst, 0, min64(limit, 1<<22))
@@ -65,7 +73,7 @@ func Record(p *isa.Program, limit uint64) (*Trace, error) {
 			Val:     result,
 		})
 	}
-	err := c.Run(limit)
+	err := c.RunContext(ctx, limit)
 	if err != nil {
 		if _, truncated := err.(*cpu.ErrLimit); !truncated {
 			return nil, err
@@ -75,6 +83,35 @@ func Record(p *isa.Program, limit uint64) (*Trace, error) {
 		return nil, fmt.Errorf("trace: empty trace")
 	}
 	return t, nil
+}
+
+// Validate checks the trace's referential integrity against its program:
+// every dynamic instruction's static index must be in range, its opcode
+// must match the static instruction it claims to be, and its successor
+// index must be in range or one past the end (fallthrough to HALT). A
+// corrupted stream — truncated mid-transfer, bit-flipped indices or
+// opcodes — is rejected here with a descriptive error instead of
+// panicking deep inside a simulator's precompute.
+func (t *Trace) Validate() error {
+	if t.Prog == nil || len(t.Prog.Code) == 0 {
+		return fmt.Errorf("trace: nil or empty program")
+	}
+	if len(t.Ins) == 0 {
+		return fmt.Errorf("trace: empty instruction stream")
+	}
+	n := int32(len(t.Prog.Code))
+	for i, d := range t.Ins {
+		if d.Static < 0 || d.Static >= n {
+			return fmt.Errorf("trace: instruction %d has static index %d outside program [0,%d)", i, d.Static, n)
+		}
+		if got := t.Prog.Code[d.Static].Op; d.Op != got {
+			return fmt.Errorf("trace: instruction %d claims op %v but program[%d] is %v", i, d.Op, d.Static, got)
+		}
+		if d.Next < 0 || d.Next > n {
+			return fmt.Errorf("trace: instruction %d has successor %d outside program [0,%d]", i, d.Next, n)
+		}
+	}
+	return nil
 }
 
 // Len is the number of dynamic instructions.
