@@ -24,20 +24,31 @@
 // Usage: ablate [-study all] [-bench xlisp] [-et 64,256] [-max 150000]
 //
 //	[-timeout 30s] [-deadlock-limit N]
+//	[-journal run.journal | -resume run.journal] [-jobs N]
+//	[-retries N] [-backoff 500ms]
 //
 // Studies run under a cancellable context: SIGINT/SIGTERM or an expired
 // -timeout stops the current simulation at the next checkpoint, the
 // studies already printed stand, and the process exits non-zero with a
 // structured error naming the model, ET, and cycle that was running.
+//
+// With -journal, every study runs as a supervised task whose rendered
+// output is recorded durably on completion; a killed run restarts with
+// -resume, replaying finished studies from the journal and re-running
+// only the rest, with retryable failures retried -retries times under
+// exponential -backoff.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"deesim/internal/bench"
 	"deesim/internal/cache"
@@ -46,6 +57,7 @@ import (
 	"deesim/internal/predictor"
 	"deesim/internal/runx"
 	"deesim/internal/stats"
+	"deesim/internal/superv"
 	"deesim/internal/trace"
 )
 
@@ -53,46 +65,74 @@ import (
 // simulator the studies construct.
 var deadlockLimit int
 
+// studyOutput is the JSON payload journaled per completed study.
+type studyOutput struct {
+	Study  string `json:"study"`
+	Output string `json:"output"`
+}
+
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable args and streams (testability; see
+// cmd/deesim for the same structure).
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		study     = flag.String("study", "all", "penalty, memory, designp, pe, latency, cache, tree, accuracy, or all")
-		benchFlag = flag.String("bench", "xlisp", "workload")
-		etFlag    = flag.String("et", "64,256", "resource levels")
-		max       = flag.Uint64("max", 150_000, "dynamic instruction cap")
-		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
-		dlFlag    = flag.Int("deadlock-limit", 0, fmt.Sprintf("abort a simulation after this many cycles without progress (0 = default %d)", ilpsim.DefaultDeadlockLimit))
+		study       = fs.String("study", "all", "penalty, memory, designp, pe, latency, cache, tree, accuracy, or all")
+		benchFlag   = fs.String("bench", "xlisp", "workload")
+		etFlag      = fs.String("et", "64,256", "resource levels")
+		max         = fs.Uint64("max", 150_000, "dynamic instruction cap")
+		timeout     = fs.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
+		dlFlag      = fs.Int("deadlock-limit", 0, fmt.Sprintf("abort a simulation after this many cycles without progress (0 = default %d)", ilpsim.DefaultDeadlockLimit))
+		journalFlag = fs.String("journal", "", "record completed studies to a crash-safe run journal at this path")
+		resumeFlag  = fs.String("resume", "", "resume an interrupted run from this journal (re-runs only unfinished studies)")
+		jobsFlag    = fs.Int("jobs", 1, "worker-pool size for the journaled run (studies are independent)")
+		retriesFlag = fs.Int("retries", 2, "retries per study after the first attempt (retryable failures only)")
+		backoffFlag = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (exponential, deterministic jitter)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "ablate:", err)
+		return 1
+	}
 	deadlockLimit = *dlFlag
+	if *journalFlag != "" && *resumeFlag != "" {
+		return fail(fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the journal it is given)"))
+	}
 
 	ctx, stop := runx.MainContext(*timeout)
 	defer stop()
 
 	w, err := bench.ByName(*benchFlag)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	prog, err := w.Inputs[0].Build(0)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	tr, err := trace.RecordContext(ctx, prog, *max)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	var ets []int
 	for _, f := range strings.Split(*etFlag, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v <= 0 {
-			fatal(fmt.Errorf("bad ET %q", f))
+			return fail(fmt.Errorf("bad ET %q", f))
 		}
 		ets = append(ets, v)
 	}
-	fmt.Printf("workload %s: %d dynamic instructions\n\n", w.Name, tr.Len())
+	fmt.Fprintf(stdout, "workload %s: %d dynamic instructions\n\n", w.Name, tr.Len())
 
 	studies := []struct {
 		name string
-		run  func(context.Context, *trace.Trace, []int) error
+		run  func(context.Context, io.Writer, *trace.Trace, []int) error
 	}{
 		{"penalty", penaltyStudy},
 		{"memory", memoryStudy},
@@ -101,23 +141,95 @@ func main() {
 		{"latency", latencyStudy},
 		{"cache", cacheStudy},
 		{"tree", treeStudy},
-		{"accuracy", func(ctx context.Context, _ *trace.Trace, ets []int) error {
-			return accuracyStudy(ctx, ets)
+		{"accuracy", func(ctx context.Context, w io.Writer, _ *trace.Trace, ets []int) error {
+			return accuracyStudy(ctx, w, ets)
 		}},
 	}
-	known := false
-	for _, st := range studies {
-		if *study != st.name && *study != "all" {
-			continue
-		}
-		known = true
-		if err := st.run(ctx, tr, ets); err != nil {
-			fatal(err)
+	var selected []int
+	for i, st := range studies {
+		if *study == st.name || *study == "all" {
+			selected = append(selected, i)
 		}
 	}
-	if !known {
-		fatal(fmt.Errorf("unknown study %q", *study))
+	if len(selected) == 0 {
+		return fail(fmt.Errorf("unknown study %q", *study))
 	}
+
+	if *journalFlag == "" && *resumeFlag == "" {
+		for _, i := range selected {
+			if err := studies[i].run(ctx, stdout, tr, ets); err != nil {
+				return fail(err)
+			}
+		}
+		return 0
+	}
+
+	// Supervised path: each study is a journaled task whose payload is
+	// its rendered text; resume replays finished studies byte-for-byte.
+	meta := map[string]string{
+		"study": *study, "bench": *benchFlag, "et": *etFlag,
+		"max": strconv.FormatUint(*max, 10),
+	}
+	var (
+		j     *superv.Journal
+		prior *superv.State
+		path  = *journalFlag
+	)
+	if *resumeFlag != "" {
+		path = *resumeFlag
+		j, prior, err = superv.Resume(path, "ablate", meta)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "ablate: resuming %s: %s\n", path, prior.Summary(len(selected)))
+	} else if j, err = superv.Create(path, "ablate", meta); err != nil {
+		return fail(err)
+	}
+	defer j.Close()
+
+	var tasks []superv.Task
+	outputs := make(map[string]string, len(selected))
+	for _, i := range selected {
+		st := studies[i]
+		tasks = append(tasks, superv.Task{
+			Key: "study/" + st.name,
+			Run: func(ctx context.Context) (any, error) {
+				var b strings.Builder
+				if err := st.run(ctx, &b, tr, ets); err != nil {
+					return nil, err
+				}
+				return studyOutput{Study: st.name, Output: b.String()}, nil
+			},
+		})
+	}
+	runErr := superv.Run(ctx, tasks, superv.Config{
+		Jobs:    *jobsFlag,
+		Journal: j,
+		Prior:   prior,
+		Retry:   superv.RetryPolicy{Attempts: *retriesFlag + 1, Backoff: *backoffFlag},
+		OnDone: func(key string, payload json.RawMessage, replayed bool) {
+			var out studyOutput
+			if err := json.Unmarshal(payload, &out); err == nil {
+				outputs[key] = out.Output
+			}
+		},
+		OnRetry: func(key string, attempt int, delay time.Duration, err error) {
+			fmt.Fprintf(stderr, "ablate: retrying %s (attempt %d after %s): %v\n", key, attempt, delay, err)
+		},
+	})
+	// Print whatever completed — journaled and fresh alike — in the
+	// canonical study order, so interrupt → resume reprints identically.
+	for _, i := range selected {
+		if out, ok := outputs["study/"+studies[i].name]; ok {
+			io.WriteString(stdout, out)
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(stderr, "ablate: %d of %d studies completed — resume with: ablate -resume %s\n",
+			len(outputs), len(selected), path)
+		return fail(runErr)
+	}
+	return 0
 }
 
 // newSim builds a simulator with the CLI-wide deadlock limit applied.
@@ -133,7 +245,7 @@ func newSim(ctx context.Context, tr *trace.Trace, opts ilpsim.Options) (*ilpsim.
 // versus degree of DEE realization and its cost ... The data suggest
 // that some use of DEE is likely to be beneficial, regardless of the
 // predictor accuracy."
-func accuracyStudy(ctx context.Context, ets []int) error {
+func accuracyStudy(ctx context.Context, w io.Writer, ets []int) error {
 	et := ets[len(ets)-1]
 	t := stats.NewTable(
 		fmt.Sprintf("Ablation: branch predictability vs DEE benefit (ET=%d)", et),
@@ -167,14 +279,14 @@ func accuracyStudy(ctx context.Context, ets []int) error {
 		t.Set(name, 2, de.Speedup)
 		t.Set(name, 3, de.Speedup/sp.Speedup)
 	}
-	fmt.Println(t.Render())
-	fmt.Println("DEE's advantage over plain prediction persists across the whole")
-	fmt.Println("predictability range and grows as branches get harder.")
-	fmt.Println()
+	fmt.Fprintln(w, t.Render())
+	fmt.Fprintln(w, "DEE's advantage over plain prediction persists across the whole")
+	fmt.Fprintln(w, "predictability range and grows as branches get harder.")
+	fmt.Fprintln(w)
 	return nil
 }
 
-func treeStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
+func treeStudy(ctx context.Context, w io.Writer, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: DEE tree construction (CD-MF speedup)",
 		"tree", cols(ets))
 	sim, err := newSim(ctx, tr, ilpsim.Options{Penalty: 1})
@@ -198,16 +310,16 @@ func treeStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 			t.Set(row.name, i, r.Speedup)
 		}
 	}
-	fmt.Println(t.Render())
-	fmt.Println("The paper replaced dynamic cp computation with the static heuristic,")
-	fmt.Println("arguing the marginal gain would be small and noting (§5.3) that")
-	fmt.Println("below-average-accuracy branches would ideally be DEE'd earlier —")
-	fmt.Println("the dynamic per-branch tree quantifies exactly that headroom.")
-	fmt.Println()
+	fmt.Fprintln(w, t.Render())
+	fmt.Fprintln(w, "The paper replaced dynamic cp computation with the static heuristic,")
+	fmt.Fprintln(w, "arguing the marginal gain would be small and noting (§5.3) that")
+	fmt.Fprintln(w, "below-average-accuracy branches would ideally be DEE'd earlier —")
+	fmt.Fprintln(w, "the dynamic per-branch tree quantifies exactly that headroom.")
+	fmt.Fprintln(w)
 	return nil
 }
 
-func peStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
+func peStudy(ctx context.Context, w io.Writer, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: processing elements per cycle (DEE-CD-MF speedup)",
 		"PEs", cols(ets))
 	for _, pes := range []int{1, 2, 4, 8, 16, 32, 64, 0} {
@@ -227,14 +339,14 @@ func peStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 			t.Set(name, i, r.Speedup)
 		}
 	}
-	fmt.Println(t.Render())
-	fmt.Println("Speedups saturate well before the window's theoretical instruction")
-	fmt.Println("capacity, matching the paper's note that implicit PE usage was low.")
-	fmt.Println()
+	fmt.Fprintln(w, t.Render())
+	fmt.Fprintln(w, "Speedups saturate well before the window's theoretical instruction")
+	fmt.Fprintln(w, "capacity, matching the paper's note that implicit PE usage was low.")
+	fmt.Fprintln(w)
 	return nil
 }
 
-func latencyStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
+func latencyStudy(ctx context.Context, w io.Writer, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: instruction latencies (speedup at the largest ET)",
 		"model", []string{"unit", "realistic", "retained%"})
 	et := ets[len(ets)-1]
@@ -260,14 +372,14 @@ func latencyStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 		t.Set(m.String(), 1, rr.Speedup)
 		t.Set(m.String(), 2, 100*rr.Speedup/ru.Speedup)
 	}
-	fmt.Println(t.Render())
-	fmt.Println("§5.3: \"It is not yet clear what the net effect of assuming non-unit")
-	fmt.Println("latencies on the DEE-CD-MF model will be\" — here is one data point.")
-	fmt.Println()
+	fmt.Fprintln(w, t.Render())
+	fmt.Fprintln(w, "§5.3: \"It is not yet clear what the net effect of assuming non-unit")
+	fmt.Fprintln(w, "latencies on the DEE-CD-MF model will be\" — here is one data point.")
+	fmt.Fprintln(w)
 	return nil
 }
 
-func cacheStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
+func cacheStudy(ctx context.Context, w io.Writer, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: data cache (DEE-CD-MF speedup)",
 		"memory", append(cols(ets), "miss%"))
 	for _, withCache := range []bool{false, true} {
@@ -291,7 +403,7 @@ func cacheStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 		}
 		t.Set(name, len(ets), 100*sim.CacheMissRate())
 	}
-	fmt.Println(t.Render())
+	fmt.Fprintln(w, t.Render())
 	return nil
 }
 
@@ -303,7 +415,7 @@ func cols(ets []int) []string {
 	return out
 }
 
-func penaltyStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
+func penaltyStudy(ctx context.Context, w io.Writer, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: misprediction restart penalty (DEE-CD-MF speedup)",
 		"penalty", cols(ets))
 	for _, pen := range []int{0, 1, 2, 4} {
@@ -319,11 +431,11 @@ func penaltyStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 			t.Set(fmt.Sprintf("%d cycles", pen), i, r.Speedup)
 		}
 	}
-	fmt.Println(t.Render())
+	fmt.Fprintln(w, t.Render())
 	return nil
 }
 
-func memoryStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
+func memoryStudy(ctx context.Context, w io.Writer, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: memory disambiguation (DEE-CD-MF speedup; oracle in last column)",
 		"memory model", append(cols(ets), "oracle"))
 	for _, strict := range []bool{false, true} {
@@ -344,11 +456,11 @@ func memoryStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 		}
 		t.Set(name, len(ets), sim.Oracle().Speedup)
 	}
-	fmt.Println(t.Render())
+	fmt.Fprintln(w, t.Render())
 	return nil
 }
 
-func designPStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
+func designPStudy(ctx context.Context, w io.Writer, tr *trace.Trace, ets []int) error {
 	t := stats.NewTable("Ablation: static-tree design accuracy (DEE-CD-MF speedup; l/h at the largest ET)",
 		"design p", append(cols(ets), "l", "h"))
 	for _, dp := range []float64{0, 0.70, 0.80, 0.90, 0.95, 0.98} {
@@ -372,14 +484,9 @@ func designPStudy(ctx context.Context, tr *trace.Trace, ets []int) error {
 		t.Set(name, len(ets), float64(last.TreeML))
 		t.Set(name, len(ets)+1, float64(last.TreeH))
 	}
-	fmt.Println(t.Render())
-	fmt.Println("A tree designed for too-low p wastes mainline depth on side paths;")
-	fmt.Println("one designed for too-high p degenerates toward SP — the paper's")
-	fmt.Println("motivation for measuring a characteristic accuracy (§3.1 step 1).")
+	fmt.Fprintln(w, t.Render())
+	fmt.Fprintln(w, "A tree designed for too-low p wastes mainline depth on side paths;")
+	fmt.Fprintln(w, "one designed for too-high p degenerates toward SP — the paper's")
+	fmt.Fprintln(w, "motivation for measuring a characteristic accuracy (§3.1 step 1).")
 	return nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ablate:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run invokes the CLI in-process and returns (exit code, stdout, stderr).
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// fastArgs keeps study sweeps to well under a second.
+func fastArgs(extra ...string) []string {
+	return append([]string{
+		"-bench", "xlisp", "-max", "3000", "-et", "16,64",
+	}, extra...)
+}
+
+// TestJournaledStudiesMatchPlain: the supervised path must reprint the
+// studies byte-identically to the direct path (both emit in canonical
+// study order), and a resume of the finished journal must replay the
+// same bytes without re-running anything.
+func TestJournaledStudiesMatchPlain(t *testing.T) {
+	args := fastArgs("-study", "penalty")
+	code, plain, stderr := run(t, args...)
+	if code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(plain, "misprediction restart penalty") {
+		t.Fatalf("penalty study missing from output:\n%s", plain)
+	}
+
+	journal := filepath.Join(t.TempDir(), "run.journal")
+	code, journaled, stderr := run(t, fastArgs("-study", "penalty", "-journal", journal)...)
+	if code != 0 {
+		t.Fatalf("journaled run exited %d: %s", code, stderr)
+	}
+	if journaled != plain {
+		t.Errorf("journaled output differs from plain:\n--- journaled ---\n%s\n--- plain ---\n%s", journaled, plain)
+	}
+
+	// Resume of a complete journal: pure replay, identical bytes.
+	code, resumed, stderr := run(t, fastArgs("-study", "penalty", "-resume", journal)...)
+	if code != 0 {
+		t.Fatalf("resume exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resuming") {
+		t.Errorf("resume did not report replay progress: %s", stderr)
+	}
+	if resumed != plain {
+		t.Errorf("replayed output differs from plain:\n--- replayed ---\n%s\n--- plain ---\n%s", resumed, plain)
+	}
+}
+
+// TestResumeAfterTornJournal: tear the journal tail (simulated crash
+// mid-record) from a two-study run and resume; the combined output must
+// match an uninterrupted run of both studies.
+func TestResumeAfterTornJournal(t *testing.T) {
+	code, want, stderr := run(t, fastArgs("-study", "all")...)
+	if code != 0 {
+		t.Fatalf("reference run exited %d: %s", code, stderr)
+	}
+
+	journal := filepath.Join(t.TempDir(), "run.journal")
+	code, _, stderr = run(t, fastArgs("-study", "all", "-journal", journal)...)
+	if code != 0 {
+		t.Fatalf("journaled run exited %d: %s", code, stderr)
+	}
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear deep enough to lose at least the final study's record.
+	if err := os.WriteFile(journal, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, resumed, stderr := run(t, fastArgs("-study", "all", "-resume", journal)...)
+	if code != 0 {
+		t.Fatalf("resume exited %d: %s", code, stderr)
+	}
+	if resumed != want {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- resumed ---\n%s\n--- want ---\n%s", resumed, want)
+	}
+}
+
+// TestResumeRejectsChangedRun: a journal recorded under different study
+// settings must be refused rather than silently merged.
+func TestResumeRejectsChangedRun(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.journal")
+	code, _, stderr := run(t, fastArgs("-study", "penalty", "-journal", journal)...)
+	if code != 0 {
+		t.Fatalf("journaled run exited %d: %s", code, stderr)
+	}
+	code, _, stderr = run(t, "-bench", "xlisp", "-max", "3000", "-et", "16,256",
+		"-study", "penalty", "-resume", journal)
+	if code == 0 {
+		t.Error("resume under changed -et succeeded")
+	} else if !strings.Contains(stderr, "journal") {
+		t.Errorf("unhelpful refusal: %s", stderr)
+	}
+}
+
+func TestJournalAndResumeMutuallyExclusive(t *testing.T) {
+	code, _, stderr := run(t, fastArgs("-journal", "a", "-resume", "b")...)
+	if code == 0 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("exit %d, stderr %s", code, stderr)
+	}
+}
+
+func TestUnknownStudyRejected(t *testing.T) {
+	code, _, stderr := run(t, fastArgs("-study", "warp")...)
+	if code == 0 || !strings.Contains(stderr, "unknown study") {
+		t.Errorf("exit %d, stderr %s", code, stderr)
+	}
+}

@@ -9,19 +9,40 @@
 //	       [-models all|csv] [-predictor 2bit|papN|taken] [-scale N]
 //	       [-max N] [-penalty N] [-strictmem] [-stats] [-csv]
 //	       [-timeout 30s] [-deadlock-limit N]
+//	       [-journal run.journal | -resume run.journal] [-jobs N]
+//	       [-retries N] [-backoff 500ms]
+//	       [-golden results/golden/figure5.json] [-write-golden out.json]
+//	       [-figure name]
 //
 // The run is cancellable: SIGINT/SIGTERM or an expired -timeout stops
 // the sweep at the next cycle-loop checkpoint, prints whatever workload
 // panels completed, and exits non-zero with a structured error naming
 // the failing model, ET, benchmark, and cycle.
+//
+// With -journal, the sweep runs under the crash-safe supervisor: every
+// (input × model × ET) cell is recorded to a durable append-only
+// journal as it starts and finishes, cells run on a -jobs worker pool,
+// and retryable failures (deadline, deadlock, panic) are retried
+// -retries times with exponential -backoff and deterministic jitter. A
+// killed run restarts with -resume: completed cells replay from the
+// journal, only unfinished ones re-execute, and the merged tables are
+// byte-identical to an uninterrupted run's.
+//
+// With -golden, the finished sweep is compared against a golden
+// baseline snapshot; any speedup drifting beyond the tolerance exits
+// non-zero with a regression error naming the model, benchmark, and
+// figure. -write-golden records such a snapshot.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"deesim/internal/bench"
 	"deesim/internal/cache"
@@ -29,27 +50,51 @@ import (
 	"deesim/internal/experiments"
 	"deesim/internal/ilpsim"
 	"deesim/internal/runx"
+	"deesim/internal/superv"
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with injectable args and streams, so the journal /
+// resume / golden workflows are testable end to end in-process.
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchFlag   = flag.String("bench", "all", "workloads to run: all or comma-separated names")
-		resFlag     = flag.String("resources", "8,16,32,64,128,256", "comma-separated ET sweep (branch paths; 0 = unlimited, the Lam & Wilson setting)")
-		modelsFlag  = flag.String("models", "all", "models: all or comma-separated (e.g. DEE-CD-MF,SP)")
-		predFlag    = flag.String("predictor", "2bit", "branch predictor: 2bit, papN, taken")
-		scaleFlag   = flag.Int("scale", 0, "workload input scale (0 = default)")
-		maxFlag     = flag.Uint64("max", 0, "dynamic instruction cap per input (0 = run to completion)")
-		penaltyFlag = flag.Int("penalty", 1, "misprediction restart penalty in cycles")
-		strictMem   = flag.Bool("strictmem", false, "serialize loads behind all prior stores (ablation)")
-		statsFlag   = flag.Bool("stats", false, "print root-resolution statistics per model")
-		csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		pesFlag     = flag.Int("pes", 0, "processing elements issued per cycle (0 = unlimited, the paper's assumption)")
-		latFlag     = flag.String("latency", "unit", "instruction latencies: unit (the paper) or realistic")
-		cacheFlag   = flag.String("cache", "none", "data cache: none (the paper) or 16k (16KiB 4-way, 10-cycle miss)")
-		timeoutFlag = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s or 1m (0 = none)")
-		dlFlag      = flag.Int("deadlock-limit", 0, fmt.Sprintf("abort a simulation after this many cycles without progress (0 = default %d)", ilpsim.DefaultDeadlockLimit))
+		benchFlag   = fs.String("bench", "all", "workloads to run: all or comma-separated names")
+		resFlag     = fs.String("resources", "8,16,32,64,128,256", "comma-separated ET sweep (branch paths; 0 = unlimited, the Lam & Wilson setting)")
+		modelsFlag  = fs.String("models", "all", "models: all or comma-separated (e.g. DEE-CD-MF,SP)")
+		predFlag    = fs.String("predictor", "2bit", "branch predictor: 2bit, papN, taken")
+		scaleFlag   = fs.Int("scale", 0, "workload input scale (0 = default)")
+		maxFlag     = fs.Uint64("max", 0, "dynamic instruction cap per input (0 = run to completion)")
+		penaltyFlag = fs.Int("penalty", 1, "misprediction restart penalty in cycles")
+		strictMem   = fs.Bool("strictmem", false, "serialize loads behind all prior stores (ablation)")
+		statsFlag   = fs.Bool("stats", false, "print root-resolution statistics per model")
+		csvFlag     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		pesFlag     = fs.Int("pes", 0, "processing elements issued per cycle (0 = unlimited, the paper's assumption)")
+		latFlag     = fs.String("latency", "unit", "instruction latencies: unit (the paper) or realistic")
+		cacheFlag   = fs.String("cache", "none", "data cache: none (the paper) or 16k (16KiB 4-way, 10-cycle miss)")
+		timeoutFlag = fs.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s or 1m (0 = none)")
+		dlFlag      = fs.Int("deadlock-limit", 0, fmt.Sprintf("abort a simulation after this many cycles without progress (0 = default %d)", ilpsim.DefaultDeadlockLimit))
+
+		journalFlag = fs.String("journal", "", "record the sweep to a crash-safe run journal at this path")
+		resumeFlag  = fs.String("resume", "", "resume an interrupted sweep from this journal (re-runs only unfinished cells)")
+		jobsFlag    = fs.Int("jobs", 4, "worker-pool size for the journaled sweep")
+		retriesFlag = fs.Int("retries", 2, "retries per cell after the first attempt (retryable failures only)")
+		backoffFlag = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (exponential, deterministic jitter)")
+		goldenFlag  = fs.String("golden", "", "compare the finished sweep against this golden baseline snapshot")
+		writeGolden = fs.String("write-golden", "", "write a golden baseline snapshot of the finished sweep to this path")
+		figureFlag  = fs.String("figure", "figure5", "figure name recorded in a written golden snapshot")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "deesim:", err)
+		return 1
+	}
 
 	cfg := experiments.Config{
 		Scale:     *scaleFlag,
@@ -67,7 +112,7 @@ func main() {
 	case "realistic":
 		cfg.Opts.Lat = ilpsim.RealisticLatencies()
 	default:
-		fatal(fmt.Errorf("unknown latency model %q", *latFlag))
+		return fail(fmt.Errorf("unknown latency model %q", *latFlag))
 	}
 	switch *cacheFlag {
 	case "none":
@@ -75,63 +120,194 @@ func main() {
 		c := cache.Default16K()
 		cfg.Opts.Cache = &c
 	default:
-		fatal(fmt.Errorf("unknown cache %q", *cacheFlag))
+		return fail(fmt.Errorf("unknown cache %q", *cacheFlag))
 	}
 	var err error
 	cfg.Resources, err = parseInts(*resFlag)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cfg.Models, err = parseModels(*modelsFlag)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	ws, err := selectWorkloads(*benchFlag)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	if *journalFlag != "" && *resumeFlag != "" {
+		return fail(fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the journal it is given)"))
 	}
 
-	// Stream each workload's panel as it completes, so a cancelled or
-	// failed sweep still shows everything that finished.
 	printed := make(map[string]bool)
 	emit := func(r *experiments.WorkloadResult) {
 		printed[r.Workload] = true
-		fmt.Println(experiments.Render(r, cfg))
+		fmt.Fprintln(stdout, experiments.Render(r, cfg))
 		if *statsFlag && r.Workload != "harmonic-mean" {
-			printRootStats(r, cfg)
+			printRootStats(stdout, r, cfg)
 		}
 		if *csvFlag {
-			fmt.Println(renderCSV(r, cfg))
+			fmt.Fprintln(stdout, renderCSV(r, cfg))
 		}
 	}
-	cfg.OnResult = emit
 
 	ctx, stop := runx.MainContext(*timeoutFlag)
 	defer stop()
-	results, err := experiments.RunAllContext(ctx, ws, cfg)
-	for _, r := range results {
-		if !printed[r.Workload] {
+
+	var results []*experiments.WorkloadResult
+	if *journalFlag != "" || *resumeFlag != "" {
+		results, err = runJournaled(ctx, ws, cfg, journaledOpts{
+			journal: *journalFlag, resume: *resumeFlag,
+			jobs: *jobsFlag, retries: *retriesFlag, backoff: *backoffFlag,
+		}, stderr)
+		// The supervised path emits nothing until the merge; print every
+		// completed panel (canonical order) whether or not the run failed.
+		for _, r := range results {
 			emit(r)
+		}
+	} else {
+		// Stream each workload's panel as it completes, so a cancelled or
+		// failed sweep still shows everything that finished.
+		cfg.OnResult = emit
+		results, err = experiments.RunAllContext(ctx, ws, cfg)
+		for _, r := range results {
+			if !printed[r.Workload] {
+				emit(r)
+			}
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "deesim: %d of %d workloads completed before failure\n", len(results), len(ws))
-		fatal(err)
+		fmt.Fprintf(stderr, "deesim: %d of %d workloads completed before failure\n", len(results), len(ws))
+		return fail(err)
+	}
+
+	if *writeGolden != "" {
+		g := goldenFromResults(*figureFlag, fs, results, cfg)
+		if err := g.Write(*writeGolden); err != nil {
+			return fail(fmt.Errorf("write golden %s: %w", *writeGolden, err))
+		}
+		fmt.Fprintf(stderr, "deesim: wrote golden snapshot %s (%d points)\n", *writeGolden, len(g.Points))
+	}
+	if *goldenFlag != "" {
+		g, err := superv.LoadGolden(*goldenFlag)
+		if err != nil {
+			return fail(err)
+		}
+		if err := superv.CompareGolden(g, lookupResults(results), 0); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "deesim: %d golden cells within tolerance of %s\n", len(g.Points), *goldenFlag)
+	}
+	return 0
+}
+
+type journaledOpts struct {
+	journal, resume string
+	jobs, retries   int
+	backoff         time.Duration
+}
+
+// runJournaled runs the sweep under the crash-safe supervisor,
+// creating or resuming the run journal.
+func runJournaled(ctx context.Context, ws []bench.Workload, cfg experiments.Config, o journaledOpts, stderr io.Writer) ([]*experiments.WorkloadResult, error) {
+	meta := experiments.MatrixMeta(ws, cfg)
+	total := experiments.MatrixTaskCount(ws, cfg)
+	var (
+		j     *superv.Journal
+		prior *superv.State
+		path  = o.journal
+		err   error
+	)
+	if o.resume != "" {
+		path = o.resume
+		j, prior, err = superv.Resume(path, "deesim", meta)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "deesim: resuming %s: %s\n", path, prior.Summary(total))
+	} else {
+		if j, err = superv.Create(path, "deesim", meta); err != nil {
+			return nil, err
+		}
+	}
+	defer j.Close()
+	mcfg := experiments.MatrixConfig{
+		Jobs:    o.jobs,
+		Journal: j,
+		Prior:   prior,
+		Retry: superv.RetryPolicy{
+			Attempts: o.retries + 1,
+			Backoff:  o.backoff,
+		},
+		OnRetry: func(key string, attempt int, delay string, err error) {
+			fmt.Fprintf(stderr, "deesim: retrying %s (attempt %d after %s): %v\n", key, attempt, delay, err)
+		},
+	}
+	results, err := experiments.RunMatrixContext(ctx, ws, cfg, mcfg)
+	if err != nil {
+		// The journal knows exactly what a resumed run will skip.
+		if st, lerr := superv.Load(path); lerr == nil {
+			fmt.Fprintf(stderr, "deesim: journal %s: %s — resume with: deesim -resume %s\n",
+				path, st.Summary(total), path)
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// lookupResults adapts merged workload results to the golden-compare
+// lookup: benchmarks are workload names, including "harmonic-mean".
+func lookupResults(rs []*experiments.WorkloadResult) superv.Lookup {
+	byName := make(map[string]*experiments.WorkloadResult, len(rs))
+	for _, r := range rs {
+		byName[r.Workload] = r
+	}
+	return func(benchmark, model string, et int) (float64, bool) {
+		r, ok := byName[benchmark]
+		if !ok {
+			return 0, false
+		}
+		v, ok := r.Speedup[model][et]
+		return v, ok
 	}
 }
 
-func printRootStats(r *experiments.WorkloadResult, cfg experiments.Config) {
-	fmt.Printf("  mispredict resolutions at tree root (%s):\n", r.Workload)
+// goldenFromResults snapshots every (workload, model, ET) cell of a
+// finished sweep.
+func goldenFromResults(figure string, fs *flag.FlagSet, rs []*experiments.WorkloadResult, cfg experiments.Config) *superv.Golden {
+	var cmd strings.Builder
+	cmd.WriteString("deesim")
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "write-golden" || f.Name == "golden" || f.Name == "journal" || f.Name == "resume" {
+			return
+		}
+		fmt.Fprintf(&cmd, " -%s %v", f.Name, f.Value)
+	})
+	g := &superv.Golden{Figure: figure, Version: 1, Tolerance: superv.DefaultGoldenTolerance, Command: cmd.String()}
+	for _, r := range rs {
+		for _, m := range cfg.Models {
+			for _, et := range cfg.Resources {
+				g.Points = append(g.Points, superv.GoldenPoint{
+					Benchmark: r.Workload, Model: m.String(), ET: et, Speedup: r.Speedup[m.String()][et],
+				})
+			}
+		}
+	}
+	return g
+}
+
+func printRootStats(w io.Writer, r *experiments.WorkloadResult, cfg experiments.Config) {
+	fmt.Fprintf(w, "  mispredict resolutions at tree root (%s):\n", r.Workload)
 	for _, in := range r.Inputs {
 		for _, m := range cfg.Models {
 			var parts []string
 			for _, et := range cfg.Resources {
 				parts = append(parts, fmt.Sprintf("ET%d=%.0f%%", et, 100*in.RootRate[m.String()][et]))
 			}
-			fmt.Printf("    %-12s %-10s %s\n", in.Input, m, strings.Join(parts, " "))
+			fmt.Fprintf(w, "    %-12s %-10s %s\n", in.Input, m, strings.Join(parts, " "))
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 func renderCSV(r *experiments.WorkloadResult, cfg experiments.Config) string {
@@ -214,9 +390,4 @@ func selectWorkloads(s string) ([]bench.Workload, error) {
 		return nil, fmt.Errorf("empty workload list")
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "deesim:", err)
-	os.Exit(1)
 }

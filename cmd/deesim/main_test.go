@@ -1,11 +1,135 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"deesim/internal/dee"
+	"deesim/internal/superv"
 )
+
+// run invokes the CLI in-process and returns (exit code, stdout, stderr).
+func run(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := realMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// fastArgs keeps e2e sweeps to a couple of seconds.
+func fastArgs(extra ...string) []string {
+	return append([]string{
+		"-bench", "xlisp,compress", "-max", "5000",
+		"-models", "SP,DEE-CD-MF", "-resources", "8,64",
+	}, extra...)
+}
+
+// TestJournalResumeEndToEnd exercises -journal and -resume through the
+// real CLI: a journaled run prints every panel (canonical order, unlike
+// the plain path's completion-order streaming), and a journal with a
+// torn tail and missing records must resume to byte-identical output.
+func TestJournalResumeEndToEnd(t *testing.T) {
+	code, plain, stderr := run(t, fastArgs()...)
+	if code != 0 {
+		t.Fatalf("plain run exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(plain, "harmonic-mean") {
+		t.Fatalf("plain run printed no harmonic-mean panel:\n%s", plain)
+	}
+
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.journal")
+	code, journaled, stderr := run(t, fastArgs("-journal", journal, "-jobs", "2")...)
+	if code != 0 {
+		t.Fatalf("journaled run exited %d: %s", code, stderr)
+	}
+	// Same panels as the plain run, in the canonical -bench order.
+	for _, panel := range []string{"xlisp", "compress", "harmonic-mean"} {
+		if !strings.Contains(journaled, panel) {
+			t.Errorf("journaled output missing %s panel", panel)
+		}
+	}
+	if xi, ci := strings.Index(journaled, "xlisp"), strings.Index(journaled, "compress"); xi > ci {
+		t.Errorf("journaled panels not in canonical order (xlisp@%d, compress@%d)", xi, ci)
+	}
+
+	// Simulate a crash: tear the journal tail (losing its final record
+	// mid-write) and resume. Output must be byte-identical again.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, data[:len(data)-40], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, resumed, stderr := run(t, fastArgs("-resume", journal, "-jobs", "2")...)
+	if code != 0 {
+		t.Fatalf("resumed run exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resuming") {
+		t.Errorf("resume did not report replay progress: %s", stderr)
+	}
+	if resumed != journaled {
+		t.Errorf("resumed tables differ from uninterrupted journaled run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", resumed, journaled)
+	}
+
+	// A journal recorded under a different matrix must be refused.
+	code, _, stderr = run(t, "-bench", "xlisp", "-max", "5000",
+		"-models", "SP", "-resources", "8", "-resume", journal)
+	if code == 0 {
+		t.Error("resume under a changed matrix succeeded")
+	} else if !strings.Contains(stderr, "journal") {
+		t.Errorf("unhelpful refusal: %s", stderr)
+	}
+}
+
+// TestGoldenWriteAndCompareEndToEnd: -write-golden then -golden round
+// trips cleanly, and a drifted golden fails with attribution.
+func TestGoldenWriteAndCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	golden := filepath.Join(dir, "smoke.json")
+	code, _, stderr := run(t, fastArgs("-write-golden", golden, "-figure", "e2e-smoke")...)
+	if code != 0 {
+		t.Fatalf("write-golden exited %d: %s", code, stderr)
+	}
+	code, _, stderr = run(t, fastArgs("-golden", golden)...)
+	if code != 0 {
+		t.Fatalf("golden compare exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "within tolerance") {
+		t.Errorf("no compare confirmation: %s", stderr)
+	}
+
+	// Inject a 5% drift into one golden cell; the compare must fail with
+	// a typed regression naming the model, benchmark, and figure.
+	g, err := superv.LoadGolden(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Points[0].Speedup *= 1.05
+	if err := g.Write(golden); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = run(t, fastArgs("-golden", golden)...)
+	if code == 0 {
+		t.Fatal("drifted golden passed the gate")
+	}
+	for _, want := range []string{"golden regression", "e2e-smoke", g.Points[0].Model, g.Points[0].Benchmark} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("regression error %q missing %q", stderr, want)
+		}
+	}
+}
+
+func TestJournalAndResumeMutuallyExclusive(t *testing.T) {
+	code, _, stderr := run(t, fastArgs("-journal", "a", "-resume", "b")...)
+	if code == 0 || !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("exit %d, stderr %s", code, stderr)
+	}
+}
 
 func TestParseInts(t *testing.T) {
 	got, err := parseInts("8, 16,256")

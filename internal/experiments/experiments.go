@@ -38,10 +38,70 @@ type Config struct {
 	// Opts are passed to the simulator.
 	Opts ilpsim.Options
 	// OnResult, if non-nil, observes each workload result as it
-	// completes (called serially). It lets a CLI stream partial results
-	// during a long sweep — and print whatever finished when the sweep
-	// is cancelled.
+	// completes. It lets a CLI stream partial results during a long
+	// sweep — and print whatever finished when the sweep is cancelled.
+	// Calls are serialized by the harness (RunAllContext and
+	// RunMatrixContext guard every invocation with a mutex), so
+	// implementations may touch shared state without locking; they must
+	// not call back into the harness.
 	OnResult func(*WorkloadResult)
+}
+
+// Validate rejects configurations that would corrupt a sweep rather
+// than fail it cleanly: negative resource levels (0 stays legal — it is
+// the documented Lam & Wilson "unlimited" sentinel), duplicate resource
+// levels, and duplicate model names. Duplicates matter beyond
+// aesthetics: a (workload, model, ET) triple is a journal task key, so
+// a duplicated entry would collide in the run journal and double-count
+// in harmonic means. Returns a typed *runx.Error of KindInvalidInput.
+func (c Config) Validate() error {
+	const stage = "experiments.Config"
+	if c.Scale < 0 {
+		return runx.Newf(runx.KindInvalidInput, stage, "negative workload scale %d", c.Scale)
+	}
+	seenET := make(map[int]bool, len(c.Resources))
+	for _, et := range c.Resources {
+		if et < 0 {
+			return runx.Newf(runx.KindInvalidInput, stage, "negative resource level %d (0 = unlimited)", et)
+		}
+		if seenET[et] {
+			return runx.Newf(runx.KindInvalidInput, stage, "duplicate resource level %d (would collide as a journal task key)", et)
+		}
+		seenET[et] = true
+	}
+	seenM := make(map[string]bool, len(c.Models))
+	for _, m := range c.Models {
+		if seenM[m.String()] {
+			return runx.Newf(runx.KindInvalidInput, stage, "duplicate model %s (would collide as a journal task key)", m)
+		}
+		seenM[m.String()] = true
+	}
+	return nil
+}
+
+// validateWorkloads rejects workload sets whose names (or per-workload
+// input names) collide — they would alias each other's journal records
+// and merge results incorrectly.
+func validateWorkloads(ws []bench.Workload) error {
+	const stage = "experiments.Workloads"
+	seen := make(map[string]bool, len(ws))
+	for _, w := range ws {
+		if w.Name == "" {
+			return runx.Newf(runx.KindInvalidInput, stage, "workload with empty name")
+		}
+		if seen[w.Name] {
+			return runx.Newf(runx.KindInvalidInput, stage, "duplicate workload name %q (journal task keys would collide)", w.Name)
+		}
+		seen[w.Name] = true
+		ins := make(map[string]bool, len(w.Inputs))
+		for _, in := range w.Inputs {
+			if ins[in.Name] {
+				return runx.Newf(runx.KindInvalidInput, stage, "workload %q has duplicate input %q", w.Name, in.Name)
+			}
+			ins[in.Name] = true
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +157,22 @@ func RunInput(name string, prog buildable, cfg Config) (*InputResult, error) {
 // error out of a large sweep names its benchmark.
 func RunInputContext(ctx context.Context, name string, prog buildable, cfg Config) (*InputResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, runx.Annotate(err, name)
+	}
+	tr, err := recordInput(ctx, name, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := newInputSim(ctx, name, tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runInputSim(ctx, name, tr, sim, cfg)
+}
+
+// recordInput builds an input's program and records its dynamic trace.
+func recordInput(ctx context.Context, name string, prog buildable, cfg Config) (*trace.Trace, error) {
 	p, err := prog(cfg.Scale)
 	if err != nil {
 		return nil, fmt.Errorf("build %s: %w", name, err)
@@ -105,6 +181,11 @@ func RunInputContext(ctx context.Context, name string, prog buildable, cfg Confi
 	if err != nil {
 		return nil, runx.Annotate(err, name)
 	}
+	return tr, nil
+}
+
+// newInputSim constructs the prepared simulator for a recorded trace.
+func newInputSim(ctx context.Context, name string, tr *trace.Trace, cfg Config) (*ilpsim.Sim, error) {
 	pred, err := predictor.New(cfg.Predictor)
 	if err != nil {
 		return nil, err
@@ -113,6 +194,12 @@ func RunInputContext(ctx context.Context, name string, prog buildable, cfg Confi
 	if err != nil {
 		return nil, runx.Annotate(err, name)
 	}
+	return sim, nil
+}
+
+// runInputSim sweeps every configured model and resource level on an
+// already-prepared simulator.
+func runInputSim(ctx context.Context, name string, tr *trace.Trace, sim *ilpsim.Sim, cfg Config) (*InputResult, error) {
 	res := &InputResult{
 		Input:    name,
 		Insts:    tr.Len(),
@@ -157,16 +244,29 @@ func RunWorkload(w bench.Workload, cfg Config) (*WorkloadResult, error) {
 // RunInputContext).
 func RunWorkloadContext(ctx context.Context, w bench.Workload, cfg Config) (*WorkloadResult, error) {
 	cfg = cfg.withDefaults()
-	out := &WorkloadResult{
-		Workload: w.Name,
-		Speedup:  make(map[string]map[int]float64),
-	}
+	var inputs []*InputResult
 	for _, in := range w.Inputs {
 		ir, err := RunInputContext(ctx, w.Name+"/"+in.Name, in.Build, cfg)
 		if err != nil {
 			return nil, err
 		}
-		out.Inputs = append(out.Inputs, ir)
+		inputs = append(inputs, ir)
+	}
+	return aggregateWorkload(w.Name, inputs, cfg)
+}
+
+// aggregateWorkload folds per-input results into a workload datum: the
+// harmonic mean over inputs per model×ET (the paper's treatment of
+// espresso's four inputs), mean accuracy, and harmonic-mean oracle.
+// Both the direct path (RunWorkloadContext) and the journaled matrix
+// path (RunMatrixContext) aggregate through this one function, so a
+// resumed run's merged old+new results are bit-identical to an
+// uninterrupted run's.
+func aggregateWorkload(name string, inputs []*InputResult, cfg Config) (*WorkloadResult, error) {
+	out := &WorkloadResult{
+		Workload: name,
+		Inputs:   inputs,
+		Speedup:  make(map[string]map[int]float64),
 	}
 	var oracles, accs []float64
 	for _, ir := range out.Inputs {
@@ -175,7 +275,7 @@ func RunWorkloadContext(ctx context.Context, w bench.Workload, cfg Config) (*Wor
 	}
 	var err error
 	if out.Oracle, err = stats.HarmonicMean(oracles); err != nil {
-		return nil, fmt.Errorf("%s oracle mean: %w", w.Name, err)
+		return nil, fmt.Errorf("%s oracle mean: %w", name, err)
 	}
 	for _, a := range accs {
 		out.Accuracy += a
@@ -189,7 +289,7 @@ func RunWorkloadContext(ctx context.Context, w bench.Workload, cfg Config) (*Wor
 				xs = append(xs, ir.Speedup[m.String()][et])
 			}
 			if ms[et], err = stats.HarmonicMean(xs); err != nil {
-				return nil, fmt.Errorf("%s %v ET=%d mean: %w", w.Name, m, et, err)
+				return nil, fmt.Errorf("%s %v ET=%d mean: %w", name, m, et, err)
 			}
 		}
 		out.Speedup[m.String()] = ms
@@ -212,6 +312,12 @@ func RunAll(ws []bench.Workload, cfg Config) ([]*WorkloadResult, error) {
 // the cancellations it triggered).
 func RunAllContext(ctx context.Context, ws []bench.Workload, cfg Config) ([]*WorkloadResult, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateWorkloads(ws); err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	out := make([]*WorkloadResult, len(ws))
@@ -255,36 +361,48 @@ func RunAllContext(ctx context.Context, ws []bench.Workload, cfg Config) ([]*Wor
 		return done, firstErr
 	}
 	if len(done) > 1 {
-		hm := &WorkloadResult{
-			Workload: "harmonic-mean",
-			Speedup:  make(map[string]map[int]float64),
-		}
-		var oracles []float64
-		for _, r := range done {
-			oracles = append(oracles, r.Oracle)
-			hm.Accuracy += r.Accuracy
-		}
-		hm.Accuracy /= float64(len(done))
-		var err error
-		if hm.Oracle, err = stats.HarmonicMean(oracles); err != nil {
-			return done, fmt.Errorf("harmonic-mean oracle: %w", err)
-		}
-		for _, m := range cfg.Models {
-			ms := make(map[int]float64, len(cfg.Resources))
-			for _, et := range cfg.Resources {
-				var xs []float64
-				for _, r := range done {
-					xs = append(xs, r.Speedup[m.String()][et])
-				}
-				if ms[et], err = stats.HarmonicMean(xs); err != nil {
-					return done, fmt.Errorf("harmonic-mean %v ET=%d: %w", m, et, err)
-				}
-			}
-			hm.Speedup[m.String()] = ms
+		hm, err := crossWorkloadMean(done, cfg)
+		if err != nil {
+			return done, err
 		}
 		done = append(done, hm)
 	}
 	return done, nil
+}
+
+// crossWorkloadMean builds the synthetic "harmonic-mean" result across
+// completed workloads (Figure 5's summary panel). Shared by
+// RunAllContext and RunMatrixContext so both paths summarize
+// identically.
+func crossWorkloadMean(done []*WorkloadResult, cfg Config) (*WorkloadResult, error) {
+	hm := &WorkloadResult{
+		Workload: "harmonic-mean",
+		Speedup:  make(map[string]map[int]float64),
+	}
+	var oracles []float64
+	for _, r := range done {
+		oracles = append(oracles, r.Oracle)
+		hm.Accuracy += r.Accuracy
+	}
+	hm.Accuracy /= float64(len(done))
+	var err error
+	if hm.Oracle, err = stats.HarmonicMean(oracles); err != nil {
+		return nil, fmt.Errorf("harmonic-mean oracle: %w", err)
+	}
+	for _, m := range cfg.Models {
+		ms := make(map[int]float64, len(cfg.Resources))
+		for _, et := range cfg.Resources {
+			var xs []float64
+			for _, r := range done {
+				xs = append(xs, r.Speedup[m.String()][et])
+			}
+			if ms[et], err = stats.HarmonicMean(xs); err != nil {
+				return nil, fmt.Errorf("harmonic-mean %v ET=%d: %w", m, et, err)
+			}
+		}
+		hm.Speedup[m.String()] = ms
+	}
+	return hm, nil
 }
 
 // Render formats one workload result as a Figure 5 panel.

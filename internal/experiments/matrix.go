@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"deesim/internal/bench"
+	"deesim/internal/ilpsim"
+	"deesim/internal/runx"
+	"deesim/internal/superv"
+	"deesim/internal/trace"
+)
+
+// MatrixTask addresses one cell of the experiment matrix: a (workload
+// input) × model × resource-level triple. Its Key is the journal task
+// key, so two runs over the same matrix agree on task identity.
+type MatrixTask struct {
+	Workload string
+	Input    string // input name within the workload
+	Model    string
+	ET       int
+}
+
+// Key renders the task's journal identity,
+// e.g. "espresso/cps|DEE-CD-MF|ET=64".
+func (t MatrixTask) Key() string {
+	return t.Workload + "/" + t.Input + "|" + t.Model + "|ET=" + strconv.Itoa(t.ET)
+}
+
+// cellResult is the JSON payload journaled per completed matrix cell.
+// It carries everything merging needs: the cell's speedup and
+// root-resolution rate plus the input-level statistics (identical
+// across a given input's cells, recorded redundantly so any subset of
+// cells reconstructs them).
+type cellResult struct {
+	Workload string  `json:"workload"`
+	Input    string  `json:"input"`
+	Model    string  `json:"model"`
+	ET       int     `json:"et"`
+	Insts    int     `json:"insts"`
+	Accuracy float64 `json:"accuracy"`
+	Oracle   float64 `json:"oracle"`
+	Speedup  float64 `json:"speedup"`
+	RootRate float64 `json:"rootrate"`
+}
+
+// MatrixConfig parameterizes the supervised (journaled, resumable)
+// sweep.
+type MatrixConfig struct {
+	// Jobs bounds the worker pool (minimum 1). Cells of the same input
+	// serialize on that input's shared simulator; distinct inputs run
+	// concurrently.
+	Jobs int
+	// Retry is the per-cell retry policy (see superv.RetryPolicy).
+	Retry superv.RetryPolicy
+	// Journal, if non-nil, durably records every cell start/finish.
+	Journal *superv.Journal
+	// Prior, if non-nil, is the replayed state of an interrupted run:
+	// journaled cells are merged without re-execution.
+	Prior *superv.State
+	// OnRetry, if non-nil, observes retry decisions (serialized).
+	OnRetry func(key string, attempt int, delay string, err error)
+
+	// testCellHook, when set by tests, observes each freshly-executed
+	// cell key — the seam kill-and-resume tests use to cancel mid-sweep.
+	testCellHook func(key string)
+}
+
+// MatrixMeta digests the sweep-identity settings into the journal
+// header, so -resume refuses a journal recorded under a different
+// matrix (whose task keys and results would silently disagree).
+func MatrixMeta(ws []bench.Workload, cfg Config) map[string]string {
+	cfg = cfg.withDefaults()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	models := make([]string, len(cfg.Models))
+	for i, m := range cfg.Models {
+		models[i] = m.String()
+	}
+	ets := make([]string, len(cfg.Resources))
+	for i, et := range cfg.Resources {
+		ets[i] = strconv.Itoa(et)
+	}
+	o := cfg.Opts
+	return map[string]string{
+		"workloads": strings.Join(names, ","),
+		"models":    strings.Join(models, ","),
+		"resources": strings.Join(ets, ","),
+		"predictor": cfg.Predictor,
+		"scale":     strconv.Itoa(cfg.Scale),
+		"max":       strconv.FormatUint(cfg.MaxInstrs, 10),
+		"opts": fmt.Sprintf("designp=%g,penalty=%d,strictmem=%t,deadlock=%d,pes=%d,lat=%v,cache=%t,mem=%t",
+			o.DesignP, o.Penalty, o.StrictMemory, o.DeadlockLimit, o.PEs, o.Lat, o.Cache != nil, o.Mem != nil),
+	}
+}
+
+// inputSim lazily builds and guards the per-input trace + prepared
+// simulator shared by that input's matrix cells. Cells of one input
+// serialize on mu (the simulator is not safe for concurrent runs);
+// building inside the first cell's attempt keeps build failures
+// attributed — and retried — as that cell's.
+type inputSim struct {
+	mu    sync.Mutex
+	build buildable
+	name  string // "workload/input", the benchmark attribution
+	tr    *trace.Trace
+	sim   *ilpsim.Sim
+}
+
+// run executes one cell on the shared simulator.
+func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*cellResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tr == nil {
+		tr, err := recordInput(ctx, e.name, e.build, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.tr = tr
+	}
+	if e.sim == nil {
+		sim, err := newInputSim(ctx, e.name, e.tr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.sim = sim
+	}
+	model, err := modelByName(t.Model, cfg)
+	if err != nil {
+		return nil, runx.Annotate(err, e.name)
+	}
+	var r ilpsim.Result
+	if t.ET == 0 {
+		r, err = e.sim.RunUnlimitedContext(ctx, model)
+	} else {
+		r, err = e.sim.RunContext(ctx, model, t.ET)
+	}
+	if err != nil {
+		// A panicked or deadlocked run may leave the shared simulator
+		// mid-flight; drop it so the retry (or the input's next cell)
+		// starts from a freshly prepared one.
+		if runx.Retryable(err) {
+			e.sim = nil
+		}
+		return nil, runx.Annotate(err, e.name)
+	}
+	return &cellResult{
+		Workload: t.Workload,
+		Input:    t.Input,
+		Model:    t.Model,
+		ET:       t.ET,
+		Insts:    e.tr.Len(),
+		Accuracy: e.sim.Accuracy(),
+		Oracle:   e.sim.Oracle().Speedup,
+		Speedup:  r.Speedup,
+		RootRate: r.RootResolutionRate(),
+	}, nil
+}
+
+// modelByName resolves a model name against the run's configured set.
+func modelByName(name string, cfg Config) (ilpsim.Model, error) {
+	for _, m := range cfg.Models {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return ilpsim.Model{}, runx.Newf(runx.KindInvalidInput, "experiments.RunMatrix", "model %q not in this run's configuration", name)
+}
+
+// RunMatrix is RunMatrixContext under context.Background.
+func RunMatrix(ws []bench.Workload, cfg Config, mcfg MatrixConfig) ([]*WorkloadResult, error) {
+	return RunMatrixContext(context.Background(), ws, cfg, mcfg)
+}
+
+// RunMatrixContext is the crash-safe counterpart of RunAllContext: it
+// decomposes the sweep into addressable (input × model × ET) tasks,
+// runs them on a bounded worker pool under per-task retry, and — when
+// a journal is configured — records every start/finish durably so an
+// interrupted run resumes where it stopped. Results merged from a
+// resumed journal flow through the same aggregation as fresh ones
+// (aggregateWorkload, crossWorkloadMean), so the final tables are
+// byte-identical to an uninterrupted run's.
+//
+// Workload results that completed before a failure are returned
+// alongside the error, mirroring RunAllContext. cfg.OnResult fires once
+// per completed workload (serialized), in completion order.
+func RunMatrixContext(ctx context.Context, ws []bench.Workload, cfg Config, mcfg MatrixConfig) ([]*WorkloadResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateWorkloads(ws); err != nil {
+		return nil, err
+	}
+
+	sims := make(map[string]*inputSim)
+	type inputAgg struct {
+		res       *InputResult
+		remaining int
+	}
+	inputAggs := make(map[string]*inputAgg) // key "workload/input"
+	workRemaining := make(map[string]int)   // cells left per workload
+	inputOrder := make(map[string][]string) // workload -> input keys in order
+
+	var tasks []superv.Task
+	for _, w := range ws {
+		for _, in := range w.Inputs {
+			ikey := w.Name + "/" + in.Name
+			sims[ikey] = &inputSim{build: in.Build, name: ikey}
+			inputAggs[ikey] = &inputAgg{
+				res: &InputResult{
+					Input:    ikey,
+					Speedup:  make(map[string]map[int]float64),
+					RootRate: make(map[string]map[int]float64),
+				},
+				remaining: len(cfg.Models) * len(cfg.Resources),
+			}
+			inputOrder[w.Name] = append(inputOrder[w.Name], ikey)
+			workRemaining[w.Name] += len(cfg.Models) * len(cfg.Resources)
+			for _, m := range cfg.Models {
+				for _, et := range cfg.Resources {
+					mt := MatrixTask{Workload: w.Name, Input: in.Name, Model: m.String(), ET: et}
+					ent := sims[ikey]
+					tasks = append(tasks, superv.Task{
+						Key: mt.Key(),
+						Run: func(ctx context.Context) (any, error) {
+							cell, err := ent.run(ctx, mt, cfg)
+							if err != nil {
+								return nil, err
+							}
+							return cell, nil
+						},
+					})
+				}
+			}
+		}
+	}
+
+	var (
+		mu       sync.Mutex // guards the aggregation maps and `done`
+		done     []*WorkloadResult
+		mergeErr error
+	)
+	onDone := func(key string, payload json.RawMessage, replayed bool) {
+		var cell cellResult
+		if err := json.Unmarshal(payload, &cell); err != nil {
+			mu.Lock()
+			if mergeErr == nil {
+				mergeErr = runx.Newf(runx.KindCorrupt, "experiments.RunMatrix", "journaled result %s: %w", key, err)
+			}
+			mu.Unlock()
+			return
+		}
+		if !replayed && mcfg.testCellHook != nil {
+			mcfg.testCellHook(key)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		ikey := cell.Workload + "/" + cell.Input
+		agg, ok := inputAggs[ikey]
+		if !ok || agg.remaining <= 0 {
+			return // journaled cell outside this run's matrix; ignore
+		}
+		r := agg.res
+		r.Insts, r.Accuracy, r.Oracle = cell.Insts, cell.Accuracy, cell.Oracle
+		if r.Speedup[cell.Model] == nil {
+			r.Speedup[cell.Model] = make(map[int]float64, len(cfg.Resources))
+			r.RootRate[cell.Model] = make(map[int]float64, len(cfg.Resources))
+		}
+		r.Speedup[cell.Model][cell.ET] = cell.Speedup
+		r.RootRate[cell.Model][cell.ET] = cell.RootRate
+		agg.remaining--
+		workRemaining[cell.Workload]--
+		if workRemaining[cell.Workload] == 0 {
+			inputs := make([]*InputResult, len(inputOrder[cell.Workload]))
+			for i, k := range inputOrder[cell.Workload] {
+				inputs[i] = inputAggs[k].res
+			}
+			wr, err := aggregateWorkload(cell.Workload, inputs, cfg)
+			if err != nil {
+				if mergeErr == nil {
+					mergeErr = err
+				}
+				return
+			}
+			done = append(done, wr)
+			if cfg.OnResult != nil {
+				cfg.OnResult(wr)
+			}
+		}
+	}
+
+	scfg := superv.Config{
+		Jobs:    mcfg.Jobs,
+		Retry:   mcfg.Retry,
+		Journal: mcfg.Journal,
+		Prior:   mcfg.Prior,
+		OnDone:  onDone,
+	}
+	if mcfg.OnRetry != nil {
+		scfg.OnRetry = func(key string, attempt int, delay time.Duration, err error) {
+			mcfg.OnRetry(key, attempt, delay.String(), err)
+		}
+	}
+	runErr := superv.Run(ctx, tasks, scfg)
+
+	mu.Lock()
+	defer mu.Unlock()
+	// Deterministic output order: workloads as configured, regardless of
+	// completion interleaving.
+	order := make(map[string]int, len(ws))
+	for i, w := range ws {
+		order[w.Name] = i
+	}
+	sort.SliceStable(done, func(i, j int) bool { return order[done[i].Workload] < order[done[j].Workload] })
+	if runErr == nil {
+		runErr = mergeErr
+	}
+	if runErr != nil {
+		return done, runErr
+	}
+	if len(done) > 1 {
+		hm, err := crossWorkloadMean(done, cfg)
+		if err != nil {
+			return done, err
+		}
+		done = append(done, hm)
+	}
+	return done, nil
+}
+
+// MatrixTaskCount reports how many journal tasks a sweep decomposes
+// into — for progress summaries.
+func MatrixTaskCount(ws []bench.Workload, cfg Config) int {
+	cfg = cfg.withDefaults()
+	n := 0
+	for _, w := range ws {
+		n += len(w.Inputs) * len(cfg.Models) * len(cfg.Resources)
+	}
+	return n
+}

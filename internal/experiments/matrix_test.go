@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"deesim/internal/bench"
+	"deesim/internal/ilpsim"
+	"deesim/internal/runx"
+	"deesim/internal/superv"
+)
+
+// matrixTestConfig keeps matrix sweeps fast: two workloads (one with
+// espresso's four inputs to exercise multi-input merging), two models,
+// two resource levels, short traces.
+func matrixTestConfig() Config {
+	return Config{
+		MaxInstrs: 10_000,
+		Resources: []int{8, 64},
+		Models:    []ilpsim.Model{ilpsim.ModelSP, ilpsim.ModelDEECDMF},
+	}
+}
+
+func matrixTestWorkloads(t *testing.T) []bench.Workload {
+	t.Helper()
+	var ws []bench.Workload
+	for _, name := range []string{"xlisp", "espresso"} {
+		w, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// renderAll is the aggregate-table byte stream the acceptance criterion
+// compares.
+func renderAll(rs []*WorkloadResult, cfg Config) string {
+	var b strings.Builder
+	for _, r := range rs {
+		b.WriteString(Render(r, cfg))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestMatrixMatchesRunAll: the supervised matrix decomposition must
+// reproduce RunAllContext's aggregate tables byte for byte.
+func TestMatrixMatchesRunAll(t *testing.T) {
+	cfg := matrixTestConfig()
+	ws := matrixTestWorkloads(t)
+	direct, err := RunAllContext(context.Background(), ws, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, err := RunMatrixContext(context.Background(), ws, cfg, MatrixConfig{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderAll(matrix, cfg), renderAll(direct, cfg); got != want {
+		t.Errorf("matrix tables differ from direct run:\n--- matrix ---\n%s\n--- direct ---\n%s", got, want)
+	}
+	// Root-resolution statistics must survive the cell merge too.
+	for _, r := range matrix {
+		if r.Workload == "harmonic-mean" {
+			continue
+		}
+		for _, in := range r.Inputs {
+			for _, m := range cfg.Models {
+				for _, et := range cfg.Resources {
+					if _, ok := in.RootRate[m.String()][et]; !ok {
+						t.Errorf("%s %v ET=%d: RootRate lost in merge", in.Input, m, et)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixKillAndResume is the acceptance criterion end to end at the
+// harness level: interrupt a journaled sweep partway (context cancel
+// mid-run plus a simulated crash that tears the final journal record),
+// resume it, verify only unfinished cells re-run, and verify the merged
+// old+new aggregate tables are byte-identical to an uninterrupted run.
+func TestMatrixKillAndResume(t *testing.T) {
+	cfg := matrixTestConfig()
+	ws := matrixTestWorkloads(t)
+	total := MatrixTaskCount(ws, cfg)
+
+	// Reference: uninterrupted, journal-free run.
+	want, err := RunAllContext(context.Background(), ws, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTables := renderAll(want, cfg)
+
+	// Run 1: journaled, killed after a handful of cells.
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := superv.Create(path, "deesim", MatrixMeta(ws, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var cells atomic.Int64
+	mcfg := MatrixConfig{Jobs: 2, Journal: j}
+	mcfg.testCellHook = func(key string) {
+		if cells.Add(1) == 5 {
+			cancel()
+		}
+	}
+	_, err = RunMatrixContext(ctx, ws, cfg, mcfg)
+	cancel()
+	j.Close()
+	if !runx.IsKind(err, runx.KindCanceled) {
+		t.Fatalf("interrupted run: %v, want KindCanceled", err)
+	}
+
+	// Simulate the crash landing mid-journal-write: tear the tail.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: resume. Only unfinished cells may execute.
+	j2, st, err := superv.Resume(path, "deesim", MatrixMeta(ws, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneBefore := len(st.Done)
+	if doneBefore == 0 || doneBefore >= total {
+		t.Fatalf("journal holds %d/%d cells — interruption missed the window", doneBefore, total)
+	}
+	var mu sync.Mutex
+	fresh := map[string]bool{}
+	mcfg2 := MatrixConfig{Jobs: 2, Journal: j2, Prior: st}
+	mcfg2.testCellHook = func(key string) {
+		mu.Lock()
+		fresh[key] = true
+		mu.Unlock()
+	}
+	got, err := RunMatrixContext(context.Background(), ws, cfg, mcfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	if len(fresh)+doneBefore != total {
+		t.Errorf("resume ran %d cells, journal held %d, matrix has %d", len(fresh), doneBefore, total)
+	}
+	for key := range st.Done {
+		if fresh[key] {
+			t.Errorf("journaled-complete cell %s re-executed on resume", key)
+		}
+	}
+	if gotTables := renderAll(got, cfg); gotTables != wantTables {
+		t.Errorf("resumed tables differ from uninterrupted run:\n--- resumed ---\n%s\n--- uninterrupted ---\n%s", gotTables, wantTables)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := matrixTestConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative-et", func(c *Config) { c.Resources = []int{8, -4} }},
+		{"duplicate-et", func(c *Config) { c.Resources = []int{8, 8} }},
+		{"duplicate-model", func(c *Config) { c.Models = []ilpsim.Model{ilpsim.ModelSP, ilpsim.ModelSP} }},
+		{"negative-scale", func(c *Config) { c.Scale = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			err := cfg.withDefaults().Validate()
+			if !runx.IsKind(err, runx.KindInvalidInput) {
+				t.Errorf("got %v, want KindInvalidInput", err)
+			}
+		})
+	}
+	if err := base.withDefaults().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	// The unlimited sentinel (ET=0) stays legal — it is a documented
+	// resource level (the Lam & Wilson setting).
+	zero := base
+	zero.Resources = []int{0, 100}
+	if err := zero.withDefaults().Validate(); err != nil {
+		t.Errorf("unlimited sentinel rejected: %v", err)
+	}
+}
+
+func TestDuplicateWorkloadsRejected(t *testing.T) {
+	w, err := bench.ByName("xlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunAllContext(context.Background(), []bench.Workload{w, w}, matrixTestConfig())
+	if !runx.IsKind(err, runx.KindInvalidInput) {
+		t.Errorf("RunAllContext accepted duplicate workloads: %v", err)
+	}
+	_, err = RunMatrixContext(context.Background(), []bench.Workload{w, w}, matrixTestConfig(), MatrixConfig{})
+	if !runx.IsKind(err, runx.KindInvalidInput) {
+		t.Errorf("RunMatrixContext accepted duplicate workloads: %v", err)
+	}
+}
+
+// TestMatrixResumeRejectsChangedConfig: a journal recorded under one
+// matrix shape must not silently merge into a run with another.
+func TestMatrixResumeRejectsChangedConfig(t *testing.T) {
+	cfg := matrixTestConfig()
+	ws := matrixTestWorkloads(t)
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, err := superv.Create(path, "deesim", MatrixMeta(ws, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	changed := cfg
+	changed.Resources = []int{8, 128}
+	if _, _, err := superv.Resume(path, "deesim", MatrixMeta(ws, changed)); !runx.IsKind(err, runx.KindInvalidInput) {
+		t.Errorf("changed matrix accepted on resume: %v", err)
+	}
+}

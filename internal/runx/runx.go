@@ -48,6 +48,12 @@ const (
 	// KindInvalidInput: a configuration or input (trace, cache geometry)
 	// failed validation.
 	KindInvalidInput
+	// KindCorrupt: a persisted artifact (run journal, checkpoint, golden
+	// baseline) failed integrity checks beyond the recoverable torn tail.
+	KindCorrupt
+	// KindRegression: a reproduced result drifted from its golden
+	// baseline beyond the configured tolerance.
+	KindRegression
 )
 
 func (k Kind) String() string {
@@ -62,8 +68,36 @@ func (k Kind) String() string {
 		return "panic"
 	case KindInvalidInput:
 		return "invalid input"
+	case KindCorrupt:
+		return "corrupt artifact"
+	case KindRegression:
+		return "golden regression"
 	}
 	return "error"
+}
+
+// Retryable reports whether a failure of this kind may succeed on a
+// fresh attempt of the same task. Deadlines, deadlocks, and recovered
+// panics are retryable: they can stem from transient load, scheduling,
+// or environment effects. Cancellation (the operator asked us to stop),
+// invalid input, corruption, golden regressions, and unclassified
+// errors — which include invariant-audit violations — are deterministic
+// verdicts about the run itself and must never be retried.
+func (k Kind) Retryable() bool {
+	switch k {
+	case KindDeadline, KindDeadlock, KindPanic:
+		return true
+	}
+	return false
+}
+
+// Retryable reports whether err carries a *Error whose kind is
+// retryable. Non-structured errors are not retryable: an error we
+// cannot classify (for example an invariant violation out of the audit
+// suite) would fail identically on every attempt.
+func Retryable(err error) bool {
+	e, ok := As(err)
+	return ok && e.Kind.Retryable()
 }
 
 // Snapshot captures where a simulation was when it failed: the cycle

@@ -31,6 +31,41 @@ func TestErrorOmitsZeroFields(t *testing.T) {
 	}
 }
 
+func TestRetryable(t *testing.T) {
+	for k, want := range map[Kind]bool{
+		KindUnknown:      false,
+		KindCanceled:     false,
+		KindDeadline:     true,
+		KindDeadlock:     true,
+		KindPanic:        true,
+		KindInvalidInput: false,
+		KindCorrupt:      false,
+		KindRegression:   false,
+	} {
+		if got := k.Retryable(); got != want {
+			t.Errorf("%v.Retryable() = %v, want %v", k, got, want)
+		}
+	}
+	if Retryable(errors.New("invariant audit: speedup exceeds oracle")) {
+		t.Error("non-structured error considered retryable")
+	}
+	if !Retryable(fmt.Errorf("wrapped: %w", Newf(KindDeadlock, "s", "stuck"))) {
+		t.Error("wrapped deadlock not retryable")
+	}
+	if Retryable(Newf(KindRegression, "superv.CompareGolden", "drift")) {
+		t.Error("golden regression considered retryable")
+	}
+}
+
+func TestNewKindStrings(t *testing.T) {
+	if s := KindCorrupt.String(); !strings.Contains(s, "corrupt") {
+		t.Errorf("KindCorrupt = %q", s)
+	}
+	if s := KindRegression.String(); !strings.Contains(s, "regression") {
+		t.Errorf("KindRegression = %q", s)
+	}
+}
+
 func TestFromPanicKeepsCauseAndStack(t *testing.T) {
 	var err error
 	func() {

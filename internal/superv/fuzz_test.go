@@ -1,0 +1,39 @@
+package superv
+
+import (
+	"encoding/json"
+	"testing"
+
+	"deesim/internal/runx"
+)
+
+// FuzzJournalDecode holds the journal decoder to the recovery
+// contract over arbitrary bytes: it either returns a usable State or a
+// typed *runx.Error — it never panics, and every recovered completion
+// carries a non-empty key and payload.
+func FuzzJournalDecode(f *testing.F) {
+	f.Add([]byte(`{"kind":"header","v":1,"tool":"deesim"}` + "\n"))
+	f.Add([]byte(`{"kind":"header","v":1,"tool":"t"}` + "\n" +
+		`{"kind":"start","key":"a","attempt":1}` + "\n" +
+		`{"kind":"done","key":"a","attempt":1,"result":{"v":1}}` + "\n"))
+	f.Add([]byte(`{"kind":"header","v":1,"tool":"t"}` + "\n" + `{"kind":"done","key":"a"`))
+	f.Add([]byte("\x00\x01\x02 torn garbage"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			if _, ok := runx.As(err); !ok {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		for k, v := range st.Done {
+			if k == "" || len(v) == 0 {
+				t.Fatalf("recovered empty completion %q -> %q", k, v)
+			}
+			if !json.Valid(v) {
+				t.Fatalf("recovered invalid payload for %q: %q", k, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,367 @@
+// Package superv is the crash-safe experiment supervisor: it runs an
+// addressable set of tasks on a bounded worker pool, records every task
+// start/finish to a durable append-only JSONL run journal, retries
+// retryable failures with deterministic seeded backoff, and gates
+// reproduced results against golden baselines.
+//
+// The journal is the durability backbone. Every record is one JSON
+// object per line, fsync'd before the supervisor proceeds, so a crash —
+// OOM, SIGKILL, power loss — loses at most the record being written.
+// Recovery tolerates exactly that failure mode: a torn final record
+// (partial line, missing newline) is truncated and the run resumes;
+// corruption anywhere else is a typed *runx.Error of kind KindCorrupt,
+// because a journal damaged mid-file cannot be trusted to say which
+// tasks completed.
+package superv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"deesim/internal/runx"
+)
+
+// JournalVersion is the on-disk format version written to (and required
+// of) every journal header.
+const JournalVersion = 1
+
+// Record kinds. A journal is a header line followed by start/done/fail
+// records appended in execution order.
+const (
+	kindHeader = "header"
+	// KindStart marks a task attempt beginning.
+	KindStart = "start"
+	// KindDone marks a task attempt finishing successfully; the record
+	// carries the task's JSON result payload.
+	KindDone = "done"
+	// KindFail marks a task attempt failing; the record carries the
+	// error text, its runx kind, and whether the supervisor deemed it
+	// retryable.
+	KindFail = "fail"
+)
+
+// Record is one journal line. Kind selects which fields are meaningful.
+type Record struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"v,omitempty"` // header only
+	Tool    string `json:"tool,omitempty"`
+	// Meta carries run identity (config digest, matrix shape) so resume
+	// can refuse a journal recorded under different settings.
+	Meta map[string]string `json:"meta,omitempty"`
+
+	Key       string          `json:"key,omitempty"`
+	Attempt   int             `json:"attempt,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ErrKind   string          `json:"errkind,omitempty"`
+	Retryable bool            `json:"retryable,omitempty"`
+}
+
+// State is the digest of a journal replay: which tasks completed (with
+// their result payloads), which were started or failed without
+// completing, and how many torn-tail bytes recovery dropped.
+type State struct {
+	Tool string
+	Meta map[string]string
+	// Done maps completed task keys to their recorded result payloads.
+	Done map[string]json.RawMessage
+	// Pending maps task keys that were started or failed but never
+	// completed to the number of attempts the journal records for them.
+	Pending map[string]int
+	// Truncated is the number of bytes of torn final record dropped
+	// during recovery (0 for a cleanly closed journal).
+	Truncated int
+}
+
+// Journal is an open, appendable run journal. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+const stageJournal = "superv.Journal"
+
+// Create starts a fresh journal at path (truncating any existing file),
+// writing and fsync'ing the versioned header before returning.
+func Create(path, tool string, meta map[string]string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "create %s: %w", path, err)
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.Append(Record{Kind: kindHeader, Version: JournalVersion, Tool: tool, Meta: meta}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Append marshals rec as one JSONL line, writes it, and fsyncs before
+// returning — the durability contract every start/done/fail relies on.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return runx.Newf(runx.KindInvalidInput, stageJournal, "marshal %s record: %w", rec.Kind, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return runx.Newf(runx.KindInvalidInput, stageJournal, "append to closed journal %s", j.path)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return runx.Newf(runx.KindCorrupt, stageJournal, "write %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return runx.Newf(runx.KindCorrupt, stageJournal, "fsync %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Load replays the journal at path into a State. Recovery is tolerant
+// of exactly one failure mode — a torn final record from a crash
+// mid-write: if the last line is unterminated or fails to parse it is
+// dropped and counted in State.Truncated. Any other damage (a missing
+// or wrong-version header, an unparsable or unknown record before the
+// final line, a done record without a key) returns a typed *runx.Error
+// of kind KindCorrupt. Load never panics on arbitrary bytes; the fuzz
+// harness holds it to that.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "read %s: %w", path, err)
+	}
+	return Decode(data)
+}
+
+// Decode is Load over in-memory journal bytes.
+func Decode(data []byte) (*State, error) {
+	st := &State{
+		Done:    make(map[string]json.RawMessage),
+		Pending: make(map[string]int),
+	}
+	// Split into newline-terminated lines; an unterminated final chunk
+	// is torn by definition (Append writes line+\n atomically enough
+	// that a complete record always ends in a newline).
+	rest := data
+	sawHeader := false
+	lineNo := 0
+	for len(rest) > 0 {
+		nl := -1
+		for i, b := range rest {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			st.Truncated = len(rest)
+			break
+		}
+		line, isLast := rest[:nl], nl+1 == len(rest)
+		rest = rest[nl+1:]
+		lineNo++
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if isLast {
+				// Terminated but unparsable final line: a crash can tear a
+				// record and a later writer can append the newline, or the
+				// tail bytes themselves were damaged. Still recoverable.
+				st.Truncated = len(line) + 1
+				break
+			}
+			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
+		}
+		if !sawHeader {
+			if rec.Kind != kindHeader {
+				return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: first record is %q, want header", lineNo, rec.Kind)
+			}
+			if rec.Version != JournalVersion {
+				return nil, runx.Newf(runx.KindCorrupt, stageJournal, "journal version %d, this build reads %d", rec.Version, JournalVersion)
+			}
+			st.Tool, st.Meta = rec.Tool, rec.Meta
+			sawHeader = true
+			continue
+		}
+		if err := st.apply(rec); err != nil {
+			if isLast {
+				st.Truncated = len(line) + 1
+				break
+			}
+			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
+		}
+	}
+	if !sawHeader {
+		return nil, runx.Newf(runx.KindCorrupt, stageJournal, "no journal header (empty or truncated before the header record)")
+	}
+	return st, nil
+}
+
+// apply folds one post-header record into the state.
+func (st *State) apply(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("%s record without a task key", rec.Kind)
+	}
+	switch rec.Kind {
+	case KindStart:
+		if _, done := st.Done[rec.Key]; !done {
+			if rec.Attempt > st.Pending[rec.Key] {
+				st.Pending[rec.Key] = rec.Attempt
+			} else if rec.Attempt <= 0 {
+				st.Pending[rec.Key]++
+			}
+		}
+	case KindDone:
+		if len(rec.Result) == 0 {
+			return fmt.Errorf("done record for %s without a result payload", rec.Key)
+		}
+		st.Done[rec.Key] = rec.Result
+		delete(st.Pending, rec.Key)
+	case KindFail:
+		if _, done := st.Done[rec.Key]; !done {
+			if rec.Attempt > st.Pending[rec.Key] {
+				st.Pending[rec.Key] = rec.Attempt
+			}
+		}
+	case kindHeader:
+		return fmt.Errorf("second header record")
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// Resume reopens the journal at path for a continued run: it replays
+// the existing records (tolerating a torn tail), verifies the header
+// names the same tool, then writes a compacted checkpoint — header plus
+// one done record per completed task — to a temp file and atomically
+// renames it over the journal before reopening for append. The
+// checkpoint bounds journal growth across repeated crashes and
+// guarantees the resumed file starts from a clean, fully-terminated
+// prefix. Returns the reopened journal and the replayed state.
+func Resume(path, tool string, meta map[string]string) (*Journal, *State, error) {
+	st, err := Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Tool != tool {
+		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal,
+			"journal %s was recorded by %q, not %q", path, st.Tool, tool)
+	}
+	for k, v := range st.Meta {
+		if want, ok := meta[k]; ok && want != v {
+			return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal,
+				"journal %s was recorded with %s=%q, this run has %q (pass a fresh -journal instead)", path, k, v, want)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".ckpt-*")
+	if err != nil {
+		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	writeRec := func(rec Record) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		line = append(line, '\n')
+		_, err = w.Write(line)
+		return err
+	}
+	if err := writeRec(Record{Kind: kindHeader, Version: JournalVersion, Tool: st.Tool, Meta: st.Meta}); err == nil {
+		keys := make([]string, 0, len(st.Done))
+		for k := range st.Done {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err = writeRec(Record{Kind: KindDone, Key: k, Attempt: 1, Result: st.Done[k]}); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "swap checkpoint: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "reopen %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path}, st, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file,
+// fsync, and rename, so readers never observe a partial file.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	_, err = tmp.Write(data)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
