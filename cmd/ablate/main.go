@@ -98,7 +98,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "ablate:", err)
-		return 1
+		return runx.ExitCode(err)
 	}
 	deadlockLimit = *dlFlag
 	if *journalFlag != "" && *resumeFlag != "" {

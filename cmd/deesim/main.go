@@ -93,7 +93,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "deesim:", err)
-		return 1
+		return runx.ExitCode(err)
 	}
 
 	cfg := experiments.Config{

@@ -1,0 +1,185 @@
+// Command deesimctl is the deesimd client: it submits sweep specs,
+// polls job status, and fetches results, retrying retryable failures
+// (load shedding, daemon restarts, deadlines) with capped seeded-jitter
+// backoff behind a circuit breaker.
+//
+// Usage:
+//
+//	deesimctl [-server http://127.0.0.1:8425] [-retries N] [-backoff d]
+//	          [-timeout d] <command> [args]
+//
+// Commands:
+//
+//	submit <spec.json|->   submit a sweep spec (JSON file, or - for stdin);
+//	                       prints the accepted job id (with the global
+//	                       -wait flag: waits and prints the result instead)
+//	status <id>            print one job's status JSON
+//	list                   print every job's status JSON
+//	result <id>            print a completed job's result tables (JSON)
+//	wait <id>              poll until the job completes, then print status
+//	health                 probe /healthz and /readyz; exit non-zero if not ready
+//
+// Exit codes follow the runx kind contract (internal/runx/cli.go): 0
+// success, 2 usage, 10 shed by overload, 11 server unavailable, 4
+// deadline, and so on — so scripts can distinguish "retry later" from
+// "fix your spec".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"deesim/internal/client"
+	"deesim/internal/runx"
+	"deesim/internal/server"
+	"deesim/internal/superv"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deesimctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		serverFlag  = fs.String("server", "http://127.0.0.1:8425", "deesimd base URL")
+		retriesFlag = fs.Int("retries", 3, "retries per request after the first attempt")
+		backoffFlag = fs.Duration("backoff", 250*time.Millisecond, "base retry backoff (exponential, seeded jitter; Retry-After raises it)")
+		timeoutFlag = fs.Duration("timeout", 0, "wall-clock limit for the whole command (0 = none)")
+		pollFlag    = fs.Duration("poll", 500*time.Millisecond, "status poll interval for wait")
+		waitFlag    = fs.Bool("wait", false, "with submit: wait for completion and print the result")
+	)
+	if err := fs.Parse(args); err != nil {
+		return runx.ExitUsage
+	}
+	if fs.NArg() < 1 {
+		fmt.Fprintln(stderr, "deesimctl: missing command (submit, status, list, result, wait, health)")
+		fs.Usage()
+		return runx.ExitUsage
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "deesimctl:", err)
+		return runx.ExitCode(err)
+	}
+
+	c := client.New(*serverFlag)
+	c.Retry = superv.RetryPolicy{Attempts: *retriesFlag + 1, Backoff: *backoffFlag}
+	c.Logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+
+	ctx, stop := runx.MainContext(*timeoutFlag)
+	defer stop()
+
+	emit := func(v any) error {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	needArg := func(what string) (string, error) {
+		if fs.NArg() < 2 {
+			return "", runx.Newf(runx.KindInvalidInput, "deesimctl", "usage: deesimctl %s <%s>", fs.Arg(0), what)
+		}
+		return fs.Arg(1), nil
+	}
+
+	switch cmd := fs.Arg(0); cmd {
+	case "submit":
+		path, err := needArg("spec.json")
+		if err != nil {
+			return fail(err)
+		}
+		var data []byte
+		if path == "-" {
+			data, err = io.ReadAll(stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
+		if err != nil {
+			return fail(runx.Newf(runx.KindInvalidInput, "deesimctl", "read spec: %v", err))
+		}
+		var sp server.Spec
+		if err := json.Unmarshal(data, &sp); err != nil {
+			return fail(runx.Newf(runx.KindInvalidInput, "deesimctl", "parse spec %s: %v", path, err))
+		}
+		st, err := c.Submit(ctx, sp)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "deesimctl: job %s accepted (%d cells)\n", st.ID, st.CellsTotal)
+		if !*waitFlag {
+			fmt.Fprintln(stdout, st.ID)
+			return runx.ExitOK
+		}
+		if _, err := c.Wait(ctx, st.ID, *pollFlag); err != nil {
+			return fail(err)
+		}
+		raw, err := c.Result(ctx, st.ID)
+		if err != nil {
+			return fail(err)
+		}
+		stdout.Write(append(raw, '\n'))
+		return runx.ExitOK
+
+	case "status":
+		id, err := needArg("job-id")
+		if err != nil {
+			return fail(err)
+		}
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return fail(err)
+		}
+		emit(st)
+		return runx.ExitOK
+
+	case "list":
+		sts, err := c.List(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		emit(sts)
+		return runx.ExitOK
+
+	case "result":
+		id, err := needArg("job-id")
+		if err != nil {
+			return fail(err)
+		}
+		raw, err := c.Result(ctx, id)
+		if err != nil {
+			return fail(err)
+		}
+		stdout.Write(append(raw, '\n'))
+		return runx.ExitOK
+
+	case "wait":
+		id, err := needArg("job-id")
+		if err != nil {
+			return fail(err)
+		}
+		st, err := c.Wait(ctx, id, *pollFlag)
+		if err != nil {
+			return fail(err)
+		}
+		emit(st)
+		return runx.ExitOK
+
+	case "health":
+		if err := c.Healthy(ctx); err != nil {
+			return fail(err)
+		}
+		if err := c.Ready(ctx); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, "ok")
+		return runx.ExitOK
+
+	default:
+		fmt.Fprintf(stderr, "deesimctl: unknown command %q\n", cmd)
+		return runx.ExitUsage
+	}
+}

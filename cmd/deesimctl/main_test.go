@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deesim/internal/runx"
+	"deesim/internal/server"
+)
+
+// smokeSpec is a sub-second 4-cell sweep: one workload, two models,
+// two resource levels, tight instruction cap.
+const smokeSpec = `{"workloads":["xlisp"],"models":["SP","DEE-CD-MF"],"resources":[8,64],"max":3000}`
+
+func TestCtlEndToEnd(t *testing.T) {
+	s, err := server.New(server.Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	s.Start()
+	defer s.Close()
+	h := httptest.NewServer(s.Handler())
+	defer h.Close()
+
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, []byte(smokeSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) (int, string, string) {
+		var out, errb bytes.Buffer
+		code := realMain(append([]string{"-server", h.URL, "-poll", "20ms"}, args...),
+			strings.NewReader(""), &out, &errb)
+		return code, out.String(), errb.String()
+	}
+
+	code, out, errb := run("submit", specPath)
+	if code != runx.ExitOK {
+		t.Fatalf("submit exited %d: %s", code, errb)
+	}
+	id := strings.TrimSpace(out)
+	if id != "j000001" {
+		t.Fatalf("submit printed %q, want the job id j000001", out)
+	}
+
+	code, out, errb = run("wait", id)
+	if code != runx.ExitOK {
+		t.Fatalf("wait exited %d: %s", code, errb)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("wait output unparsable: %v\n%s", err, out)
+	}
+	if st.State != server.StateDone || st.CellsDone != 4 {
+		t.Fatalf("wait status = %+v, want done 4/4", st)
+	}
+
+	code, out, errb = run("result", id)
+	if code != runx.ExitOK {
+		t.Fatalf("result exited %d: %s", code, errb)
+	}
+	var tables []json.RawMessage
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatalf("result output unparsable: %v", err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("result printed an empty table set")
+	}
+
+	code, out, errb = run("list")
+	if code != runx.ExitOK || !strings.Contains(out, id) {
+		t.Fatalf("list exited %d without job %s: %s%s", code, id, out, errb)
+	}
+
+	if code, _, errb = run("health"); code != runx.ExitOK {
+		t.Fatalf("health exited %d: %s", code, errb)
+	}
+}
+
+func TestCtlSubmitWaitFromStdin(t *testing.T) {
+	s, err := server.New(server.Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	s.Start()
+	defer s.Close()
+	h := httptest.NewServer(s.Handler())
+	defer h.Close()
+
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-server", h.URL, "-poll", "20ms", "-wait", "submit", "-"},
+		strings.NewReader(smokeSpec), &out, &errb)
+	if code != runx.ExitOK {
+		t.Fatalf("submit -wait exited %d: %s", code, errb.String())
+	}
+	var tables []json.RawMessage
+	if err := json.Unmarshal(out.Bytes(), &tables); err != nil {
+		t.Fatalf("submit -wait did not print result JSON: %v\n%s", err, out.String())
+	}
+}
+
+func TestCtlExitCodes(t *testing.T) {
+	s, err := server.New(server.Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	s.Start()
+	defer s.Close()
+	h := httptest.NewServer(s.Handler())
+	defer h.Close()
+
+	run := func(args ...string) int {
+		var out, errb bytes.Buffer
+		return realMain(append([]string{"-server", h.URL, "-retries", "0"}, args...),
+			strings.NewReader(""), &out, &errb)
+	}
+
+	if code := run(); code != runx.ExitUsage {
+		t.Fatalf("no command exited %d, want %d", code, runx.ExitUsage)
+	}
+	if code := run("bogus"); code != runx.ExitUsage {
+		t.Fatalf("unknown command exited %d, want %d", code, runx.ExitUsage)
+	}
+	if code := run("status"); code != runx.ExitInvalidInput {
+		t.Fatalf("status with no id exited %d, want %d", code, runx.ExitInvalidInput)
+	}
+	if code := run("status", "j999999"); code != runx.ExitInvalidInput {
+		t.Fatalf("unknown job exited %d, want %d", code, runx.ExitInvalidInput)
+	}
+	// A result that is not ready yet is a retryable unavailability, not
+	// an input error: scripts get exit 11 and should come back later.
+	st, err := s.Submit(server.Spec{Workloads: []string{"xlisp"}, Models: []string{"SP"}, Resources: []int{8}, MaxInstrs: 3000, CellDelay: "2s"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if code := run("result", st.ID); code != runx.ExitUnavailable {
+		t.Fatalf("early result exited %d, want %d", code, runx.ExitUnavailable)
+	}
+}

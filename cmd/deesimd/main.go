@@ -1,0 +1,129 @@
+// Command deesimd is the fault-tolerant simulation service: an
+// HTTP/JSON daemon that accepts sweep submissions (POST /v1/jobs),
+// runs them as crash-safe journaled sweeps on a bounded worker pool,
+// and sheds load with 429 + Retry-After when its admission queue is
+// full.
+//
+// Usage:
+//
+//	deesimd [-addr 127.0.0.1:8425] [-addr-file path] [-state dir]
+//	        [-queue N] [-workers N] [-cell-jobs N]
+//	        [-job-timeout d] [-request-timeout d] [-drain-grace d]
+//	        [-retry-after d] [-retries N] [-backoff d]
+//
+// SIGINT/SIGTERM drains gracefully: admission closes (submissions get
+// 503, /readyz flips), running jobs get -drain-grace to finish, then
+// their contexts are canceled — progress stays journaled. The process
+// then exits 0; a second signal kills it immediately. On the next
+// start the state directory is scanned and every incomplete job
+// resumes from its journal, replaying finished cells.
+//
+// -addr-file, when set, receives the bound listen address (useful with
+// -addr 127.0.0.1:0 in tests and scripts).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"deesim/internal/runx"
+	"deesim/internal/server"
+	"deesim/internal/superv"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("deesimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addrFlag     = fs.String("addr", "127.0.0.1:8425", "listen address (host:port; port 0 picks a free one)")
+		addrFileFlag = fs.String("addr-file", "", "write the bound listen address to this file once serving")
+		stateFlag    = fs.String("state", "deesimd.state", "durable state directory (job specs, journals, results)")
+		queueFlag    = fs.Int("queue", 8, "admission-queue depth; submissions beyond it are shed with 429")
+		workersFlag  = fs.Int("workers", 1, "jobs run concurrently")
+		cellJobsFlag = fs.Int("cell-jobs", 4, "worker-pool size inside each job's matrix sweep")
+		jobTimeout   = fs.Duration("job-timeout", 0, "default wall-clock cap per job (0 = none; specs may set tighter)")
+		reqTimeout   = fs.Duration("request-timeout", 10*time.Second, "per-HTTP-request deadline")
+		drainGrace   = fs.Duration("drain-grace", 15*time.Second, "how long a drain lets running jobs finish before canceling")
+		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 429/503")
+		retriesFlag  = fs.Int("retries", 2, "default per-cell retries for retryable failures")
+		backoffFlag  = fs.Duration("backoff", 250*time.Millisecond, "default base retry backoff per cell")
+	)
+	if err := fs.Parse(args); err != nil {
+		return runx.ExitUsage
+	}
+	logger := log.New(stderr, "", log.LstdFlags|log.Lmicroseconds)
+	fail := func(err error) int {
+		logger.Printf("deesimd: %v", err)
+		return runx.ExitCode(err)
+	}
+
+	s, err := server.New(server.Config{
+		StateDir:       *stateFlag,
+		QueueDepth:     *queueFlag,
+		Workers:        *workersFlag,
+		CellJobs:       *cellJobsFlag,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+		DrainGrace:     *drainGrace,
+		RetryAfter:     *retryAfter,
+		Retries:        *retriesFlag,
+		Backoff:        *backoffFlag,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		return fail(runx.Newf(runx.KindUnavailable, "deesimd", "listen %s: %v", *addrFlag, err))
+	}
+	if *addrFileFlag != "" {
+		if err := superv.WriteFileAtomic(*addrFileFlag, []byte(ln.Addr().String()+"\n")); err != nil {
+			ln.Close()
+			return fail(err)
+		}
+	}
+
+	s.Start()
+	httpSrv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logger.Printf("deesimd: serving on http://%s (state %s, queue %d, workers %d)",
+		ln.Addr(), *stateFlag, *queueFlag, *workersFlag)
+	fmt.Fprintln(stdout, ln.Addr().String())
+
+	ctx, stop := runx.MainContext(0)
+	select {
+	case <-ctx.Done():
+		// First signal: drain. stop() restores the default handler so a
+		// second signal kills the process outright.
+		stop()
+		logger.Printf("deesimd: signal received, draining")
+		if err := s.Drain(context.Background()); err != nil {
+			return fail(err)
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Printf("deesimd: http shutdown: %v", err)
+		}
+		logger.Printf("deesimd: drained, exiting")
+		return runx.ExitOK
+	case err := <-serveErr:
+		stop()
+		s.Close()
+		return fail(runx.Newf(runx.KindUnavailable, "deesimd", "serve: %v", err))
+	}
+}

@@ -1,0 +1,114 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"deesim/internal/runx"
+)
+
+// Breaker is a minimal circuit breaker guarding the deesimd client
+// against a dead or unhealthy server. It counts consecutive *health*
+// failures — transport errors and 5xx responses, not load shedding or
+// validation errors — and after Threshold of them opens for Cooldown:
+// requests fail fast with KindUnavailable without touching the
+// network. After the cooldown one half-open probe is let through; its
+// success closes the circuit, its failure reopens it for another
+// cooldown.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (minimum 1; default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open (default 2s).
+	Cooldown time.Duration
+
+	now func() time.Time // test seam; nil = time.Now
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+	probing   bool // a half-open probe is in flight
+}
+
+func (b *Breaker) defaults() (int, time.Duration) {
+	th, cd := b.Threshold, b.Cooldown
+	if th < 1 {
+		th = 5
+	}
+	if cd <= 0 {
+		cd = 2 * time.Second
+	}
+	return th, cd
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a request may proceed. While open it returns a
+// typed KindUnavailable error carrying the remaining cooldown; in the
+// half-open window it admits exactly one probe.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return nil
+	}
+	now := b.clock()
+	if now.Before(b.openUntil) {
+		return runx.Newf(runx.KindUnavailable, "client.Breaker",
+			"circuit open for another %s (%d consecutive failures)", b.openUntil.Sub(now).Round(time.Millisecond), b.fails)
+	}
+	if b.probing {
+		return runx.Newf(runx.KindUnavailable, "client.Breaker", "circuit half-open, probe in flight")
+	}
+	b.probing = true
+	return nil
+}
+
+// Record feeds a request outcome back. healthy=false means a
+// server-health failure (transport error or 5xx); shed requests and
+// 4xx outcomes should be recorded healthy — the server answered.
+func (b *Breaker) Record(healthy bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	th, cd := b.defaults()
+	if healthy {
+		b.fails = 0
+		b.openUntil = time.Time{}
+		b.probing = false
+		return
+	}
+	b.fails++
+	b.probing = false
+	if b.fails >= th {
+		b.openUntil = b.clock().Add(cd)
+	}
+}
+
+// State renders the breaker state for diagnostics: "closed", "open",
+// or "half-open".
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.openUntil.IsZero():
+		return "closed"
+	case b.clock().Before(b.openUntil):
+		return "open"
+	default:
+		return "half-open"
+	}
+}

@@ -1,0 +1,299 @@
+// Package client is the retrying HTTP client for deesimd. It speaks
+// the /v1/jobs API, classifies every failure into a runx kind (the
+// error body's "kind" field is authoritative, the HTTP status a
+// fallback), retries only retryable kinds with superv's capped
+// seeded-jitter backoff, honors Retry-After hints from load shedding,
+// and fails fast through a circuit breaker once the server looks dead.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"deesim/internal/runx"
+	"deesim/internal/server"
+	"deesim/internal/superv"
+)
+
+const stageClient = "client.Client"
+
+// Client talks to one deesimd instance. The zero value is unusable;
+// construct with New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8425".
+	BaseURL string
+	// HTTP is the underlying transport-owning client. Tests swap in a
+	// faultinject.FaultyTransport here.
+	HTTP *http.Client
+	// Retry governs per-request retries of retryable failures
+	// (overload, unavailable, deadline): attempts, base backoff, cap,
+	// jitter seed. The Retry-After header, when present, raises the
+	// computed delay but never lowers it below the server's hint.
+	Retry superv.RetryPolicy
+	// Breaker, if non-nil, fails fast while the server is unhealthy.
+	// Only transport errors and 5xx responses count against it; shed
+	// requests (429) and validation errors prove the server is alive.
+	Breaker *Breaker
+	// Logf, if non-nil, narrates retries and breaker transitions.
+	Logf func(format string, args ...any)
+
+	sleep func(ctx context.Context, d time.Duration) error // test seam
+}
+
+// New returns a client for the given base URL with modest defaults:
+// 4 attempts, 250ms base backoff, a 5-failure/2s breaker, and a 30s
+// per-request HTTP timeout as a backstop under the caller's context.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+		Retry:   superv.RetryPolicy{Attempts: 4, Backoff: 250 * time.Millisecond},
+		Breaker: &Breaker{},
+	}
+}
+
+// Submit posts a sweep spec and returns the accepted job's status.
+// deesimd persists the spec before acknowledging, so a 202 means the
+// job survives a daemon crash. A retried submit after an ambiguous
+// transport failure can double-submit; the duplicate computes the same
+// deterministic result under a distinct id, which wastes work but
+// corrupts nothing.
+func (c *Client) Submit(ctx context.Context, sp server.Spec) (server.JobStatus, error) {
+	body, err := json.Marshal(sp)
+	if err != nil {
+		return server.JobStatus{}, runx.Newf(runx.KindInvalidInput, stageClient, "encode spec: %v", err)
+	}
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &st); err != nil {
+		return server.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return server.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// List fetches every job the daemon knows about.
+func (c *Client) List(ctx context.Context) ([]server.JobStatus, error) {
+	var sts []server.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &sts); err != nil {
+		return nil, err
+	}
+	return sts, nil
+}
+
+// Result fetches a completed job's result tables, verbatim.
+func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Healthy probes /healthz (process liveness).
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready probes /readyz (not draining).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Wait polls a job's status every poll interval until it completes,
+// returning the final status. A failed job returns its status AND a
+// typed error reconstructed from the job's kind. Transient polling
+// failures (daemon restarting, shed request) are tolerated and polling
+// continues; non-retryable errors and context cancellation end the
+// wait. An interrupted job (daemon draining) keeps being polled — it
+// resumes when the daemon comes back.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		switch {
+		case err == nil:
+			switch st.State {
+			case server.StateDone:
+				return st, nil
+			case server.StateFailed:
+				return st, runx.Newf(runx.KindFromString(st.Kind), stageClient, "job %s failed: %s", id, st.Error)
+			}
+		case runx.Retryable(err):
+			c.logf("deesimctl: poll %s: %v (will keep polling)", id, err)
+		default:
+			return server.JobStatus{}, err
+		}
+		if err := c.snooze(ctx, poll); err != nil {
+			return server.JobStatus{}, err
+		}
+	}
+}
+
+// do runs one logical request through the retry loop: breaker gate,
+// single attempt, classification, then seeded-jitter backoff (raised
+// to any Retry-After hint) before the next attempt. Only retryable
+// kinds — overload, unavailable, deadline, and friends — are retried.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	attempts := c.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := runx.CtxErr(ctx, stageClient); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		var retryAfter time.Duration
+		err := c.Breaker.Allow()
+		if err == nil {
+			retryAfter, err = c.once(ctx, method, path, body, out)
+		}
+		if err == nil {
+			return nil
+		}
+		last = err
+		if attempt >= attempts || !runx.Retryable(err) {
+			return last
+		}
+		delay := c.Retry.Delay(method+" "+path, attempt+1)
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		c.logf("deesimctl: %s %s attempt %d/%d: %v (retrying in %s)", method, path, attempt, attempts, err, delay)
+		if serr := c.snooze(ctx, delay); serr != nil {
+			return last
+		}
+	}
+}
+
+// once performs a single HTTP attempt and classifies the outcome. The
+// returned retryAfter is the server's backoff hint (0 if absent).
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, runx.Newf(runx.KindInvalidInput, stageClient, "build request: %v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		c.Breaker.Record(false)
+		if cerr := runx.CtxErr(ctx, stageClient); cerr != nil {
+			return 0, cerr
+		}
+		return 0, runx.Newf(runx.KindUnavailable, stageClient, "%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		c.Breaker.Record(false)
+		return 0, runx.Newf(runx.KindUnavailable, stageClient, "%s %s: read body: %v", method, path, err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		c.Breaker.Record(true)
+		if out == nil {
+			return 0, nil
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			return 0, runx.Newf(runx.KindCorrupt, stageClient, "%s %s: decode response: %v", method, path, err)
+		}
+		return 0, nil
+	}
+	// Shed requests and client errors prove the server is up; only 5xx
+	// marks it unhealthy.
+	c.Breaker.Record(resp.StatusCode < 500)
+	return parseRetryAfter(resp.Header.Get("Retry-After")), classify(method, path, resp.StatusCode, data)
+}
+
+// classify turns a non-2xx response into a typed error. The JSON error
+// body's kind name is authoritative (it survives proxies that rewrite
+// statuses); the HTTP status is the fallback for foreign bodies.
+func classify(method, path string, status int, body []byte) error {
+	var eb struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	kind := runx.KindUnknown
+	msg := strings.TrimSpace(string(body))
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		msg = eb.Error
+		kind = runx.KindFromString(eb.Kind)
+	}
+	if kind == runx.KindUnknown {
+		kind = runx.KindFromHTTPStatus(status)
+	}
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	return runx.Newf(kind, stageClient, "%s %s: %s (HTTP %d)", method, path, msg, status)
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the
+// only form deesimd emits); HTTP-date or garbage yields 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) snooze(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	if d <= 0 {
+		if err := runx.CtxErr(ctx, stageClient); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return runx.CtxErr(ctx, stageClient)
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}

@@ -66,6 +66,14 @@ type MatrixConfig struct {
 	Prior *superv.State
 	// OnRetry, if non-nil, observes retry decisions (serialized).
 	OnRetry func(key string, attempt int, delay string, err error)
+	// OnCell, if non-nil, observes every merged cell — fresh or
+	// journal-replayed — after its result is durable, before it is
+	// folded into the aggregates. Calls are serialized. deesimd uses it
+	// for live job progress (and, under test, synthetic per-cell
+	// pacing), so implementations may block: a slow OnCell throttles the
+	// sweep but cannot lose results, because the journal record is
+	// already fsync'd when it fires.
+	OnCell func(key string, replayed bool)
 
 	// testCellHook, when set by tests, observes each freshly-executed
 	// cell key — the seam kill-and-resume tests use to cancel mid-sweep.
@@ -261,6 +269,9 @@ func RunMatrixContext(ctx context.Context, ws []bench.Workload, cfg Config, mcfg
 		}
 		if !replayed && mcfg.testCellHook != nil {
 			mcfg.testCellHook(key)
+		}
+		if mcfg.OnCell != nil {
+			mcfg.OnCell(key, replayed)
 		}
 		mu.Lock()
 		defer mu.Unlock()

@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// FaultyTransport is the network-layer fault injector: an
+// http.RoundTripper that wraps a real transport with three
+// deterministic, seeded fault modes —
+//
+//   - injected latency: with probability LatencyRate a request is
+//     delayed by Latency before reaching the inner transport;
+//   - connection resets: with probability ResetRate the round trip
+//     fails with an error wrapping syscall.ECONNRESET, as a torn TCP
+//     connection would;
+//   - 5xx bursts: with probability ErrorRate a burst opens and the next
+//     BurstLen requests (including this one) are answered with a
+//     synthesized 503 carrying a structured JSON error body, never
+//     reaching the inner transport — the signature of a crashing or
+//     overloaded replica behind a load balancer.
+//
+// Fault scheduling is driven by the same splitmix64 generator as the
+// simulator-side injectors, so a failing client retry schedule replays
+// exactly under the same seed. Wrap an httptest server's client with it
+// to exercise retry/backoff/circuit-breaker behavior hermetically.
+type FaultyTransport struct {
+	Inner http.RoundTripper
+
+	LatencyRate float64
+	Latency     time.Duration
+
+	ResetRate float64
+
+	ErrorRate float64
+	BurstLen  int
+
+	mu    sync.Mutex
+	r     *rng
+	burst int // remaining synthesized 503s in the open burst
+
+	delays, resets, errs uint64
+
+	sleep func(time.Duration) // test seam; nil = time.Sleep
+}
+
+// NewFaultyTransport wraps inner (nil = http.DefaultTransport) with the
+// given fault rates under seed. BurstLen defaults to 1 (independent
+// 503s rather than bursts).
+func NewFaultyTransport(inner http.RoundTripper, latencyRate float64, latency time.Duration, resetRate, errorRate float64, burstLen int, seed uint64) *FaultyTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if burstLen < 1 {
+		burstLen = 1
+	}
+	return &FaultyTransport{
+		Inner:       inner,
+		LatencyRate: latencyRate,
+		Latency:     latency,
+		ResetRate:   resetRate,
+		ErrorRate:   errorRate,
+		BurstLen:    burstLen,
+		r:           newRNG(seed),
+	}
+}
+
+// resetErr wraps ECONNRESET so errors.Is(err, syscall.ECONNRESET)
+// holds, matching what a real net.OpError chain would unwrap to.
+type resetErr struct{}
+
+func (resetErr) Error() string   { return "faultinject: connection reset by peer" }
+func (resetErr) Unwrap() error   { return syscall.ECONNRESET }
+func (resetErr) Timeout() bool   { return false }
+func (resetErr) Temporary() bool { return true }
+
+// RoundTrip applies the scheduled fault, if any, then defers to the
+// inner transport. It is safe for concurrent use (fault scheduling is
+// serialized; inner round trips are not).
+func (t *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	var delay time.Duration
+	if t.r.hit(t.LatencyRate) {
+		t.delays++
+		delay = t.Latency
+	}
+	if t.burst > 0 {
+		t.burst--
+		t.errs++
+		t.mu.Unlock()
+		t.nap(delay)
+		return synth503(req), nil
+	}
+	if t.r.hit(t.ErrorRate) {
+		t.burst = t.BurstLen - 1
+		t.errs++
+		t.mu.Unlock()
+		t.nap(delay)
+		return synth503(req), nil
+	}
+	if t.r.hit(t.ResetRate) {
+		t.resets++
+		t.mu.Unlock()
+		t.nap(delay)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, resetErr{}
+	}
+	t.mu.Unlock()
+	t.nap(delay)
+	return t.Inner.RoundTrip(req)
+}
+
+// nap sleeps the injected latency; called with t.mu released (the
+// sleep may be long).
+func (t *FaultyTransport) nap(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if t.sleep != nil {
+		t.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Faults reports how many requests were delayed, reset, and answered
+// with a synthesized 503.
+func (t *FaultyTransport) Faults() (delays, resets, errs5xx uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.delays, t.resets, t.errs
+}
+
+// synth503 fabricates the 503 an overloaded replica would return,
+// complete with the structured error body the deesimd client knows how
+// to classify.
+func synth503(req *http.Request) *http.Response {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	body := []byte(`{"error":"faultinject: injected 5xx burst","kind":"unavailable"}` + "\n")
+	return &http.Response{
+		Status:        strconv.Itoa(http.StatusServiceUnavailable) + " " + http.StatusText(http.StatusServiceUnavailable),
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

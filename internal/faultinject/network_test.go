@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFaultyTransportDeterministic proves the fault schedule replays
+// exactly under the same seed: two transports with identical settings
+// classify an identical request stream identically.
+func TestFaultyTransportDeterministic(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer srv.Close()
+
+	classify := func(seed uint64) []string {
+		ft := NewFaultyTransport(http.DefaultTransport, 0, 0, 0.3, 0.2, 2, seed)
+		var got []string
+		for i := 0; i < 40; i++ {
+			req, _ := http.NewRequest("GET", srv.URL, nil)
+			resp, err := ft.RoundTrip(req)
+			switch {
+			case err != nil:
+				got = append(got, "reset")
+			case resp.StatusCode == 503:
+				resp.Body.Close()
+				got = append(got, "503")
+			default:
+				resp.Body.Close()
+				got = append(got, "ok")
+			}
+		}
+		return got
+	}
+
+	a, b := classify(42), classify(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := classify(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 40-request fault schedules")
+	}
+}
+
+// TestFaultyTransportResets checks reset errors unwrap to ECONNRESET
+// (what retry classification keys on) and are counted.
+func TestFaultyTransportResets(t *testing.T) {
+	ft := NewFaultyTransport(http.DefaultTransport, 0, 0, 1.0, 0, 1, 7)
+	req, _ := http.NewRequest("GET", "http://unreachable.invalid/", nil)
+	_, err := ft.RoundTrip(req)
+	if err == nil {
+		t.Fatal("ResetRate=1 round trip succeeded")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Errorf("reset error %v does not unwrap to ECONNRESET", err)
+	}
+	if _, resets, _ := ft.Faults(); resets != 1 {
+		t.Errorf("resets = %d, want 1", resets)
+	}
+}
+
+// TestFaultyTransportBursts checks that one error hit opens a burst of
+// BurstLen consecutive 503s with a parseable structured body, without
+// touching the inner transport.
+func TestFaultyTransportBursts(t *testing.T) {
+	inner := roundTripperFunc(func(req *http.Request) (*http.Response, error) {
+		t.Error("burst request leaked to the inner transport")
+		return nil, errors.New("unreachable")
+	})
+	ft := NewFaultyTransport(inner, 0, 0, 0, 1.0, 3, 1)
+	for i := 0; i < 3; i++ {
+		req, _ := http.NewRequest("POST", "http://example.invalid/v1/jobs", nil)
+		resp, err := ft.RoundTrip(req)
+		if err != nil {
+			t.Fatalf("burst request %d errored: %v", i, err)
+		}
+		if resp.StatusCode != 503 {
+			t.Fatalf("burst request %d status %d, want 503", i, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if want := `"kind":"unavailable"`; !strings.Contains(string(body), want) {
+			t.Errorf("burst body %q missing %s", body, want)
+		}
+	}
+	if _, _, errs := ft.Faults(); errs != 3 {
+		t.Errorf("errs5xx = %d, want 3", errs)
+	}
+}
+
+// TestFaultyTransportLatency checks injected delay goes through the
+// sleep seam with the configured duration.
+func TestFaultyTransportLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	ft := NewFaultyTransport(http.DefaultTransport, 1.0, 250*time.Millisecond, 0, 0, 1, 9)
+	var slept []time.Duration
+	ft.sleep = func(d time.Duration) { slept = append(slept, d) }
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	resp, err := ft.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 || slept[0] != 250*time.Millisecond {
+		t.Errorf("injected sleeps = %v, want one 250ms delay", slept)
+	}
+	if delays, _, _ := ft.Faults(); delays != 1 {
+		t.Errorf("delays = %d, want 1", delays)
+	}
+}
+
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }

@@ -1,0 +1,49 @@
+package runx
+
+// HTTP status mapping for error kinds. The deesimd service puts a
+// kind's canonical name in its JSON error bodies and this status on
+// the wire; the client reconstructs the kind from the body when
+// present and falls back to KindFromHTTPStatus otherwise. The mapping
+// deliberately loses information (several kinds share 500), which is
+// why the body's kind name is authoritative.
+
+// HTTPStatus returns the HTTP response status a failure of this kind
+// maps to when crossing the service boundary.
+func (k Kind) HTTPStatus() int {
+	switch k {
+	case KindInvalidInput:
+		return 400
+	case KindCanceled:
+		return 499 // client closed request (nginx convention)
+	case KindDeadline:
+		return 504
+	case KindOverload:
+		return 429
+	case KindUnavailable:
+		return 503
+	}
+	return 500 // panic, deadlock, corrupt, regression, unknown
+}
+
+// KindFromHTTPStatus classifies an HTTP response status as an error
+// kind — the fallback when a response carries no structured error
+// body. 4xx statuses are the caller's fault (not retryable) except
+// the explicitly transient ones; 5xx statuses are the service's and
+// map to KindUnavailable so clients back off and retry.
+func KindFromHTTPStatus(code int) Kind {
+	switch code {
+	case 408, 504:
+		return KindDeadline
+	case 429:
+		return KindOverload
+	case 499:
+		return KindCanceled
+	}
+	switch {
+	case code >= 400 && code < 500:
+		return KindInvalidInput
+	case code >= 500:
+		return KindUnavailable
+	}
+	return KindUnknown
+}

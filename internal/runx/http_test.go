@@ -1,0 +1,97 @@
+package runx
+
+import (
+	"errors"
+	"testing"
+)
+
+var allKinds = []Kind{
+	KindUnknown, KindCanceled, KindDeadline, KindDeadlock, KindPanic,
+	KindInvalidInput, KindCorrupt, KindRegression, KindOverload, KindUnavailable,
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for _, k := range allKinds {
+		if k == KindUnknown {
+			continue // "error" is the catch-all, not a canonical name
+		}
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if got := KindFromString("no such kind"); got != KindUnknown {
+		t.Errorf("KindFromString(junk) = %v, want KindUnknown", got)
+	}
+}
+
+func TestServiceKindsRetryable(t *testing.T) {
+	for _, k := range []Kind{KindOverload, KindUnavailable} {
+		if !k.Retryable() {
+			t.Errorf("%v must be retryable (transient service-side failure)", k)
+		}
+	}
+	for _, k := range []Kind{KindCanceled, KindInvalidInput, KindCorrupt, KindRegression} {
+		if k.Retryable() {
+			t.Errorf("%v must not be retryable", k)
+		}
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		code int
+	}{
+		{KindInvalidInput, 400},
+		{KindOverload, 429},
+		{KindUnavailable, 503},
+		{KindDeadline, 504},
+		{KindCanceled, 499},
+		{KindPanic, 500},
+		{KindCorrupt, 500},
+	}
+	for _, c := range cases {
+		if got := c.kind.HTTPStatus(); got != c.code {
+			t.Errorf("%v.HTTPStatus() = %d, want %d", c.kind, got, c.code)
+		}
+	}
+	// Statuses with an unambiguous kind round-trip back to it.
+	for _, k := range []Kind{KindInvalidInput, KindOverload, KindUnavailable, KindDeadline, KindCanceled} {
+		if got := KindFromHTTPStatus(k.HTTPStatus()); got != k {
+			t.Errorf("KindFromHTTPStatus(%d) = %v, want %v", k.HTTPStatus(), got, k)
+		}
+	}
+	if got := KindFromHTTPStatus(500); got != KindUnavailable {
+		t.Errorf("KindFromHTTPStatus(500) = %v, want KindUnavailable (retry 5xx)", got)
+	}
+	if got := KindFromHTTPStatus(404); got != KindInvalidInput {
+		t.Errorf("KindFromHTTPStatus(404) = %v, want KindInvalidInput", got)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	if got := ExitCode(nil); got != ExitOK {
+		t.Errorf("ExitCode(nil) = %d, want 0", got)
+	}
+	if got := ExitCode(errors.New("plain")); got != ExitError {
+		t.Errorf("ExitCode(plain error) = %d, want 1", got)
+	}
+	// Every kind gets a distinct code, none colliding with 0/1/2.
+	seen := map[int]Kind{}
+	for _, k := range allKinds {
+		if k == KindUnknown {
+			continue
+		}
+		code := ExitCode(&Error{Kind: k})
+		if code <= ExitUsage {
+			t.Errorf("kind %v exit code %d collides with ok/error/usage", k, code)
+		}
+		if prev, dup := seen[code]; dup {
+			t.Errorf("kinds %v and %v share exit code %d", prev, k, code)
+		}
+		seen[code] = k
+	}
+	if got := ExitCode(&Error{Kind: KindOverload}); got != ExitOverload {
+		t.Errorf("overload exit code = %d, want %d", got, ExitOverload)
+	}
+}

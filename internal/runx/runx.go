@@ -54,6 +54,13 @@ const (
 	// KindRegression: a reproduced result drifted from its golden
 	// baseline beyond the configured tolerance.
 	KindRegression
+	// KindOverload: a service shed the request because its admission
+	// queue was full (HTTP 429). Retry after backing off.
+	KindOverload
+	// KindUnavailable: a service (or the network path to it) could not
+	// take the request at all — connection refused/reset, a 5xx, or a
+	// draining daemon (HTTP 503). Transient by definition.
+	KindUnavailable
 )
 
 func (k Kind) String() string {
@@ -72,20 +79,40 @@ func (k Kind) String() string {
 		return "corrupt artifact"
 	case KindRegression:
 		return "golden regression"
+	case KindOverload:
+		return "overload"
+	case KindUnavailable:
+		return "unavailable"
 	}
 	return "error"
+}
+
+// KindFromString is the inverse of Kind.String: it recognizes every
+// kind's canonical name (the server puts that name in JSON error
+// bodies, and the client reconstructs the kind from it). Unrecognized
+// names come back as KindUnknown.
+func KindFromString(s string) Kind {
+	for k := KindCanceled; k <= KindUnavailable; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return KindUnknown
 }
 
 // Retryable reports whether a failure of this kind may succeed on a
 // fresh attempt of the same task. Deadlines, deadlocks, and recovered
 // panics are retryable: they can stem from transient load, scheduling,
-// or environment effects. Cancellation (the operator asked us to stop),
-// invalid input, corruption, golden regressions, and unclassified
-// errors — which include invariant-audit violations — are deterministic
-// verdicts about the run itself and must never be retried.
+// or environment effects. Overload (a shed request) and unavailability
+// (a refused connection, a 5xx, a draining daemon) are the transient
+// service-side analogues. Cancellation (the operator asked us to
+// stop), invalid input, corruption, golden regressions, and
+// unclassified errors — which include invariant-audit violations — are
+// deterministic verdicts about the run itself and must never be
+// retried.
 func (k Kind) Retryable() bool {
 	switch k {
-	case KindDeadline, KindDeadlock, KindPanic:
+	case KindDeadline, KindDeadlock, KindPanic, KindOverload, KindUnavailable:
 		return true
 	}
 	return false

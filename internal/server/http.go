@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"deesim/internal/runx"
+)
+
+// maxSpecBytes bounds a submission body; a spec is a few hundred bytes,
+// so anything near the cap is garbage or abuse.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the deesimd HTTP API:
+//
+//	POST /v1/jobs             submit a sweep (202, or 429/503 when shed)
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        job status
+//	GET  /v1/jobs/{id}/result completed job's result tables (JSON)
+//	GET  /healthz             liveness (200 while the process serves)
+//	GET  /readyz              readiness (503 while draining)
+//
+// Every route runs behind panic isolation and a per-request deadline;
+// errors are JSON bodies {"error": ..., "kind": ...} whose kind names a
+// runx kind and whose status follows runx.Kind.HTTPStatus.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.wrap(s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.wrap(s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.wrap(s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap(s.handleResult))
+	mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.wrap(s.handleReadyz))
+	return mux
+}
+
+// wrap is the per-request robustness middleware: a deadline on the
+// request context (the same cancellation surface runx-hardened code
+// checks) and panic isolation, so one bad handler invocation is a 500,
+// not a dead daemon.
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		defer func() {
+			if rec := recover(); rec != nil {
+				err := runx.FromPanic(rec, "server."+r.Method+" "+r.URL.Path)
+				s.cfg.Logf("deesimd: %v", err)
+				s.writeError(w, err)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		s.writeError(w, runx.Newf(runx.KindInvalidInput, stageServer, "decode spec: %v", err))
+		return
+	}
+	if err := runx.CtxErr(r.Context(), stageServer); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	st, err := s.Submit(sp)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, runx.Newf(runx.KindInvalidInput, stageServer, "unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		s.writeError(w, runx.Newf(runx.KindInvalidInput, stageServer, "unknown job %q", id))
+		return
+	}
+	switch st.State {
+	case StateDone:
+	case StateFailed:
+		s.writeError(w, runx.Newf(runx.KindFromString(st.Kind), stageServer, "job %s failed: %s", id, st.Error))
+		return
+	default:
+		// Not finished yet: an honest retry-later, with the same backoff
+		// hint as load shedding.
+		s.writeError(w, runx.Newf(runx.KindUnavailable, stageServer, "job %s is %s (%d/%d cells)", id, st.State, st.CellsDone, st.CellsTotal))
+		return
+	}
+	data, err := os.ReadFile(s.ResultPath(id))
+	if err != nil {
+		s.writeError(w, runx.Newf(runx.KindCorrupt, stageServer, "job %s result unreadable: %v", id, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, runx.Newf(runx.KindUnavailable, stageServer, "draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// errorBody is the structured error envelope every non-2xx response
+// carries; Kind round-trips through runx.KindFromString on the client.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	kind := runx.KindUnknown
+	if e, ok := runx.As(err); ok {
+		kind = e.Kind
+	}
+	if kind == runx.KindOverload || kind == runx.KindUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter).Seconds()+0.5)))
+	}
+	writeJSON(w, kind.HTTPStatus(), errorBody{Error: err.Error(), Kind: kind.String()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // header already written; a failed write has no recourse
+}

@@ -1,0 +1,617 @@
+// Package server implements deesimd, the fault-tolerant simulation
+// service: an HTTP/JSON API that accepts sweep submissions, runs them
+// on a bounded worker pool behind a bounded admission queue, and
+// survives both overload and crashes.
+//
+// The robustness contract, end to end:
+//
+//   - Admission control: a submission is accepted only if the waiting
+//     queue has room; otherwise it is shed with 429 + Retry-After.
+//     Accepted means durable — the job spec is fsync'd to the state
+//     directory before the 202 goes out, so an accepted job is never
+//     lost, even to SIGKILL one instruction later.
+//   - Execution: each job runs as a crash-safe superv sweep (journal,
+//     bounded cell pool, typed-error retry), under the job's own
+//     wall-clock deadline propagated into runx contexts.
+//   - Isolation: every HTTP request and every job runs behind panic
+//     isolation; a panicking handler is a 500, never a dead daemon.
+//   - Drain: SIGTERM stops admission (503), lets running jobs finish
+//     within a grace period, then cancels them; queued and interrupted
+//     jobs stay journaled on disk.
+//   - Recovery: on restart the state directory is scanned; completed
+//     jobs serve their recorded results, incomplete ones are re-queued
+//     and resume from their journals, replaying finished cells instead
+//     of re-simulating them.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"deesim/internal/experiments"
+	"deesim/internal/runx"
+	"deesim/internal/superv"
+)
+
+// Job states reported by the status API.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateInterrupted = "interrupted" // canceled mid-run; resumes on restart
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// StateDir is the durable root: jobs/<id>/{spec.json, run.journal,
+	// result.json, failed.json}.
+	StateDir string
+	// QueueDepth bounds the admission queue — jobs accepted but not yet
+	// running. Submissions beyond it are shed with 429 (default 8).
+	QueueDepth int
+	// Workers is the number of jobs run concurrently (default 1).
+	Workers int
+	// CellJobs is the superv worker-pool size inside each job's matrix
+	// sweep (default 4).
+	CellJobs int
+	// JobTimeout caps any job whose spec does not set its own tighter
+	// deadline (0 = none).
+	JobTimeout time.Duration
+	// RequestTimeout bounds each API request's context (default 10s).
+	RequestTimeout time.Duration
+	// DrainGrace is how long Drain lets running jobs finish before
+	// canceling them (default 15s).
+	DrainGrace time.Duration
+	// RetryAfter is the backoff hint sent with 429/503 (default 2s).
+	RetryAfter time.Duration
+	// Retries/Backoff are the per-cell defaults for specs that leave
+	// them unset (defaults 2 and 250ms).
+	Retries int
+	Backoff time.Duration
+	// Logf, if non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.CellJobs <= 0 {
+		c.CellJobs = 4
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 15 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 250 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// job is the in-memory record of one submission; all mutable fields
+// are guarded by Server.mu.
+type job struct {
+	id         string
+	spec       Spec
+	state      string
+	cellsDone  int
+	cellsTotal int
+	resumed    bool // re-queued by crash recovery
+	errText    string
+	errKind    string
+}
+
+// JobStatus is the status API's JSON rendering of a job.
+type JobStatus struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	CellsDone  int    `json:"cells_done"`
+	CellsTotal int    `json:"cells_total"`
+	Resumed    bool   `json:"resumed,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Kind       string `json:"kind,omitempty"`
+}
+
+// Server is the deesimd core: admission queue, worker pool, job
+// registry, and durable state. Create with New, start workers with
+// Start, serve Handler() over HTTP, and stop with Drain (graceful) or
+// Close (hard, for tests).
+type Server struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	order       []string // submission/recovery order
+	waiting     int      // queued jobs counted against QueueDepth
+	seq         int
+	queue       chan *job
+	queueClosed bool
+	draining    bool
+	running     map[string]context.CancelFunc
+
+	wg sync.WaitGroup
+}
+
+const stageServer = "server"
+
+// New builds a server over StateDir, recovering any jobs a previous
+// process left behind: completed jobs are indexed for result serving,
+// incomplete ones re-queued for resumption (their journals replay
+// finished cells). It does not start workers; call Start.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, runx.Newf(runx.KindInvalidInput, stageServer, "empty state directory")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageServer, "state dir: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		running:    make(map[string]context.CancelFunc),
+	}
+	pending, err := s.recover()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Capacity covers the admission bound plus everything recovery may
+	// enqueue, so sends made while holding s.mu can never block.
+	s.queue = make(chan *job, cfg.QueueDepth+len(pending)+cfg.Workers)
+	for _, jb := range pending {
+		s.waiting++
+		s.queue <- jb
+	}
+	return s, nil
+}
+
+// recover scans the jobs directory and rebuilds the registry. Returns
+// the jobs that must be re-queued (no result, no permanent failure).
+func (s *Server) recover() ([]*job, error) {
+	dir := filepath.Join(s.cfg.StateDir, "jobs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageServer, "scan %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // ids are zero-padded: lexicographic == submission order
+	var pending []*job
+	for _, id := range names {
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > s.seq {
+			s.seq = n
+		}
+		specData, err := os.ReadFile(filepath.Join(dir, id, "spec.json"))
+		if err != nil {
+			s.cfg.Logf("deesimd: recovery: job %s has no readable spec, skipping: %v", id, err)
+			continue
+		}
+		var sp Spec
+		if err := json.Unmarshal(specData, &sp); err != nil {
+			s.cfg.Logf("deesimd: recovery: job %s spec unparsable, skipping: %v", id, err)
+			continue
+		}
+		jb := &job{id: id, spec: sp, cellsTotal: sp.CellsTotal()}
+		switch {
+		case fileExists(filepath.Join(dir, id, "result.json")):
+			jb.state = StateDone
+			jb.cellsDone = jb.cellsTotal
+		case fileExists(filepath.Join(dir, id, "failed.json")):
+			jb.state = StateFailed
+			var f struct{ Error, Kind string }
+			if data, err := os.ReadFile(filepath.Join(dir, id, "failed.json")); err == nil {
+				if json.Unmarshal(data, &f) == nil {
+					jb.errText, jb.errKind = f.Error, f.Kind
+				}
+			}
+		default:
+			jb.state = StateQueued
+			jb.resumed = true
+			pending = append(pending, jb)
+		}
+		s.jobs[id] = jb
+		s.order = append(s.order, id)
+	}
+	if len(pending) > 0 {
+		s.cfg.Logf("deesimd: recovery: re-queued %d incomplete job(s)", len(pending))
+	}
+	return pending, nil
+}
+
+// Start launches the worker pool. Idempotent per server (call once).
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.mu.Lock()
+		if s.draining {
+			// The job's spec (and any journal) is durable; leave it
+			// queued on disk for the next process to resume.
+			s.mu.Unlock()
+			continue
+		}
+		s.waiting--
+		jb.state = StateRunning
+		jb.cellsDone = 0
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		s.running[jb.id] = cancel
+		s.mu.Unlock()
+
+		err := s.runJob(ctx, jb)
+		cancel()
+		s.finishJob(jb, err)
+	}
+}
+
+// runJob executes one job's sweep under its journal, writing
+// result.json atomically on success. Resumable by construction: every
+// completed cell is fsync'd to the journal before the next begins.
+func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = runx.FromPanic(r, "server.runJob")
+		}
+	}()
+	ws, cfg, err := jb.spec.resolve()
+	if err != nil {
+		return err
+	}
+	timeout, err := parseDuration("timeout", jb.spec.Timeout)
+	if err != nil {
+		return err
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.JobTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	backoff, err := parseDuration("backoff", jb.spec.Backoff)
+	if err != nil {
+		return err
+	}
+	if backoff <= 0 {
+		backoff = s.cfg.Backoff
+	}
+	retries := jb.spec.Retries
+	if retries <= 0 {
+		retries = s.cfg.Retries
+	}
+	cellDelay, err := parseDuration("cell_delay", jb.spec.CellDelay)
+	if err != nil {
+		return err
+	}
+
+	meta := experiments.MatrixMeta(ws, cfg)
+	jpath := filepath.Join(s.jobDir(jb.id), "run.journal")
+	var (
+		jr    *superv.Journal
+		prior *superv.State
+	)
+	if fileExists(jpath) {
+		jr, prior, err = superv.Resume(jpath, "deesimd", meta)
+		if err != nil {
+			// An unusable journal (torn header, recorded under different
+			// settings) carries no trustworthy progress. The sweep is
+			// deterministic, so the safe self-healing move is to restart
+			// the job from scratch rather than refuse it forever.
+			s.cfg.Logf("deesimd: job %s: journal unusable (%v), restarting sweep from scratch", jb.id, err)
+			if rmErr := os.Remove(jpath); rmErr != nil {
+				return runx.Newf(runx.KindCorrupt, stageServer, "job %s: drop unusable journal: %v", jb.id, rmErr)
+			}
+			jr, prior = nil, nil
+		}
+	}
+	if jr == nil {
+		if jr, err = superv.Create(jpath, "deesimd", meta); err != nil {
+			return err
+		}
+	}
+	defer jr.Close()
+
+	if prior != nil && len(prior.Done) > 0 {
+		s.cfg.Logf("deesimd: job %s: resuming, %s", jb.id, prior.Summary(jb.cellsTotal))
+	}
+	mcfg := experiments.MatrixConfig{
+		Jobs:    s.cfg.CellJobs,
+		Journal: jr,
+		Prior:   prior,
+		Retry: superv.RetryPolicy{
+			Attempts: retries + 1,
+			Backoff:  backoff,
+		},
+		OnRetry: func(key string, attempt int, delay string, err error) {
+			s.cfg.Logf("deesimd: job %s: retrying %s (attempt %d after %s): %v", jb.id, key, attempt, delay, err)
+		},
+		OnCell: func(key string, replayed bool) {
+			s.mu.Lock()
+			jb.cellsDone++
+			s.mu.Unlock()
+			if !replayed && cellDelay > 0 {
+				t := time.NewTimer(cellDelay)
+				select {
+				case <-ctx.Done():
+				case <-t.C:
+				}
+				t.Stop()
+			}
+		},
+	}
+	results, err := experiments.RunMatrixContext(ctx, ws, cfg, mcfg)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return runx.Newf(runx.KindUnknown, stageServer, "job %s: marshal results: %w", jb.id, err)
+	}
+	if err := superv.WriteFileAtomic(filepath.Join(s.jobDir(jb.id), "result.json"), append(data, '\n')); err != nil {
+		return runx.Newf(runx.KindCorrupt, stageServer, "job %s: write result: %w", jb.id, err)
+	}
+	return nil
+}
+
+// finishJob records a job's terminal (or interrupted) state. A
+// canceled job — drain or shutdown — keeps its journal and resumes on
+// the next start; every other failure is permanent and recorded in
+// failed.json so restarts do not retry deterministic errors.
+func (s *Server) finishJob(jb *job, err error) {
+	s.mu.Lock()
+	delete(s.running, jb.id)
+	if err == nil {
+		jb.state = StateDone
+		s.mu.Unlock()
+		s.cfg.Logf("deesimd: job %s: done (%d cells)", jb.id, jb.cellsTotal)
+		return
+	}
+	jb.errText = err.Error()
+	if e, ok := runx.As(err); ok {
+		jb.errKind = e.Kind.String()
+	}
+	if runx.IsKind(err, runx.KindCanceled) {
+		jb.state = StateInterrupted
+		s.mu.Unlock()
+		s.cfg.Logf("deesimd: job %s: interrupted, journaled for resume: %v", jb.id, err)
+		return
+	}
+	jb.state = StateFailed
+	kind := jb.errKind
+	s.mu.Unlock()
+	s.cfg.Logf("deesimd: job %s: failed permanently: %v", jb.id, err)
+	data, _ := json.Marshal(struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind,omitempty"`
+	}{jb.errText, kind})
+	if werr := superv.WriteFileAtomic(filepath.Join(s.jobDir(jb.id), "failed.json"), append(data, '\n')); werr != nil {
+		s.cfg.Logf("deesimd: job %s: could not record failure: %v", jb.id, werr)
+	}
+}
+
+// Submit admits a job: sheds with KindOverload when the queue is full
+// (or KindUnavailable when draining), persists the spec durably, then
+// enqueues. Used by the HTTP handler and directly by tests.
+func (s *Server) Submit(sp Spec) (*JobStatus, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, runx.Newf(runx.KindUnavailable, stageServer, "draining: not accepting new jobs")
+	}
+	if s.waiting >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return nil, runx.Newf(runx.KindOverload, stageServer,
+			"admission queue full (%d waiting); retry after %s", s.cfg.QueueDepth, s.cfg.RetryAfter)
+	}
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	jb := &job{id: id, spec: sp, state: StateQueued, cellsTotal: sp.CellsTotal()}
+	s.jobs[id] = jb
+	s.order = append(s.order, id)
+	s.waiting++
+	s.mu.Unlock()
+
+	// Durability before acknowledgment: the spec reaches disk (fsync +
+	// rename) before the caller ever learns the job id, so "accepted"
+	// survives any crash.
+	specData, err := json.MarshalIndent(sp, "", "  ")
+	if err == nil {
+		if err = os.MkdirAll(s.jobDir(id), 0o755); err == nil {
+			err = superv.WriteFileAtomic(filepath.Join(s.jobDir(id), "spec.json"), append(specData, '\n'))
+		}
+	}
+	if err != nil {
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.order = s.order[:len(s.order)-1]
+		s.waiting--
+		s.mu.Unlock()
+		return nil, runx.Newf(runx.KindCorrupt, stageServer, "persist job %s: %w", id, err)
+	}
+
+	s.mu.Lock()
+	if !s.queueClosed {
+		s.queue <- jb // capacity reserved above; never blocks
+	}
+	// If the queue closed between reserve and here, the job stays on
+	// disk and the next process resumes it — accepted is accepted.
+	st := statusLocked(jb)
+	s.mu.Unlock()
+	s.cfg.Logf("deesimd: job %s: accepted (%d cells)", id, jb.cellsTotal)
+	return st, nil
+}
+
+// Status returns a job's status snapshot.
+func (s *Server) Status(id string) (*JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return statusLocked(jb), true
+}
+
+// List returns every job's status in submission order.
+func (s *Server) List() []*JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+func statusLocked(jb *job) *JobStatus {
+	return &JobStatus{
+		ID:         jb.id,
+		State:      jb.state,
+		CellsDone:  jb.cellsDone,
+		CellsTotal: jb.cellsTotal,
+		Resumed:    jb.resumed,
+		Error:      jb.errText,
+		Kind:       jb.errKind,
+	}
+}
+
+// ResultPath returns the path of a done job's result file.
+func (s *Server) ResultPath(id string) string {
+	return filepath.Join(s.jobDir(id), "result.json")
+}
+
+// Draining reports whether drain has begun (readyz turns 503).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully stops the server: admission closes (new submissions
+// are shed with 503), running jobs get DrainGrace to finish, then
+// their contexts are canceled — which journals their progress for the
+// next start. Queued-but-unstarted jobs are left durably on disk.
+// Returns once every worker has exited. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if !s.queueClosed {
+			close(s.queue)
+			s.queueClosed = true
+		}
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("deesimd: draining: admission closed, waiting up to %s for running jobs", s.cfg.DrainGrace)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	grace := time.NewTimer(s.cfg.DrainGrace)
+	defer grace.Stop()
+	select {
+	case <-done:
+	case <-grace.C:
+		s.cfg.Logf("deesimd: drain grace expired, canceling running jobs (progress stays journaled)")
+		s.cancelRunning()
+		<-done
+	case <-ctx.Done():
+		s.cfg.Logf("deesimd: drain aborted by caller, canceling running jobs")
+		s.cancelRunning()
+		<-done
+	}
+	s.baseCancel()
+	s.logDrainSummary()
+	return nil
+}
+
+func (s *Server) cancelRunning() {
+	s.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(s.running))
+	for _, c := range s.running {
+		cancels = append(cancels, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
+func (s *Server) logDrainSummary() {
+	s.mu.Lock()
+	counts := map[string]int{}
+	for _, jb := range s.jobs {
+		counts[jb.state]++
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("deesimd: drained: %d done, %d failed, %d interrupted, %d queued (interrupted/queued resume on restart)",
+		counts[StateDone], counts[StateFailed], counts[StateInterrupted], counts[StateQueued])
+}
+
+// Close hard-stops the server: cancels everything and waits for the
+// workers. For tests; production shutdown is Drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	if !s.queueClosed {
+		close(s.queue)
+		s.queueClosed = true
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.StateDir, "jobs", id)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
