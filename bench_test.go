@@ -19,7 +19,9 @@
 package deesim_test
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -32,6 +34,7 @@ import (
 	"deesim/internal/ilpsim"
 	"deesim/internal/isa"
 	"deesim/internal/levo"
+	"deesim/internal/perf"
 	"deesim/internal/predictor"
 	"deesim/internal/trace"
 	"deesim/internal/unroll"
@@ -42,30 +45,74 @@ import (
 const BenchTraceCap = 60_000
 
 var (
-	simsOnce sync.Once
-	simCache map[string]*ilpsim.Sim
-	trCache  map[string]*trace.Trace
+	simMu    sync.Mutex
+	simCache = map[string]*ilpsim.Sim{}
+	trCache  = map[string]*trace.Trace{}
 )
 
-func sims(b *testing.B) map[string]*ilpsim.Sim {
+// benchTrace returns the capped trace for one workload, recorded on
+// first use. Construction is lazy and per-workload: a benchmark that
+// touches only compress no longer pays for tracing and preparing the
+// other four workloads (the old sims() built all five up front under a
+// single sync.Once).
+func benchTrace(b *testing.B, name string) *trace.Trace {
 	b.Helper()
-	simsOnce.Do(func() {
-		simCache = make(map[string]*ilpsim.Sim)
-		trCache = make(map[string]*trace.Trace)
-		for _, w := range bench.All() {
-			prog, err := w.Inputs[0].Build(1)
-			if err != nil {
-				panic(err)
-			}
-			tr, err := trace.Record(prog, BenchTraceCap)
-			if err != nil {
-				panic(err)
-			}
-			trCache[w.Name] = tr
-			simCache[w.Name] = ilpsim.MustNew(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
+	simMu.Lock()
+	defer simMu.Unlock()
+	if tr, ok := trCache[name]; ok {
+		return tr
+	}
+	w, err := bench.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Inputs[0].Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Record(prog, BenchTraceCap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trCache[name] = tr
+	return tr
+}
+
+// sim returns the prepared simulator for one workload, built lazily on
+// first use and shared (a Sim is safe for concurrent runs).
+func sim(b *testing.B, name string) *ilpsim.Sim {
+	b.Helper()
+	tr := benchTrace(b, name)
+	simMu.Lock()
+	defer simMu.Unlock()
+	if s, ok := simCache[name]; ok {
+		return s
+	}
+	s := ilpsim.MustNew(tr, predictor.NewTwoBit(), ilpsim.DefaultOptions())
+	simCache[name] = s
+	return s
+}
+
+// TestMain hooks the perf pipeline into the go-test harness: when
+// BENCH_CORE_OUT names a file, a successful run additionally measures
+// the ILP core (event scheduler vs the legacy scanner, same cells as
+// `deesim -bench-out`) at the harness trace cap and writes the
+// benchstat-compatible suite there.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if out := os.Getenv("BENCH_CORE_OUT"); out != "" && code == 0 {
+		suite, err := perf.RunCore(context.Background(), perf.CoreConfig{TraceCap: BenchTraceCap})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_CORE_OUT:", err)
+			os.Exit(1)
 		}
-	})
-	return simCache
+		suite.Benchstat(os.Stderr)
+		if err := suite.WriteFile(out); err != nil {
+			fmt.Fprintln(os.Stderr, "BENCH_CORE_OUT:", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(code)
 }
 
 // --- Figure 1 & 2: analytic trees ---
@@ -104,9 +151,8 @@ func BenchmarkTreeGeometry(b *testing.B) {
 // --- Figure 5: the main result ---
 
 func BenchmarkFig5(b *testing.B) {
-	ss := sims(b)
 	for _, w := range bench.All() {
-		s := ss[w.Name]
+		s := sim(b, w.Name)
 		for _, m := range ilpsim.PaperModels {
 			for _, et := range []int{8, 64, 256} {
 				name := fmt.Sprintf("%s/%s/ET%d", w.Name, m, et)
@@ -127,9 +173,8 @@ func BenchmarkFig5(b *testing.B) {
 }
 
 func BenchmarkOracle(b *testing.B) {
-	ss := sims(b)
 	for _, w := range bench.All() {
-		s := ss[w.Name]
+		s := sim(b, w.Name)
 		b.Run(w.Name, func(b *testing.B) {
 			var r ilpsim.Result
 			for i := 0; i < b.N; i++ {
@@ -144,9 +189,8 @@ func BenchmarkOracle(b *testing.B) {
 // target of ET = 100 branch paths, DEE-CD-MF versus plain branch
 // prediction (paper: ×5.8) and versus eager execution (paper: ×4.0).
 func BenchmarkET100(b *testing.B) {
-	ss := sims(b)
 	for _, w := range bench.All() {
-		s := ss[w.Name]
+		s := sim(b, w.Name)
 		b.Run(w.Name, func(b *testing.B) {
 			var deeS, spS, eeS float64
 			for i := 0; i < b.N; i++ {
@@ -167,7 +211,7 @@ func BenchmarkET100(b *testing.B) {
 			b.ReportMetric(deeS, "DEE-CD-MF")
 			b.ReportMetric(deeS/spS, "vs_SP")
 			b.ReportMetric(deeS/eeS, "vs_EE")
-			b.ReportMetric(deeS/ss[w.Name].Oracle().Speedup, "of_oracle")
+			b.ReportMetric(deeS/s.Oracle().Speedup, "of_oracle")
 		})
 	}
 }
@@ -175,9 +219,8 @@ func BenchmarkET100(b *testing.B) {
 // BenchmarkDEE8vsEE256 regenerates §5.3's "DEE-CD-MF with 8 branch path
 // resources has the same performance as EE with 256".
 func BenchmarkDEE8vsEE256(b *testing.B) {
-	ss := sims(b)
 	for _, w := range bench.All() {
-		s := ss[w.Name]
+		s := sim(b, w.Name)
 		b.Run(w.Name, func(b *testing.B) {
 			var d8, e256 float64
 			for i := 0; i < b.N; i++ {
@@ -201,9 +244,8 @@ func BenchmarkDEE8vsEE256(b *testing.B) {
 // BenchmarkRootResolution regenerates the §5.3 statistic that 70–80% of
 // mispredict resolutions occur at the root of the tree.
 func BenchmarkRootResolution(b *testing.B) {
-	ss := sims(b)
 	for _, w := range bench.All() {
-		s := ss[w.Name]
+		s := sim(b, w.Name)
 		b.Run(w.Name, func(b *testing.B) {
 			var rate float64
 			for i := 0; i < b.N; i++ {
@@ -287,8 +329,7 @@ func BenchmarkTraceRecord(b *testing.B) {
 }
 
 func BenchmarkDataDeps(b *testing.B) {
-	sims(b)
-	tr := trCache["compress"]
+	tr := benchTrace(b, "compress")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.DataDeps(false)
@@ -296,8 +337,7 @@ func BenchmarkDataDeps(b *testing.B) {
 }
 
 func BenchmarkPredictor2Bit(b *testing.B) {
-	sims(b)
-	tr := trCache["compress"]
+	tr := benchTrace(b, "compress")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		predictor.Accuracy(tr, predictor.NewTwoBit())
@@ -305,8 +345,7 @@ func BenchmarkPredictor2Bit(b *testing.B) {
 }
 
 func BenchmarkPredictorPAp(b *testing.B) {
-	sims(b)
-	tr := trCache["compress"]
+	tr := benchTrace(b, "compress")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		predictor.Accuracy(tr, predictor.NewPAp(4))
@@ -351,8 +390,7 @@ loop:
 // comparison: static heuristic vs Theorem-1 greedy vs the dynamic
 // per-branch "theoretically perfect" DEE.
 func BenchmarkTreeConstructionAblation(b *testing.B) {
-	ss := sims(b)
-	s := ss["cc1"]
+	s := sim(b, "cc1")
 	models := []struct {
 		name string
 		m    ilpsim.Model

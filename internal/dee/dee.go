@@ -83,14 +83,30 @@ func (n Node) Children() (pred, npred Node) {
 // Figure 1). A Tree never contains the root node; selection sets are
 // always downward closed (every non-root node's parent with depth ≥ 1 is
 // also selected).
+//
+// A Tree is immutable once built; all query methods (Contains, Rank,
+// ContainsBits, ...) are safe for concurrent use.
 type Tree struct {
 	P     float64
 	Order []Node       // Order[i] is the (i+1)-th path assigned resources
 	rank  map[Node]int // node -> 1-based assignment order
+
+	// trie mirrors rank as a pointer-free binary trie so membership can
+	// be answered from a turn bitset without materializing a Node string
+	// (ContainsBits — the simulator's hot coverage path). trie[i] holds
+	// the child indices of trie node i (0 = absent; the root is trie[0])
+	// and selected[i] records whether the node is in the selection set.
+	trie     [][2]int32
+	selected []bool
 }
 
 func newTree(p float64) *Tree {
-	return &Tree{P: p, rank: make(map[Node]int)}
+	return &Tree{
+		P:        p,
+		rank:     make(map[Node]int),
+		trie:     make([][2]int32, 1), // root
+		selected: make([]bool, 1),
+	}
 }
 
 func (t *Tree) add(n Node) {
@@ -99,10 +115,75 @@ func (t *Tree) add(n Node) {
 	}
 	t.Order = append(t.Order, n)
 	t.rank[n] = len(t.Order)
+	// Extend the trie along the node's turn sequence.
+	cur := int32(0)
+	for i := 0; i < len(n); i++ {
+		arc := 0
+		if Turn(n[i]) == Pred {
+			arc = 1
+		}
+		next := t.trie[cur][arc]
+		if next == 0 {
+			next = int32(len(t.trie))
+			t.trie = append(t.trie, [2]int32{})
+			t.selected = append(t.selected, false)
+			t.trie[cur][arc] = next
+		}
+		cur = next
+	}
+	t.selected[cur] = true
 }
 
 // Size is the number of selected branch paths (the resources used, ET).
 func (t *Tree) Size() int { return len(t.Order) }
+
+// BitVec is a fixed-capacity bitset over window depths: bit i is the
+// "known direction" (equivalently "correctly predicted") flag of pending
+// branch B_i. The simulator keeps its per-cycle known/scratch vectors in
+// this form and feeds them straight to the coverage queries
+// (Shape.CoveredBits, Tree.ContainsBits) without re-materializing bool
+// slices or Node strings.
+type BitVec []uint64
+
+// NewBitVec returns a vector with capacity for n bits, all clear.
+func NewBitVec(n int) BitVec { return make(BitVec, (n+63)/64) }
+
+// Get reports bit i.
+func (v BitVec) Get(i int) bool { return v[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets bit i.
+func (v BitVec) Set(i int) { v[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (v BitVec) Clear(i int) { v[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Reset clears every bit.
+func (v BitVec) Reset() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// CopyFrom overwrites v with src (equal capacity assumed).
+func (v BitVec) CopyFrom(src BitVec) { copy(v, src) }
+
+// ContainsBits reports whether the depth-j branch path identified by the
+// first j bits of v (bit set = the Pred arc, clear = NotPred) is in the
+// tree — Contains without the Node-string materialization. The root
+// (j = 0) is always contained.
+func (t *Tree) ContainsBits(v BitVec, j int) bool {
+	cur := int32(0)
+	for i := 0; i < j; i++ {
+		arc := 0
+		if v.Get(i) {
+			arc = 1
+		}
+		if cur = t.trie[cur][arc]; cur == 0 {
+			return false
+		}
+	}
+	return j == 0 || t.selected[cur]
+}
 
 // Contains reports whether the branch path identified by the turn
 // sequence is in the tree. The root (empty node) is always contained.
@@ -548,6 +629,51 @@ func (s Shape) Covered(correct []bool, j int) bool {
 			}
 		}
 		return s.tree.Contains(Node(turns))
+	}
+	return false
+}
+
+// CoveredBits is Covered with the correctness prefix supplied as a
+// bitset (bit i set = pending branch B_i correctly predicted / known).
+// Semantics are identical to Covered over the equivalent bool slice; the
+// closed-form shapes reduce to popcount-style scans and DEEPure walks
+// the tree's trie, so no per-query allocation occurs.
+func (s Shape) CoveredBits(v BitVec, j int) bool {
+	if j < 1 {
+		return true
+	}
+	switch s.Strategy {
+	case SP:
+		if j > s.ML {
+			return false
+		}
+		for i := 0; i < j; i++ {
+			if !v.Get(i) {
+				return false
+			}
+		}
+		return true
+	case EE:
+		return j <= s.LEE
+	case DEE:
+		mis := -1
+		for i := 0; i < j; i++ {
+			if !v.Get(i) {
+				if mis >= 0 {
+					return false
+				}
+				mis = i
+			}
+		}
+		if mis < 0 {
+			return j <= s.ML
+		}
+		return mis+1 <= s.H && j <= s.H
+	case DEEPure:
+		if j > s.tree.Height() {
+			return false
+		}
+		return s.tree.ContainsBits(v, j)
 	}
 	return false
 }

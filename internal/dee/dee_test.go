@@ -552,3 +552,103 @@ func TestAllocateSaturatingPanics(t *testing.T) {
 	}()
 	AllocateSaturating(0.8, 4, 0)
 }
+
+// TestCoveredBitsMatchesCovered: the bitset coverage query agrees with
+// the bool-slice one for every strategy, depth and correctness pattern
+// the simulator can present.
+func TestCoveredBitsMatchesCovered(t *testing.T) {
+	for _, p := range []float64{0.7, 0.9053, 0.95} {
+		for _, et := range []int{1, 4, 8, 34, 100} {
+			for _, strat := range []Strategy{SP, EE, DEE, DEEPure} {
+				s := NewShape(strat, p, et)
+				maxJ := s.MaxDepth() + 2
+				if maxJ > 12 {
+					maxJ = 12 // exhaustive patterns up to 2^12
+				}
+				for j := 0; j <= maxJ; j++ {
+					for pat := 0; pat < 1<<j; pat++ {
+						correct := make([]bool, j)
+						bits := NewBitVec(maxJ)
+						for i := 0; i < j; i++ {
+							if pat&(1<<i) != 0 {
+								correct[i] = true
+								bits.Set(i)
+							}
+						}
+						want := s.Covered(correct, j)
+						if got := s.CoveredBits(bits, j); got != want {
+							t.Fatalf("%v p=%v et=%d j=%d pat=%b: CoveredBits=%v Covered=%v",
+								strat, p, et, j, pat, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestContainsBitsMatchesContains: trie membership agrees with the
+// rank-map membership for greedy, static, local-probability and EE trees.
+func TestContainsBitsMatchesContains(t *testing.T) {
+	trees := []*Tree{
+		BuildGreedy(0.9, 40),
+		BuildStatic(0.85, 34),
+		BuildSP(0.9, 10),
+		BuildEE(0.7, 30),
+		BuildGreedyLocal([]float64{0.9, 0.6, 0.8, 0.95}, 25),
+	}
+	for ti, tr := range trees {
+		maxJ := tr.Height() + 2
+		if maxJ > 14 {
+			maxJ = 14
+		}
+		for j := 0; j <= maxJ; j++ {
+			for pat := 0; pat < 1<<j; pat++ {
+				turns := make([]byte, j)
+				bits := NewBitVec(maxJ)
+				for i := 0; i < j; i++ {
+					if pat&(1<<i) != 0 {
+						turns[i] = byte(Pred)
+						bits.Set(i)
+					} else {
+						turns[i] = byte(NotPred)
+					}
+				}
+				want := tr.Contains(Node(turns))
+				if got := tr.ContainsBits(bits, j); got != want {
+					t.Fatalf("tree %d j=%d pat=%b: ContainsBits=%v Contains=%v", ti, j, pat, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBitVecOps: basic set/clear/reset/copy semantics across word
+// boundaries.
+func TestBitVecOps(t *testing.T) {
+	v := NewBitVec(130)
+	if len(v) != 3 {
+		t.Fatalf("capacity words = %d, want 3", len(v))
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if v.Get(i) {
+			t.Fatalf("bit %d set in fresh vector", i)
+		}
+		v.Set(i)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	w := NewBitVec(130)
+	w.CopyFrom(v)
+	v.Clear(64)
+	if v.Get(64) || !w.Get(64) {
+		t.Fatal("Clear leaked across CopyFrom")
+	}
+	w.Reset()
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if w.Get(i) {
+			t.Fatalf("bit %d survived Reset", i)
+		}
+	}
+}

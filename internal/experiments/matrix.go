@@ -110,10 +110,13 @@ func MatrixMeta(ws []bench.Workload, cfg Config) map[string]string {
 	}
 }
 
-// inputSim lazily builds and guards the per-input trace + prepared
-// simulator shared by that input's matrix cells. Cells of one input
-// serialize on mu (the simulator is not safe for concurrent runs);
-// building inside the first cell's attempt keeps build failures
+// inputSim lazily builds the per-input trace + prepared simulator
+// shared by that input's matrix cells. Only the build is serialized on
+// mu; the runs themselves proceed unlocked and in parallel, because
+// ilpsim.Sim is read-only after construction and documented safe for
+// concurrent RunContext calls — a pool of workers can fan all of one
+// input's (model × ET) cells over a single prepared Sim at once.
+// Building inside the first cell's attempt keeps build failures
 // attributed — and retried — as that cell's.
 type inputSim struct {
 	mu    sync.Mutex
@@ -123,23 +126,45 @@ type inputSim struct {
 	sim   *ilpsim.Sim
 }
 
-// run executes one cell on the shared simulator.
-func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*cellResult, error) {
+// get returns the shared trace and simulator, building them under the
+// lock on first use.
+func (e *inputSim) get(ctx context.Context, cfg Config) (*trace.Trace, *ilpsim.Sim, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.tr == nil {
 		tr, err := recordInput(ctx, e.name, e.build, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e.tr = tr
 	}
 	if e.sim == nil {
 		sim, err := newInputSim(ctx, e.name, e.tr, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		e.sim = sim
+	}
+	return e.tr, e.sim, nil
+}
+
+// drop discards the shared simulator if it is still the given one, so
+// the next cell (or the retry) rebuilds from scratch. Concurrent cells
+// already running on the old simulator finish on it safely; only new
+// acquisitions see the rebuild.
+func (e *inputSim) drop(sim *ilpsim.Sim) {
+	e.mu.Lock()
+	if e.sim == sim {
+		e.sim = nil
+	}
+	e.mu.Unlock()
+}
+
+// run executes one cell on the shared simulator.
+func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*cellResult, error) {
+	tr, sim, err := e.get(ctx, cfg)
+	if err != nil {
+		return nil, err
 	}
 	model, err := modelByName(t.Model, cfg)
 	if err != nil {
@@ -147,16 +172,16 @@ func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*cellResu
 	}
 	var r ilpsim.Result
 	if t.ET == 0 {
-		r, err = e.sim.RunUnlimitedContext(ctx, model)
+		r, err = sim.RunUnlimitedContext(ctx, model)
 	} else {
-		r, err = e.sim.RunContext(ctx, model, t.ET)
+		r, err = sim.RunContext(ctx, model, t.ET)
 	}
 	if err != nil {
-		// A panicked or deadlocked run may leave the shared simulator
-		// mid-flight; drop it so the retry (or the input's next cell)
-		// starts from a freshly prepared one.
+		// A fault-injected memory system can bake bad latencies into the
+		// prepared simulator; drop it so the retry (or the input's next
+		// cell) starts from a freshly prepared one.
 		if runx.Retryable(err) {
-			e.sim = nil
+			e.drop(sim)
 		}
 		return nil, runx.Annotate(err, e.name)
 	}
@@ -165,9 +190,9 @@ func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*cellResu
 		Input:    t.Input,
 		Model:    t.Model,
 		ET:       t.ET,
-		Insts:    e.tr.Len(),
-		Accuracy: e.sim.Accuracy(),
-		Oracle:   e.sim.Oracle().Speedup,
+		Insts:    tr.Len(),
+		Accuracy: sim.Accuracy(),
+		Oracle:   sim.Oracle().Speedup,
 		Speedup:  r.Speedup,
 		RootRate: r.RootResolutionRate(),
 	}, nil

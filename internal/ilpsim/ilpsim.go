@@ -39,6 +39,7 @@ package ilpsim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"deesim/internal/cache"
 	"deesim/internal/cfg"
@@ -281,11 +282,13 @@ func computeDeps(tr *trace.Trace, strictMem bool) *deps {
 	return d
 }
 
-// computeJoins returns, per dynamic conditional branch position b, the
-// first trace position > b at which control reaches the branch's
-// immediate postdominator, or -1 when unknown (JR-crossed or off-trace).
-// Instructions at or after the join are control independent of b.
-func computeJoins(tr *trace.Trace, g *cfg.Graph) map[int32]int32 {
+// computeJoins returns, per dynamic conditional branch (indexed by
+// branch ordinal — the i-th entry is the i-th conditional branch in
+// trace order), the first trace position past the branch at which
+// control reaches the branch's immediate postdominator, or -1 when
+// unknown (JR-crossed or off-trace). Instructions at or after the join
+// are control independent of that branch.
+func computeJoins(tr *trace.Trace, g *cfg.Graph) []int32 {
 	// Occurrence lists per static instruction that is some branch's ipdom.
 	wanted := make(map[int32][]int32)
 	for _, din := range tr.Ins {
@@ -304,7 +307,7 @@ func computeJoins(tr *trace.Trace, g *cfg.Graph) map[int32]int32 {
 			_ = occ
 		}
 	}
-	joins := make(map[int32]int32)
+	var joins []int32
 	cursor := make(map[int32]int) // per-ipdom rolling cursor into occ list
 	for i, din := range tr.Ins {
 		if !din.IsBranch() {
@@ -312,7 +315,7 @@ func computeJoins(tr *trace.Trace, g *cfg.Graph) map[int32]int32 {
 		}
 		ip := g.IPdom(din.Static)
 		if ip < 0 {
-			joins[int32(i)] = -1
+			joins = append(joins, -1)
 			continue
 		}
 		occ := wanted[ip]
@@ -322,9 +325,9 @@ func computeJoins(tr *trace.Trace, g *cfg.Graph) map[int32]int32 {
 		}
 		cursor[ip] = c
 		if c < len(occ) {
-			joins[int32(i)] = occ[c]
+			joins = append(joins, occ[c])
 		} else {
-			joins[int32(i)] = -1
+			joins = append(joins, -1)
 		}
 	}
 	return joins
@@ -332,12 +335,20 @@ func computeJoins(tr *trace.Trace, g *cfg.Graph) map[int32]int32 {
 
 // Sim is a prepared simulation over one trace. Prepare once, run many
 // models against the same precomputed dependencies and predictions.
+//
+// A Sim is safe for concurrent use: after NewContext returns, every
+// field is read-only, so any number of goroutines may call Run /
+// RunContext / RunUnlimitedContext / Oracle on the same Sim
+// simultaneously (e.g. fanning the eight paper models over one prepared
+// trace). Per-run mutable state lives in pool-managed arenas private to
+// each call. The concurrent-models race test in sched_test.go asserts
+// this contract under the race detector.
 type Sim struct {
 	tr       *trace.Trace
 	g        *cfg.Graph
 	d        *deps
-	joins    map[int32]int32
-	correct  []bool // per dynamic branch, in branch order
+	joins    []int32 // per branch ordinal: join position or -1 (see computeJoins)
+	correct  []bool  // per dynamic branch, in branch order
 	accuracy float64
 
 	// srcMask[k] is the bitmask of architectural registers dynamic
@@ -347,16 +358,54 @@ type Sim struct {
 	// control dependence).
 	srcMask []uint32
 	isLoad  []bool
-	// sideWrites caches cfg.SideWrites per static branch.
-	sideWrites map[int32][2]cfg.WriteSet
+	// sideWrites caches cfg.SideWrites per static instruction id (only
+	// branch entries are populated).
+	sideWrites [][2]cfg.WriteSet
+	// profAcc is the measured per-static-branch prediction accuracy
+	// (hits/total over the whole trace), indexed by static id — the
+	// profile the DEE-profile model's dynamic trees are built from.
+	profAcc []float64
 
 	branchPos  []int32 // dynamic position of each conditional branch
 	branchOrd  []int32 // per trace position: ordinal of this branch (-1 if not)
 	pathBranch []int32 // per path: dynamic position of terminating branch (-1 tail)
+	pathSize   []int32 // per path: number of instructions on it
 	opts       Options
 
 	lat           []int32 // per dynamic instruction latency in cycles
 	cacheMissRate float64
+
+	// Event-scheduler precomputation (built once in NewContext, read-only
+	// afterwards): wakeOff/wakeList form a CSR producer→consumer
+	// adjacency over the minimal data dependencies (a consumer appears
+	// once per dependency slot, matching the per-slot counts in
+	// depCount), depCount is the per-instruction dependency in-degree,
+	// and maxLat the largest per-instruction latency (it sizes the
+	// calendar ring).
+	wakeOff  []int32
+	wakeList []int32
+	depCount []uint8
+	maxLat   int32
+
+	// Hot-loop companions to the tables above, also read-only after
+	// NewContext: pathCorrect[i] reports whether window slot i's guarding
+	// branch is absent or correctly predicted; pathJoin[i] caches
+	// joinOf(pathBranch[i]) (-1 without a branch); nextBranch[k] is the
+	// trace position of the conditional branch after branch k (-1
+	// otherwise); misp[k] marks mispredicted branches. initPending and
+	// initReady seed a run's dependency counters and ready lists, indexed
+	// [0] for the serialization-free (MF) models and [1] for the
+	// serialized ones.
+	pathCorrect []bool
+	pathJoin    []int32
+	nextBranch  []int32
+	misp        []bool
+	initPending [2][]uint8
+	initReady   [2][]int32
+
+	// pool recycles runState arenas (finish/pathDone/ready lists/calendar
+	// buckets) across RunContext calls on this Sim.
+	pool sync.Pool
 }
 
 // New prepares the simulator: records dependencies, runs the predictor
@@ -434,6 +483,10 @@ func NewContext(ctx context.Context, tr *trace.Trace, pred predictor.Predictor, 
 	for i := 0; i < np; i++ {
 		s.pathBranch[i] = tr.PathBranch(i)
 	}
+	s.pathSize = make([]int32, np)
+	for i := range tr.Ins {
+		s.pathSize[s.d.path[i]]++
+	}
 	s.srcMask = make([]uint32, len(tr.Ins))
 	s.isLoad = make([]bool, len(tr.Ins))
 	for i, din := range tr.Ins {
@@ -447,16 +500,20 @@ func NewContext(ctx context.Context, tr *trace.Trace, pred predictor.Predictor, 
 		s.srcMask[i] = m
 		s.isLoad[i] = isa.ClassOf(din.Op) == isa.ClassLoad
 	}
-	s.sideWrites = make(map[int32][2]cfg.WriteSet)
+	nStatic := len(tr.Prog.Code)
+	s.sideWrites = make([][2]cfg.WriteSet, nStatic)
+	seenSide := make([]bool, nStatic)
 	for _, din := range tr.Ins {
-		if !din.IsBranch() {
+		if !din.IsBranch() || seenSide[din.Static] {
 			continue
 		}
-		if _, ok := s.sideWrites[din.Static]; !ok {
-			taken, fall := g.SideWrites(din.Static)
-			s.sideWrites[din.Static] = [2]cfg.WriteSet{taken, fall}
-		}
+		taken, fall := g.SideWrites(din.Static)
+		s.sideWrites[din.Static] = [2]cfg.WriteSet{taken, fall}
+		seenSide[din.Static] = true
 	}
+	s.profAcc = computeProfile(tr, s.branchPos, s.correct, nStatic)
+	s.buildWakeLists()
+	s.buildSchedTables()
 	if cerr := runx.CtxErr(ctx, stage); cerr != nil {
 		return nil, cerr
 	}
@@ -464,6 +521,110 @@ func NewContext(ctx context.Context, tr *trace.Trace, pred predictor.Predictor, 
 		return nil, lerr
 	}
 	return s, nil
+}
+
+// buildWakeLists precomputes the producer→consumer wakeup adjacency in
+// CSR form: wakeList[wakeOff[p]:wakeOff[p+1]] lists (in ascending trace
+// order) every instruction with a data-dependency slot on producer p. A
+// consumer with two slots on the same producer appears twice, matching
+// depCount's per-slot in-degree, so the event scheduler's pending
+// counters decrement consistently.
+func (s *Sim) buildWakeLists() {
+	n := len(s.tr.Ins)
+	dd := s.d.dd
+	s.wakeOff = make([]int32, n+1)
+	s.depCount = make([]uint8, n)
+	for k := 0; k < n; k++ {
+		for _, p := range [3]int32{dd.Rs[k], dd.Rt[k], dd.Mem[k]} {
+			if p != noDep {
+				s.wakeOff[p+1]++
+				s.depCount[k]++
+			}
+		}
+	}
+	for i := 1; i <= n; i++ {
+		s.wakeOff[i] += s.wakeOff[i-1]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, s.wakeOff[:n])
+	s.wakeList = make([]int32, s.wakeOff[n])
+	for k := 0; k < n; k++ {
+		for _, p := range [3]int32{dd.Rs[k], dd.Rt[k], dd.Mem[k]} {
+			if p != noDep {
+				s.wakeList[cursor[p]] = int32(k)
+				cursor[p]++
+			}
+		}
+	}
+}
+
+// buildSchedTables folds the per-cycle indirections of the event
+// scheduler's hot loop (branch ordinal → correctness, branch → join,
+// branch → successor branch) into directly indexed tables, and
+// precomputes the initial pending counters and ready lists for both the
+// serialization-free and the serialized model families, so each run
+// seeds its state with a memcopy instead of an O(n) classification
+// pass.
+func (s *Sim) buildSchedTables() {
+	n := len(s.tr.Ins)
+	s.pathCorrect = make([]bool, len(s.pathBranch))
+	s.pathJoin = make([]int32, len(s.pathBranch))
+	for i, bp := range s.pathBranch {
+		s.pathCorrect[i] = bp < 0 || s.correct[s.branchOrd[bp]]
+		if bp < 0 {
+			s.pathJoin[i] = -1
+		} else {
+			s.pathJoin[i] = s.joinOf(bp)
+		}
+	}
+	s.nextBranch = make([]int32, n)
+	s.misp = make([]bool, n)
+	for k := range s.nextBranch {
+		s.nextBranch[k] = -1
+	}
+	for ord, bp := range s.branchPos {
+		if ord+1 < len(s.branchPos) {
+			s.nextBranch[bp] = s.branchPos[ord+1]
+		}
+		s.misp[bp] = !s.correct[ord]
+	}
+	for si := 0; si < 2; si++ {
+		pend := make([]uint8, n)
+		var rdy []int32
+		for k := 0; k < n; k++ {
+			p := s.depCount[k]
+			if si == 1 && s.branchOrd[k] > 0 {
+				p++
+			}
+			pend[k] = p
+			if p == 0 {
+				rdy = append(rdy, int32(k))
+			}
+		}
+		s.initPending[si] = pend
+		s.initReady[si] = rdy
+	}
+}
+
+// computeProfile measures per-static-branch prediction accuracy as a
+// dense slice indexed by static id (non-branch entries stay zero).
+func computeProfile(tr *trace.Trace, branchPos []int32, correct []bool, nStatic int) []float64 {
+	hits := make([]int32, nStatic)
+	total := make([]int32, nStatic)
+	for ord, bp := range branchPos {
+		st := tr.Ins[bp].Static
+		total[st]++
+		if correct[ord] {
+			hits[st]++
+		}
+	}
+	out := make([]float64, nStatic)
+	for st, t := range total {
+		if t > 0 {
+			out[st] = float64(hits[st]) / float64(t)
+		}
+	}
+	return out
 }
 
 // computeLatencies assigns per-instruction latencies, replaying memory
@@ -496,6 +657,9 @@ func (s *Sim) computeLatencies() error {
 			l = 1 // a faulty memory system cannot bend time backwards
 		}
 		s.lat[i] = int32(l)
+		if s.lat[i] > s.maxLat {
+			s.maxLat = s.lat[i]
+		}
 	}
 	if mem != nil {
 		_, _, s.cacheMissRate = mem.Stats()
@@ -517,6 +681,10 @@ func (s *Sim) wrongSideWrites(bpos int32) cfg.WriteSet {
 	}
 	return w[0]
 }
+
+// joinOf returns the join position of the dynamic conditional branch at
+// trace position bpos (-1 when unknown).
+func (s *Sim) joinOf(bpos int32) int32 { return s.joins[s.branchOrd[bpos]] }
 
 // Accuracy reports the measured predictor accuracy on this trace.
 func (s *Sim) Accuracy() float64 { return s.accuracy }
@@ -577,26 +745,6 @@ func nodeOf(buf []byte, vec []bool, r int) dee.Node {
 	return dee.Node(buf)
 }
 
-// branchProfile returns the measured per-static-branch prediction
-// accuracy (hits/total over the whole trace) — the profile the
-// DEE-profile model's dynamic trees are built from.
-func (s *Sim) branchProfile() map[int32]float64 {
-	hits := make(map[int32]int)
-	total := make(map[int32]int)
-	for ord, bp := range s.branchPos {
-		st := s.tr.Ins[bp].Static
-		total[st]++
-		if s.correct[ord] {
-			hits[st]++
-		}
-	}
-	out := make(map[int32]float64, len(total))
-	for st, n := range total {
-		out[st] = float64(hits[st]) / float64(n)
-	}
-	return out
-}
-
 // Run simulates one model at the given branch-path resources. In
 // addition to the paper's closed-form shapes (SP, EE, DEE), two
 // tree-based reference strategies are supported: dee.DEEPure (the
@@ -630,21 +778,50 @@ func attribute(e *runx.Error, m Model, et int, cycle int64) *runx.Error {
 // converts stalls into structured deadlock errors carrying a
 // cycle/window/heap snapshot, and any panic is recovered at this
 // boundary and returned as a *runx.Error with the stack attached.
-func (s *Sim) RunContext(ctx context.Context, m Model, et int) (res Result, err error) {
+//
+// The run is executed by the event-driven ready-list scheduler
+// (sched.go); set DEESIM_SCHEDULER=legacy to fall back to the retired
+// scan-every-cycle loop (runLegacy), kept for differential testing. The
+// two produce cycle-for-cycle identical Results. RunContext is safe to
+// call concurrently from multiple goroutines on one Sim.
+func (s *Sim) RunContext(ctx context.Context, m Model, et int) (Result, error) {
 	const stage = "ilpsim.Run"
-	var cycle int64
-	defer func() {
-		if r := recover(); r != nil {
-			err = attribute(runx.FromPanic(r, stage), m, et, cycle)
-		}
-	}()
 	if et < 1 {
-		return res, attribute(runx.Newf(runx.KindInvalidInput, stage, "branch-path resources ET must be >= 1, got %d", et), m, et, 0)
+		return Result{}, attribute(runx.Newf(runx.KindInvalidInput, stage, "branch-path resources ET must be >= 1, got %d", et), m, et, 0)
 	}
-	vectorCov := m.Strategy == dee.DEEPure || m.Strategy == dee.DEEProfile
-	profile := m.Strategy == dee.DEEProfile
+	if useLegacyScheduler {
+		return s.runLegacy(ctx, m, et)
+	}
+	return s.runEvent(ctx, m, et)
+}
 
-	var shape dee.Shape
+// RunLegacyContext runs the cell on the retired scan-every-cycle
+// reference scheduler regardless of DEESIM_SCHEDULER. The differential
+// tests and the perf pipeline's same-run legacy-vs-event speedup
+// measurement (internal/perf) use it; everything else should call
+// RunContext.
+func (s *Sim) RunLegacyContext(ctx context.Context, m Model, et int) (Result, error) {
+	const stage = "ilpsim.Run"
+	if et < 1 {
+		return Result{}, attribute(runx.Newf(runx.KindInvalidInput, stage, "branch-path resources ET must be >= 1, got %d", et), m, et, 0)
+	}
+	return s.runLegacy(ctx, m, et)
+}
+
+// RunEventContext runs the cell on the event-driven scheduler regardless
+// of DEESIM_SCHEDULER. See RunLegacyContext.
+func (s *Sim) RunEventContext(ctx context.Context, m Model, et int) (Result, error) {
+	const stage = "ilpsim.Run"
+	if et < 1 {
+		return Result{}, attribute(runx.Newf(runx.KindInvalidInput, stage, "branch-path resources ET must be >= 1, got %d", et), m, et, 0)
+	}
+	return s.runEvent(ctx, m, et)
+}
+
+// runSetup builds the per-run invariants shared by both schedulers: the
+// static tree shape, the Result header, and the window depth bound.
+func (s *Sim) runSetup(m Model, et int) (shape dee.Shape, res Result, maxDepth int) {
+	profile := m.Strategy == dee.DEEProfile
 	if !profile {
 		shape = dee.NewShape(m.Strategy, s.designP(), et)
 	}
@@ -658,6 +835,29 @@ func (s *Sim) RunContext(ctx context.Context, m Model, et int) (res Result, err 
 			res.Mispredicts++
 		}
 	}
+	maxDepth = et
+	if !profile {
+		maxDepth = shape.MaxDepth()
+	}
+	return shape, res, maxDepth
+}
+
+// runLegacy is the retired scan-every-cycle inner loop: every simulated
+// cycle rescans every unissued instruction in the window. It is the
+// semantic reference the event scheduler is differentially tested
+// against (TestSchedulerDifferential, FuzzSchedulerDifferential).
+func (s *Sim) runLegacy(ctx context.Context, m Model, et int) (res Result, err error) {
+	const stage = "ilpsim.Run"
+	var cycle int64
+	defer func() {
+		if r := recover(); r != nil {
+			err = attribute(runx.FromPanic(r, stage), m, et, cycle)
+		}
+	}()
+	vectorCov := m.Strategy == dee.DEEPure || m.Strategy == dee.DEEProfile
+	profile := m.Strategy == dee.DEEProfile
+
+	shape, res, maxDepth := s.runSetup(m, et)
 
 	np := s.tr.NumPaths()
 	n := len(s.tr.Ins)
@@ -668,23 +868,15 @@ func (s *Sim) RunContext(ctx context.Context, m Model, et int) (res Result, err 
 		pathRemaining[s.d.path[i]]++
 	}
 
-	maxDepth := et
-	if !profile {
-		maxDepth = shape.MaxDepth()
-	}
 	known := make([]bool, maxDepth)
 	var unknown []int // window depths of unknown-direction branches
 	nodeBuf := make([]byte, et+1)
 	scratch := make([]bool, et+1)
 
-	// DEE-profile: dynamic greedy tree over per-branch accuracies,
-	// rebuilt when the window root moves.
+	// DEE-profile: dynamic greedy tree over per-branch accuracies
+	// (s.profAcc), rebuilt when the window root moves.
 	var profTree *dee.Tree
-	var profAcc map[int32]float64
 	lastHP := -1
-	if profile {
-		profAcc = s.branchProfile()
-	}
 	covered := func(vec []bool, r int) bool {
 		if profile {
 			return profTree.Contains(nodeOf(nodeBuf, vec, r))
@@ -733,15 +925,12 @@ func (s *Sim) RunContext(ctx context.Context, m Model, et int) (res Result, err 
 					ps = append(ps, 0.995)
 					continue
 				}
-				ps = append(ps, profAcc[s.tr.Ins[b].Static])
+				ps = append(ps, s.profAcc[s.tr.Ins[b].Static])
 			}
 			if len(ps) == 0 {
 				ps = append(ps, 0.9)
 			}
 			profTree = dee.BuildGreedyLocal(ps, et)
-			if h := profTree.Height(); h < maxDepth {
-				// Window depth follows the dynamic tree's reach.
-			}
 			lastHP = hp
 		}
 
@@ -831,7 +1020,7 @@ func (s *Sim) RunContext(ctx context.Context, m Model, et int) (res Result, err 
 							break
 						}
 						bpos := s.pathBranch[hp+ur]
-						if j := s.joins[bpos]; j >= 0 && j <= k {
+						if j := s.joinOf(bpos); j >= 0 && j <= k {
 							w := s.wrongSideWrites(bpos)
 							if s.srcMask[k]&w.Regs == 0 && !(s.isLoad[k] && w.Mem) {
 								if vectorCov {

@@ -1,0 +1,219 @@
+package ilpsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"deesim/internal/bench"
+	"deesim/internal/dee"
+	"deesim/internal/predictor"
+	"deesim/internal/trace"
+)
+
+// diffModels is the full model set the two schedulers are differentially
+// tested over: the seven paper models plus the two tree-based reference
+// strategies (DEEPure exercises the trie-backed bitset coverage,
+// DEEProfile the dynamic-tree rebuild path).
+var diffModels = []Model{
+	ModelDEECDMF, ModelSPCDMF, ModelDEECD, ModelSPCD, ModelDEE, ModelSP, ModelEE,
+	{dee.DEEPure, CDMF},
+	{dee.DEEProfile, CDMF},
+}
+
+var diffETs = []int{1, 4, 8, 32}
+
+// diffCompare runs one (model, ET) cell through both schedulers and
+// fails unless the Results are identical in every field.
+func diffCompare(t *testing.T, s *Sim, m Model, et int, label string) {
+	t.Helper()
+	legacy, lerr := s.runLegacy(context.Background(), m, et)
+	event, eerr := s.runEvent(context.Background(), m, et)
+	if (lerr == nil) != (eerr == nil) {
+		t.Fatalf("%s %v ET=%d: error mismatch: legacy=%v event=%v", label, m, et, lerr, eerr)
+	}
+	if lerr != nil {
+		return // both failed identically-typed; nothing to compare
+	}
+	if legacy != event {
+		t.Errorf("%s %v ET=%d: result drift:\n  legacy: %+v\n  event:  %+v", label, m, et, legacy, event)
+	}
+}
+
+// TestSchedulerDifferential proves the event-driven scheduler is
+// cycle-for-cycle identical to the legacy scanner over every model and
+// a spread of ETs on all five paper workloads.
+func TestSchedulerDifferential(t *testing.T) {
+	names := bench.Names()
+	if testing.Short() {
+		names = []string{"compress", "xlisp"}
+	}
+	for _, name := range names {
+		w, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := w.Inputs[0].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.Record(prog, 12_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := MustNew(tr, predictor.NewTwoBit(), DefaultOptions())
+		t.Run(name, func(t *testing.T) {
+			for _, m := range diffModels {
+				for _, et := range diffETs {
+					diffCompare(t, s, m, et, name)
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulerDifferentialOptions stresses the option corners where the
+// event scheduler's machinery diverges most from the scan loop:
+// realistic latencies (cycle-skipping), a data cache (wide latency
+// spread in the calendar ring), a PEs cap (in-order issue truncation),
+// and zero/large mispredict penalties (known-transition jumps).
+func TestSchedulerDifferentialOptions(t *testing.T) {
+	w, err := bench.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Inputs[0].Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Record(prog, 12_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"realistic", Options{Penalty: 1, Lat: RealisticLatencies()}},
+		{"penalty0", Options{Penalty: 0}},
+		{"penalty8", Options{Penalty: 8, Lat: RealisticLatencies()}},
+		{"pes4", Options{Penalty: 1, PEs: 4}},
+		{"pes1-realistic", Options{Penalty: 2, PEs: 1, Lat: RealisticLatencies()}},
+		{"strictmem", Options{Penalty: 1, StrictMemory: true}},
+	}
+	for _, tc := range cases {
+		s := MustNew(tr, predictor.NewTwoBit(), tc.opts)
+		t.Run(tc.name, func(t *testing.T) {
+			for _, m := range diffModels {
+				for _, et := range []int{1, 8, 32} {
+					diffCompare(t, s, m, et, tc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentModelsMatchSequential asserts the Sim concurrency
+// contract: all models fanned out concurrently over one shared Sim
+// (with pooled arenas recycling between and during runs) produce
+// exactly the results of sequential runs. Run under -race this is the
+// thread-safety proof for the parallel model sweeps in
+// experiments.RunMatrixContext.
+func TestConcurrentModelsMatchSequential(t *testing.T) {
+	s := workloadSims(t)["xlisp"]
+	ets := []int{4, 16}
+
+	type cell struct {
+		m  Model
+		et int
+	}
+	var cells []cell
+	want := make(map[string]Result)
+	for _, m := range diffModels {
+		for _, et := range ets {
+			r, err := s.RunContext(context.Background(), m, et)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, cell{m, et})
+			want[fmt.Sprintf("%v/%d", m, et)] = r
+		}
+	}
+
+	const rounds = 3 // re-run every cell a few times so pool arenas are contended
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cells)*rounds)
+	for round := 0; round < rounds; round++ {
+		for _, c := range cells {
+			wg.Add(1)
+			go func(c cell) {
+				defer wg.Done()
+				r, err := s.RunContext(context.Background(), c.m, c.et)
+				if err != nil {
+					errs <- err
+					return
+				}
+				key := fmt.Sprintf("%v/%d", c.m, c.et)
+				if r != want[key] {
+					errs <- fmt.Errorf("concurrent run %s drifted:\n  want %+v\n  got  %+v", key, want[key], r)
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// FuzzSchedulerDifferential feeds random short synthetic traces through
+// both schedulers and asserts identical results — the moving parts
+// (penalty, latencies, PEs cap, model, ET) are all fuzz-controlled.
+func FuzzSchedulerDifferential(f *testing.F) {
+	f.Add(uint16(40), uint8(4), uint8(88), uint32(0x5e5e), uint8(3), uint8(8), uint8(0), uint8(1), false)
+	f.Add(uint16(120), uint8(2), uint8(55), uint32(0xdead), uint8(0), uint8(1), uint8(5), uint8(0), true)
+	f.Add(uint16(75), uint8(8), uint8(97), uint32(1), uint8(6), uint8(34), uint8(7), uint8(4), false)
+	f.Add(uint16(10), uint8(1), uint8(50), uint32(99), uint8(1), uint8(3), uint8(8), uint8(3), true)
+	f.Fuzz(func(t *testing.T, iters uint16, branches, bias uint8, seed uint32, work, et, modelIdx, penalty uint8, realistic bool) {
+		cfg := bench.SyntheticConfig{
+			Iterations:      1 + int(iters)%300,
+			BranchesPerIter: 1 + int(branches)%8,
+			Bias:            int(bias) % 101,
+			Seed:            seed,
+			Work:            int(work) % 7,
+		}
+		prog, err := bench.BuildSynthetic(cfg)
+		if err != nil {
+			t.Skip()
+		}
+		tr, err := trace.Record(prog, 6_000)
+		if err != nil {
+			t.Skip()
+		}
+		opts := Options{Penalty: int(penalty) % 9, PEs: int(work) % 5}
+		if realistic {
+			opts.Lat = RealisticLatencies()
+		}
+		s, err := New(tr, predictor.NewTwoBit(), opts)
+		if err != nil {
+			t.Skip()
+		}
+		m := diffModels[int(modelIdx)%len(diffModels)]
+		etv := 1 + int(et)%40
+
+		legacy, lerr := s.runLegacy(context.Background(), m, etv)
+		event, eerr := s.runEvent(context.Background(), m, etv)
+		if (lerr == nil) != (eerr == nil) {
+			t.Fatalf("%v ET=%d: error mismatch: legacy=%v event=%v", m, etv, lerr, eerr)
+		}
+		if lerr != nil {
+			return
+		}
+		if legacy.Cycles != event.Cycles || legacy.Speedup != event.Speedup ||
+			legacy.RootResolvedMispredicts != event.RootResolvedMispredicts || legacy != event {
+			t.Fatalf("%v ET=%d: result drift:\n  legacy: %+v\n  event:  %+v", m, etv, legacy, event)
+		}
+	})
+}

@@ -165,7 +165,7 @@ func (s *Sim) RunUnlimitedContext(ctx context.Context, m Model) (res Result, err
 						rg2 = gt
 					}
 				} else {
-					gates = append(gates, gate{pos: int32(k), join: s.joins[int32(k)], time: gt})
+					gates = append(gates, gate{pos: int32(k), join: s.joinOf(int32(k)), time: gt})
 					if len(gates) > 512 {
 						// Safety bound: keep the newest gates; older
 						// ones are dominated in practice (their times

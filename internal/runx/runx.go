@@ -327,5 +327,17 @@ func (w *Watchdog) Step(progressed bool) bool {
 	return w.limit > 0 && w.idle > w.limit
 }
 
+// StepN records n consecutive idle steps at once — cycle-skipping
+// schedulers use it to account for simulated-time jumps over idle
+// stretches — and reports whether the watchdog has tripped. n <= 0 is a
+// no-op.
+func (w *Watchdog) StepN(n int64) bool {
+	if n <= 0 {
+		return false
+	}
+	w.idle += n
+	return w.limit > 0 && w.idle > w.limit
+}
+
 // Idle reports the current run of consecutive idle steps.
 func (w *Watchdog) Idle() int64 { return w.idle }
