@@ -54,6 +54,7 @@ import (
 	"deesim/internal/cache"
 	"deesim/internal/dee"
 	"deesim/internal/ilpsim"
+	"deesim/internal/obs"
 	"deesim/internal/predictor"
 	"deesim/internal/runx"
 	"deesim/internal/stats"
@@ -93,6 +94,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		retriesFlag = fs.Int("retries", 2, "retries per study after the first attempt (retryable failures only)")
 		backoffFlag = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (exponential, deterministic jitter)")
 	)
+	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,6 +102,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ablate:", err)
 		return runx.ExitCode(err)
 	}
+	if done, err := obsFlags.Handle("ablate", stdout, stderr); done {
+		return 0
+	} else if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := obsFlags.WriteMetrics(); err != nil {
+			fmt.Fprintln(stderr, "ablate:", err)
+		}
+	}()
 	deadlockLimit = *dlFlag
 	if *journalFlag != "" && *resumeFlag != "" {
 		return fail(fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the journal it is given)"))

@@ -59,6 +59,7 @@ import (
 	"deesim/internal/dee"
 	"deesim/internal/experiments"
 	"deesim/internal/ilpsim"
+	"deesim/internal/obs"
 	"deesim/internal/perf"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
@@ -103,7 +104,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		benchBaseline = fs.String("bench-baseline", "", "perf mode: compare the fresh suite against this baseline; exit non-zero on >20% regression")
 		benchRegress  = fs.Bool("bench-regress", false, "perf mode: additionally gate raw ns/op against the baseline (same-machine comparisons only)")
 		benchCap      = fs.Int("bench-cap", 0, "perf mode: dynamic instruction cap per workload (0 = 60000)")
+
+		traceOut = fs.String("trace-out", "", "write a Chrome trace-event JSON timeline of the sweep to this path (load in chrome://tracing or Perfetto)")
 	)
+	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -111,6 +115,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "deesim:", err)
 		return runx.ExitCode(err)
 	}
+	if done, err := obsFlags.Handle("deesim", stdout, stderr); done {
+		return 0
+	} else if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := obsFlags.WriteMetrics(); err != nil {
+			fmt.Fprintln(stderr, "deesim:", err)
+		}
+	}()
 
 	if *benchOut != "" || *benchBaseline != "" {
 		ctx, stop := runx.MainContext(*timeoutFlag)
@@ -178,6 +192,17 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	ctx, stop := runx.MainContext(*timeoutFlag)
 	defer stop()
+	if *traceOut != "" {
+		tracer := obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+		defer func() {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(stderr, "deesim: write trace:", err)
+			} else {
+				fmt.Fprintf(stderr, "deesim: wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+			}
+		}()
+	}
 
 	var results []*experiments.WorkloadResult
 	if *journalFlag != "" || *resumeFlag != "" {

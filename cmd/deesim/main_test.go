@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -178,5 +179,61 @@ func TestSelectWorkloads(t *testing.T) {
 	}
 	if _, err := selectWorkloads("gcc"); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+// TestObservabilityFlags exercises the shared telemetry flag block
+// end to end: -version short-circuits, -metrics-out dumps a Prometheus
+// snapshot with simulator series, -trace-out writes a loadable Chrome
+// trace, and -log-level rejects garbage.
+func TestObservabilityFlags(t *testing.T) {
+	code, out, _ := run(t, "-version")
+	if code != 0 || !strings.Contains(out, "deesim version") {
+		t.Fatalf("-version: code %d, out %q", code, out)
+	}
+
+	dir := t.TempDir()
+	mpath := filepath.Join(dir, "metrics.txt")
+	tpath := filepath.Join(dir, "sweep.json")
+	args := fastArgs("-metrics-out", mpath, "-trace-out", tpath,
+		"-journal", filepath.Join(dir, "run.journal"))
+	code, _, stderr := run(t, args...)
+	if code != 0 {
+		t.Fatalf("sweep failed: %s", stderr)
+	}
+	metrics, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatalf("no metrics snapshot: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE deesim_sim_cycles_total counter",
+		"deesim_sim_instructions_issued_total",
+		"deesim_superv_tasks_done_total",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+	trace, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatalf("no trace file: %v", err)
+	}
+	var tj struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &tj); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	// 8 cells + build spans, at minimum.
+	if len(tj.TraceEvents) < 9 {
+		t.Errorf("trace has %d events, want >= 9", len(tj.TraceEvents))
+	}
+
+	code, _, stderr = run(t, "-log-level", "nonsense")
+	if code == 0 || !strings.Contains(stderr, "nonsense") {
+		t.Errorf("bad -log-level accepted: code %d, stderr %q", code, stderr)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"deesim/internal/client"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 	"deesim/internal/superv"
@@ -54,9 +55,21 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		pollFlag    = fs.Duration("poll", 500*time.Millisecond, "status poll interval for wait")
 		waitFlag    = fs.Bool("wait", false, "with submit: wait for completion and print the result")
 	)
+	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return runx.ExitUsage
 	}
+	if done, err := obsFlags.Handle("deesimctl", stdout, stderr); done {
+		return runx.ExitOK
+	} else if err != nil {
+		fmt.Fprintln(stderr, "deesimctl:", err)
+		return runx.ExitCode(err)
+	}
+	defer func() {
+		if err := obsFlags.WriteMetrics(); err != nil {
+			fmt.Fprintln(stderr, "deesimctl:", err)
+		}
+	}()
 	if fs.NArg() < 1 {
 		fmt.Fprintln(stderr, "deesimctl: missing command (submit, status, list, result, wait, health)")
 		fs.Usage()

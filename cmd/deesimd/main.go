@@ -10,6 +10,12 @@
 //	        [-queue N] [-workers N] [-cell-jobs N]
 //	        [-job-timeout d] [-request-timeout d] [-drain-grace d]
 //	        [-retry-after d] [-retries N] [-backoff d]
+//	        [-log-level info] [-log-json] [-pprof] [-version]
+//
+// Telemetry: GET /metrics serves the whole process's series (simulator
+// core, supervisor, server) in Prometheus text format, GET /versionz
+// the build info, and -pprof opts into /debug/pprof/. Every request is
+// access-logged as one structured line (-log-json for JSON logs).
 //
 // SIGINT/SIGTERM drains gracefully: admission closes (submissions get
 // 503, /readyz flips), running jobs get -drain-grace to finish, then
@@ -33,6 +39,7 @@ import (
 	"os"
 	"time"
 
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 	"deesim/internal/superv"
@@ -58,14 +65,27 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 429/503")
 		retriesFlag  = fs.Int("retries", 2, "default per-cell retries for retryable failures")
 		backoffFlag  = fs.Duration("backoff", 250*time.Millisecond, "default base retry backoff per cell")
+
+		versionFlag = fs.Bool("version", false, "print build/version info and exit")
+		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON     = fs.Bool("log-json", false, "emit logs as JSON lines instead of text")
+		pprofFlag   = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints (debug surface; off by default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return runx.ExitUsage
+	}
+	if *versionFlag {
+		obs.PrintVersion(stdout, "deesimd")
+		return runx.ExitOK
 	}
 	logger := log.New(stderr, "", log.LstdFlags|log.Lmicroseconds)
 	fail := func(err error) int {
 		logger.Printf("deesimd: %v", err)
 		return runx.ExitCode(err)
+	}
+	slogger, err := obs.SetupLogger(stderr, *logLevel, *logJSON)
+	if err != nil {
+		return fail(err)
 	}
 
 	s, err := server.New(server.Config{
@@ -80,6 +100,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Retries:        *retriesFlag,
 		Backoff:        *backoffFlag,
 		Logf:           logger.Printf,
+		Logger:         slogger,
+		Pprof:          *pprofFlag,
 	})
 	if err != nil {
 		return fail(err)

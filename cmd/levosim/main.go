@@ -22,6 +22,7 @@ import (
 
 	"deesim/internal/bench"
 	"deesim/internal/levo"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/stats"
 	"deesim/internal/unroll"
@@ -41,7 +42,18 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
 		dlFlag    = flag.Int("deadlock-limit", 0, "abort a simulation after this many cycles without progress (0 = default 2^22)")
 	)
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	if done, err := obsFlags.Handle("levosim", os.Stdout, os.Stderr); done {
+		return
+	} else if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.WriteMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "levosim:", err)
+		}
+	}()
 
 	cfg := levo.Config{
 		Rows: *rows, Cols: *cols, DEEPaths: *deePaths,

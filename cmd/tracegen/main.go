@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"deesim/internal/bench"
+	"deesim/internal/obs"
 	"deesim/internal/predictor"
 	"deesim/internal/runx"
 	"deesim/internal/stats"
@@ -41,7 +42,18 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
 		_         = flag.Int("deadlock-limit", 0, "accepted for CLI uniformity; capture is bounded by -max and -timeout")
 	)
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	if done, err := obsFlags.Handle("tracegen", os.Stdout, os.Stderr); done {
+		return
+	} else if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := obsFlags.WriteMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+		}
+	}()
 
 	ctx, stop := runx.MainContext(*timeout)
 	defer stop()

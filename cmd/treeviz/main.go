@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"deesim/internal/dee"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/stats"
 )
@@ -37,7 +38,19 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-clock limit, e.g. 10s (0 = none)")
 		_        = flag.Int("deadlock-limit", 0, "accepted for CLI uniformity; tree construction has no cycle loop")
 	)
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	if done, err := obsFlags.Handle("treeviz", os.Stdout, os.Stderr); done {
+		return
+	} else if err != nil {
+		fmt.Fprintln(os.Stderr, "treeviz:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := obsFlags.WriteMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "treeviz:", err)
+		}
+	}()
 
 	ctx, stop := runx.MainContext(*timeout)
 	defer stop()

@@ -62,10 +62,12 @@ func (b *Breaker) Allow() error {
 	}
 	now := b.clock()
 	if now.Before(b.openUntil) {
+		mFastFails.Inc()
 		return runx.Newf(runx.KindUnavailable, "client.Breaker",
 			"circuit open for another %s (%d consecutive failures)", b.openUntil.Sub(now).Round(time.Millisecond), b.fails)
 	}
 	if b.probing {
+		mFastFails.Inc()
 		return runx.Newf(runx.KindUnavailable, "client.Breaker", "circuit half-open, probe in flight")
 	}
 	b.probing = true
@@ -83,6 +85,9 @@ func (b *Breaker) Record(healthy bool) {
 	defer b.mu.Unlock()
 	th, cd := b.defaults()
 	if healthy {
+		if !b.openUntil.IsZero() {
+			mBreakerClose.Inc()
+		}
 		b.fails = 0
 		b.openUntil = time.Time{}
 		b.probing = false
@@ -91,7 +96,14 @@ func (b *Breaker) Record(healthy bool) {
 	b.fails++
 	b.probing = false
 	if b.fails >= th {
-		b.openUntil = b.clock().Add(cd)
+		now := b.clock()
+		// Count transitions into open — from closed or from a failed
+		// half-open probe — but not extensions by stragglers that were
+		// already in flight when the circuit opened.
+		if b.openUntil.IsZero() || !now.Before(b.openUntil) {
+			mBreakerOpen.Inc()
+		}
+		b.openUntil = now.Add(cd)
 	}
 }
 

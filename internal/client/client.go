@@ -178,6 +178,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		if retryAfter > delay {
 			delay = retryAfter
 		}
+		mRetries.Inc()
 		c.logf("deesimctl: %s %s attempt %d/%d: %v (retrying in %s)", method, path, attempt, attempts, err, delay)
 		if serr := c.snooze(ctx, delay); serr != nil {
 			return last
@@ -187,7 +188,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 
 // once performs a single HTTP attempt and classifies the outcome. The
 // returned retryAfter is the server's backoff hint (0 if absent).
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (time.Duration, error) {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (retryAfter time.Duration, err error) {
+	mRequests.Inc()
+	defer func() {
+		if err != nil {
+			mFailures.Inc()
+		}
+	}()
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)

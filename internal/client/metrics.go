@@ -1,0 +1,15 @@
+package client
+
+import "deesim/internal/obs"
+
+// Client-side telemetry, on the obs default registry. A CLI that talks
+// to a flaky daemon can dump these with -metrics-out and see exactly
+// how many attempts, retries, and breaker trips the run cost.
+var (
+	mRequests     = obs.GetOrCreateCounter("deesim_client_requests_total")
+	mFailures     = obs.GetOrCreateCounter("deesim_client_request_failures_total")
+	mRetries      = obs.GetOrCreateCounter("deesim_client_retries_total")
+	mFastFails    = obs.GetOrCreateCounter("deesim_client_breaker_fast_fails_total")
+	mBreakerOpen  = obs.GetOrCreateCounter("deesim_client_breaker_opens_total")
+	mBreakerClose = obs.GetOrCreateCounter("deesim_client_breaker_closes_total")
+)

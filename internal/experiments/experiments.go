@@ -12,6 +12,7 @@ import (
 	"deesim/internal/bench"
 	"deesim/internal/ilpsim"
 	"deesim/internal/isa"
+	"deesim/internal/obs"
 	"deesim/internal/predictor"
 	"deesim/internal/runx"
 	"deesim/internal/stats"
@@ -160,11 +161,14 @@ func RunInputContext(ctx context.Context, name string, prog buildable, cfg Confi
 	if err := cfg.Validate(); err != nil {
 		return nil, runx.Annotate(err, name)
 	}
+	endBuild := obs.TracerFrom(ctx).Span("build "+name, 0, nil)
 	tr, err := recordInput(ctx, name, prog, cfg)
 	if err != nil {
+		endBuild()
 		return nil, err
 	}
 	sim, err := newInputSim(ctx, name, tr, cfg)
+	endBuild()
 	if err != nil {
 		return nil, err
 	}
@@ -328,6 +332,9 @@ func RunAllContext(ctx context.Context, ws []bench.Workload, cfg Config) ([]*Wor
 		wg.Add(1)
 		go func(i int, w bench.Workload) {
 			defer wg.Done()
+			// One trace lane per workload goroutine, matching the
+			// journaled path's one-lane-per-worker convention.
+			defer obs.TracerFrom(ctx).Span("workload "+w.Name, i+1, nil)()
 			r, err := RunWorkloadContext(ctx, w, cfg)
 			out[i], errs[i] = r, err
 			if err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"deesim/internal/bench"
 	"deesim/internal/ilpsim"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
 	"deesim/internal/trace"
@@ -131,6 +132,11 @@ type inputSim struct {
 func (e *inputSim) get(ctx context.Context, cfg Config) (*trace.Trace, *ilpsim.Sim, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.tr == nil || e.sim == nil {
+		// Builds get trace lane 0 — worker lanes start at 1 — so trace
+		// viewers show the serialized build phase on its own track.
+		defer obs.TracerFrom(ctx).Span("build "+e.name, 0, nil)()
+	}
 	if e.tr == nil {
 		tr, err := recordInput(ctx, e.name, e.build, cfg)
 		if err != nil {

@@ -850,6 +850,11 @@ func (s *Sim) runLegacy(ctx context.Context, m Model, et int) (res Result, err e
 	const stage = "ilpsim.Run"
 	var cycle int64
 	defer func() {
+		// Runs and cycles are counted for both schedulers; the
+		// event-path-only series (calendar events, cycle-skips, arena
+		// reuse) have no legacy analogue.
+		mSimRuns.Inc()
+		mSimCycles.Add(cycle)
 		if r := recover(); r != nil {
 			err = attribute(runx.FromPanic(r, stage), m, et, cycle)
 		}

@@ -105,6 +105,9 @@ func (s *Sim) getRunState(n, np, words, ring int) *runState {
 	st, _ := s.pool.Get().(*runState)
 	if st == nil {
 		st = new(runState)
+		mSimArenaAlloc.Inc()
+	} else {
+		mSimArenaReuse.Inc()
 	}
 	st.finish = growSlice(st.finish, n)
 	clear(st.finish)
@@ -168,7 +171,9 @@ func (s *Sim) buildRelax(st *runState, hp int) {
 func (s *Sim) runEvent(ctx context.Context, m Model, et int) (res Result, err error) {
 	const stage = "ilpsim.Run"
 	var cycle int64
+	var tally simTally
 	defer func() {
+		tally.flush(cycle)
 		if r := recover(); r != nil {
 			err = attribute(runx.FromPanic(r, stage), m, et, cycle)
 		}
@@ -226,6 +231,7 @@ func (s *Sim) runEvent(ctx context.Context, m Model, et int) (res Result, err er
 		// Drain this cycle's completion events: wake data-dependent
 		// consumers and, under serialized models, the next branch.
 		b := &st.buckets[cycle&st.mask]
+		tally.calendarEvts += int64(len(*b))
 		for _, p := range *b {
 			for _, k := range s.wakeList[s.wakeOff[p]:s.wakeOff[p+1]] {
 				if st.pending[k]--; st.pending[k] == 0 {
@@ -300,6 +306,9 @@ func (s *Sim) runEvent(ctx context.Context, m Model, et int) (res Result, err er
 			rl := st.ready[ap]
 			if len(rl) == 0 {
 				continue
+			}
+			if len(rl) > tally.readyHW {
+				tally.readyHW = len(rl)
 			}
 			baseCov := r == 0
 			if !baseCov {
@@ -396,6 +405,7 @@ func (s *Sim) runEvent(ctx context.Context, m Model, et int) (res Result, err er
 		if executed > res.MaxPEs {
 			res.MaxPEs = executed
 		}
+		tally.issued += int64(executed)
 
 		// Advance the tree root past completed paths — but a resolved
 		// misprediction holds the root until its restart penalty has
@@ -432,6 +442,8 @@ func (s *Sim) runEvent(ctx context.Context, m Model, et int) (res Result, err er
 			if skipped := next - cycle - 1; skipped > 0 {
 				wd.StepN(skipped) // cannot trip: next is clamped to wdTrip
 				cycle = next - 1
+				tally.cycleSkips++
+				tally.cyclesSkipped += skipped
 			}
 		}
 	}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLIFlags is the shared observability flag block the deesim binaries
+// carry: -version, -log-level, -log-json, -metrics-out. Register on a
+// FlagSet (or flag.CommandLine), parse, then call Handle once and
+// WriteMetrics on the way out.
+type CLIFlags struct {
+	Version    bool
+	LogLevel   string
+	LogJSON    bool
+	MetricsOut string
+}
+
+// RegisterCLIFlags installs the shared flag block on fs.
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	f := &CLIFlags{}
+	fs.BoolVar(&f.Version, "version", false, "print build/version info and exit")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn, error")
+	fs.BoolVar(&f.LogJSON, "log-json", false, "emit logs as JSON lines instead of text")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a Prometheus-format snapshot of the run's metrics to this file on exit")
+	return f
+}
+
+// Handle applies the parsed block: with -version it prints the build
+// info to stdout and returns done=true (the caller exits 0); otherwise
+// it installs the process logger on stderr at the requested level.
+func (f *CLIFlags) Handle(name string, stdout, stderr io.Writer) (done bool, err error) {
+	if f.Version {
+		PrintVersion(stdout, name)
+		return true, nil
+	}
+	if _, err := SetupLogger(stderr, f.LogLevel, f.LogJSON); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// WriteMetrics dumps the default registry to -metrics-out in
+// Prometheus text format. A no-op without the flag, so callers defer
+// it unconditionally.
+func (f *CLIFlags) WriteMetrics() error {
+	if f.MetricsOut == "" {
+		return nil
+	}
+	fh, err := os.Create(f.MetricsOut)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := Default.WritePrometheus(fh); err != nil {
+		fh.Close()
+		return fmt.Errorf("metrics-out %s: %w", f.MetricsOut, err)
+	}
+	if err := fh.Close(); err != nil {
+		return fmt.Errorf("metrics-out %s: %w", f.MetricsOut, err)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging: every layer logs through log/slog, and the
+// correlation IDs a log line needs — run, job, cell — travel in the
+// context, not in call signatures. ctxHandler lifts them out of the
+// context into attributes at emit time, so a deep callee (a retrying
+// cell inside a journaled sweep inside a daemon job) logs lines that
+// carry the whole chain without any layer knowing about the others.
+
+// ctxKey is the private context-key namespace for log attributes.
+type ctxKey int
+
+const (
+	keyIDs ctxKey = iota // []slog.Attr accumulated by WithIDs
+)
+
+// WithRunID returns ctx carrying run_id=id for every log line emitted
+// under it.
+func WithRunID(ctx context.Context, id string) context.Context {
+	return WithIDs(ctx, slog.String("run_id", id))
+}
+
+// WithJobID returns ctx carrying job_id=id.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return WithIDs(ctx, slog.String("job_id", id))
+}
+
+// WithCellKey returns ctx carrying cell=key.
+func WithCellKey(ctx context.Context, key string) context.Context {
+	return WithIDs(ctx, slog.String("cell", key))
+}
+
+// WithIDs returns ctx carrying additional attributes appended to every
+// log line emitted with it through a logger built by NewLogger.
+func WithIDs(ctx context.Context, attrs ...slog.Attr) context.Context {
+	prev, _ := ctx.Value(keyIDs).([]slog.Attr)
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, keyIDs, merged)
+}
+
+// IDs returns the attributes accumulated on ctx by WithIDs (nil when
+// none).
+func IDs(ctx context.Context) []slog.Attr {
+	attrs, _ := ctx.Value(keyIDs).([]slog.Attr)
+	return attrs
+}
+
+// ctxHandler decorates a slog.Handler with the context attributes.
+type ctxHandler struct {
+	slog.Handler
+}
+
+func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if attrs := IDs(ctx); len(attrs) > 0 {
+		rec = rec.Clone()
+		rec.AddAttrs(attrs...)
+	}
+	return h.Handler.Handle(ctx, rec)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{h.Handler.WithGroup(name)}
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level. Accepted:
+// debug, info, warn, error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (have: debug, info, warn, error)", s)
+}
+
+// NewLogger builds the repo-standard logger: text or JSON lines on w at
+// the given level, with context IDs (WithRunID and friends) appended to
+// every record.
+func NewLogger(w io.Writer, level slog.Level, jsonOut bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if jsonOut {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(ctxHandler{h})
+}
+
+// SetupLogger parses the shared -log-level/-log-json flag pair, builds
+// the logger on w, and installs it as the slog default so package-level
+// slog calls inherit it. Returns the logger for explicit threading.
+func SetupLogger(w io.Writer, levelFlag string, jsonOut bool) (*slog.Logger, error) {
+	level, err := ParseLevel(levelFlag)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLogger(w, level, jsonOut)
+	slog.SetDefault(l)
+	return l, nil
+}
+
+// Discard is a logger that drops everything — the default for library
+// code handed no logger.
+var Discard = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

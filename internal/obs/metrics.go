@@ -1,0 +1,423 @@
+// Package obs is the repo's dependency-free telemetry layer: a
+// concurrent metrics registry with Prometheus text-format exposition
+// (metrics.go), structured logging on log/slog with run/job/cell IDs
+// threaded through contexts (log.go), lightweight spans that serialize
+// to Chrome trace-event JSON loadable in chrome://tracing or Perfetto
+// (trace.go), and build-info version reporting (version.go).
+//
+// # Metrics
+//
+// Metrics are identified by their full Prometheus series name,
+// including any label set baked into the name at registration time:
+//
+//	obs.GetOrCreateCounter(`deesim_http_requests_total{endpoint="submit",status="202"}`).Inc()
+//
+// Keeping labels in the name (the VictoriaMetrics/metrics idiom) makes
+// the hot path one map lookup and one atomic add — no label-hashing
+// machinery — and pushes cardinality discipline to the call sites: a
+// label value must come from a small closed set (endpoint names, HTTP
+// statuses, error kinds), never from user input or unbounded IDs.
+//
+// Counters and gauges are single atomic words; histograms are a fixed
+// bucket ladder of atomic words. All metric operations are safe for
+// concurrent use with each other and with exposition/snapshot readers
+// (asserted under -race by race_test.go). Instruments are cheap enough
+// to register at package init and update from hot paths, but the ILP
+// core deliberately accumulates per-run tallies in locals and flushes
+// them once per simulation — see the overhead budget in DESIGN.md §10.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a process's metric instruments. The zero value is not
+// usable; construct with NewRegistry or use the package Default.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric // full series name -> instrument
+}
+
+// metric is the exposition contract every instrument satisfies.
+type metric interface {
+	// rows appends the instrument's exposition rows (series name +
+	// value pairs, already label-expanded) to dst.
+	rows(name string, dst []Sample) []Sample
+	// kind is the Prometheus TYPE of the instrument.
+	kind() string
+}
+
+// Sample is one exposed time-series value: a fully-labelled series name
+// and its current value. Histograms expand into multiple samples
+// (_bucket per le, _sum, _count).
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// Default is the process-wide registry. Package-level instrument
+// helpers (GetOrCreateCounter and friends) bind to it, which is what
+// lets one /metrics endpoint expose series from every layer — the ILP
+// core, the supervisor, the server — without plumbing a registry
+// through each of them.
+var Default = NewRegistry()
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) rows(name string, dst []Sample) []Sample {
+	return append(dst, Sample{Name: name, Value: float64(c.v.Load())})
+}
+func (c *Counter) kind() string { return "counter" }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (lock-free CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) rows(name string, dst []Sample) []Sample {
+	return append(dst, Sample{Name: name, Value: g.Value()})
+}
+func (g *Gauge) kind() string { return "gauge" }
+
+// Histogram is a fixed-bucket distribution: observations land in the
+// first bucket whose upper bound is >= the value, plus a +Inf
+// overflow, with a running sum. Buckets are immutable after creation.
+type Histogram struct {
+	uppers  []float64 // ascending upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum (CAS-added)
+}
+
+// DefaultLatencyBuckets is the request-latency ladder shared by the
+// HTTP endpoints: 1ms to 10s, roughly geometric.
+var DefaultLatencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: the ladders here are ~12 buckets, and a branchy scan
+	// over a small array beats binary search in practice.
+	placed := false
+	for i, ub := range h.uppers {
+		if v <= ub {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n + h.inf.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) rows(name string, dst []Sample) []Sample {
+	base, labels := splitSeries(name)
+	bucketName := func(le string) string {
+		if labels == "" {
+			return base + `_bucket{le="` + le + `"}`
+		}
+		return base + `_bucket{` + labels + `,le="` + le + `"}`
+	}
+	cum := int64(0)
+	for i, ub := range h.uppers {
+		cum += h.counts[i].Load()
+		dst = append(dst, Sample{Name: bucketName(formatFloat(ub)), Value: float64(cum)})
+	}
+	cum += h.inf.Load()
+	dst = append(dst, Sample{Name: bucketName("+Inf"), Value: float64(cum)})
+	dst = append(dst, Sample{Name: withLabels(base+"_sum", labels), Value: h.Sum()})
+	dst = append(dst, Sample{Name: withLabels(base+"_count", labels), Value: float64(cum)})
+	return dst
+}
+func (h *Histogram) kind() string { return "histogram" }
+
+// getOrCreate returns the instrument registered under name, creating it
+// with mk on first use. It panics if name is already registered as a
+// different instrument type — that is a programming error, not a
+// runtime condition.
+func (r *Registry) getOrCreate(name string, mk func() metric) metric {
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	if err := validateSeries(name); err != nil {
+		panic(fmt.Sprintf("obs: invalid metric name %q: %v", name, err))
+	}
+	m = mk()
+	r.metrics[name] = m
+	return m
+}
+
+// GetOrCreateCounter returns the counter registered under the full
+// series name, creating it on first use.
+func (r *Registry) GetOrCreateCounter(name string) *Counter {
+	m := r.getOrCreate(name, func() metric { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is a %s, not a counter", name, m.kind()))
+	}
+	return c
+}
+
+// GetOrCreateGauge returns the gauge registered under the full series
+// name, creating it on first use.
+func (r *Registry) GetOrCreateGauge(name string) *Gauge {
+	m := r.getOrCreate(name, func() metric { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is a %s, not a gauge", name, m.kind()))
+	}
+	return g
+}
+
+// GetOrCreateHistogram returns the histogram registered under the full
+// series name, creating it with the given ascending bucket upper bounds
+// on first use (nil = DefaultLatencyBuckets).
+func (r *Registry) GetOrCreateHistogram(name string, buckets []float64) *Histogram {
+	m := r.getOrCreate(name, func() metric {
+		if buckets == nil {
+			buckets = DefaultLatencyBuckets
+		}
+		if !sort.Float64sAreSorted(buckets) || len(buckets) == 0 {
+			panic(fmt.Sprintf("obs: histogram %q buckets must be non-empty ascending", name))
+		}
+		return &Histogram{uppers: append([]float64(nil), buckets...), counts: make([]atomic.Int64, len(buckets))}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is a %s, not a histogram", name, m.kind()))
+	}
+	return h
+}
+
+// GetOrCreateCounter binds to the Default registry.
+func GetOrCreateCounter(name string) *Counter { return Default.GetOrCreateCounter(name) }
+
+// GetOrCreateGauge binds to the Default registry.
+func GetOrCreateGauge(name string) *Gauge { return Default.GetOrCreateGauge(name) }
+
+// GetOrCreateHistogram binds to the Default registry.
+func GetOrCreateHistogram(name string, buckets []float64) *Histogram {
+	return Default.GetOrCreateHistogram(name, buckets)
+}
+
+// Snapshot returns every registered series' current value, sorted by
+// series name. Each individual value is an atomic load; the snapshot as
+// a whole is not a cross-metric transaction (concurrent writers may
+// land between loads), which is the standard Prometheus exposition
+// contract.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]metric, len(names))
+	for i, n := range names {
+		ms[i] = r.metrics[n]
+	}
+	r.mu.RUnlock()
+	var out []Sample
+	for i, n := range names {
+		out = ms[i].rows(n, out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): series grouped by metric family,
+// each family preceded by its # TYPE line.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	byName := make(map[string]metric, len(names))
+	for _, n := range names {
+		byName[n] = r.metrics[n]
+	}
+	r.mu.RUnlock()
+
+	// Group series by family (base name without labels) so each TYPE
+	// comment is emitted once, Prometheus-parser style.
+	type family struct {
+		kind string
+		rows []Sample
+	}
+	fams := make(map[string]*family)
+	order := make([]string, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		m := byName[n]
+		base, _ := splitSeries(n)
+		f, ok := fams[base]
+		if !ok {
+			f = &family{kind: m.kind()}
+			fams[base] = f
+			order = append(order, base)
+		}
+		f.rows = m.rows(n, f.rows)
+	}
+	sort.Strings(order)
+	for _, base := range order {
+		f := fams[base]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.rows {
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitSeries splits a full series name into its base metric name and
+// the label body (without braces); labels is "" when unlabelled.
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func withLabels(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// formatFloat renders a float the way Prometheus text format expects:
+// integers without a decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// validateSeries sanity-checks a full series name at registration: a
+// legal metric identifier, balanced braces, and label bodies of the
+// form k="v" joined by commas. Registration is rare, so this can afford
+// to be thorough; it exists to catch malformed names at the call site
+// that registered them instead of at scrape time.
+func validateSeries(name string) error {
+	base, labels := splitSeries(name)
+	if base == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	if strings.Contains(name, "{") != strings.Contains(name, "}") {
+		return fmt.Errorf("unbalanced braces")
+	}
+	for i, c := range base {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("bad character %q in metric name", c)
+		}
+	}
+	if labels == "" {
+		if strings.Contains(name, "{}") {
+			return fmt.Errorf("empty label set (drop the braces)")
+		}
+		return nil
+	}
+	for _, pair := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("label %q is not k=%q form", pair, "v")
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label %s value must be double-quoted", k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.GetOrCreateCounter("test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.GetOrCreateCounter("test_total"); again != c {
+		t.Fatalf("GetOrCreateCounter did not return the registered instance")
+	}
+
+	g := r.GetOrCreateGauge("test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	g.SetMax(1.0) // below current: no-op
+	g.SetMax(9.0)
+	if got := g.Value(); got != 9.0 {
+		t.Fatalf("gauge after SetMax = %v, want 9", got)
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetOrCreateHistogram(`test_seconds{endpoint="submit"}`, []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 55.55 {
+		t.Fatalf("sum = %v, want 55.55", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{endpoint="submit",le="0.1"} 1`,
+		`test_seconds_bucket{endpoint="submit",le="1"} 2`,
+		`test_seconds_bucket{endpoint="submit",le="10"} 3`,
+		`test_seconds_bucket{endpoint="submit",le="+Inf"} 4`,
+		`test_seconds_count{endpoint="submit"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateCounter(`http_requests_total{endpoint="submit",status="202"}`).Add(3)
+	r.GetOrCreateCounter(`http_requests_total{endpoint="submit",status="429"}`).Add(1)
+	r.GetOrCreateGauge("queue_depth").Set(7)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// One TYPE line per family, not per series.
+	if n := strings.Count(out, "# TYPE http_requests_total counter"); n != 1 {
+		t.Errorf("want exactly one TYPE line for the family, got %d in:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`http_requests_total{endpoint="submit",status="202"} 3`,
+		`http_requests_total{endpoint="submit",status="429"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateCounter("zzz_total").Inc()
+	r.GetOrCreateCounter("aaa_total").Add(2)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d samples, want 2", len(snap))
+	}
+	if snap[0].Name != "aaa_total" || snap[0].Value != 2 {
+		t.Fatalf("snapshot[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "zzz_total" || snap[1].Value != 1 {
+		t.Fatalf("snapshot[1] = %+v", snap[1])
+	}
+}
+
+func TestValidateSeries(t *testing.T) {
+	good := []string{
+		"a_total",
+		`a_total{k="v"}`,
+		`deesim_http_requests_total{endpoint="submit",status="202"}`,
+	}
+	for _, n := range good {
+		if err := validateSeries(n); err != nil {
+			t.Errorf("validateSeries(%q) = %v, want nil", n, err)
+		}
+	}
+	bad := []string{
+		"",
+		"9starts_with_digit",
+		"has space",
+		"x{unclosed",
+		"x{}",
+		`x{k=unquoted}`,
+		`x{noequals}`,
+	}
+	for _, n := range bad {
+		if err := validateSeries(n); err == nil {
+			t.Errorf("validateSeries(%q) = nil, want error", n)
+		}
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GetOrCreateCounter("mixed")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter name should panic")
+		}
+	}()
+	r.GetOrCreateGauge("mixed")
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from concurrent counter,
+// gauge, and histogram writers — including first-touch registrations —
+// while snapshot and exposition readers run. Its job is to fail under
+// `go test -race` if any instrument or the registry map is unsafe, and
+// to verify no writes are lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		iters   = 2000
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Exposition + snapshot readers run for the whole test.
+	for i := 0; i < 2; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				_ = r.Snapshot()
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < iters; i++ {
+				r.GetOrCreateCounter("race_ops_total").Inc()
+				r.GetOrCreateGauge("race_depth").Set(float64(i))
+				r.GetOrCreateGauge("race_high_water").SetMax(float64(w*iters + i))
+				r.GetOrCreateHistogram("race_seconds", []float64{0.01, 0.1, 1}).Observe(float64(i%200) / 100)
+			}
+		}(w)
+	}
+
+	// Wait for the writers, then stop the readers.
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := r.GetOrCreateCounter("race_ops_total").Value(); got != writers*iters {
+		t.Fatalf("lost counter increments: %d, want %d", got, writers*iters)
+	}
+	h := r.GetOrCreateHistogram("race_seconds", nil)
+	if got := h.Count(); got != writers*iters {
+		t.Fatalf("lost histogram observations: %d, want %d", got, writers*iters)
+	}
+	if hw := r.GetOrCreateGauge("race_high_water").Value(); hw != float64(writers*iters-1) {
+		t.Fatalf("high-water = %v, want %v", hw, writers*iters-1)
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Sweep tracing: a Tracer collects lightweight spans — one per matrix
+// cell, per workload build, per replay batch — and serializes them to
+// the Chrome trace-event JSON format, loadable directly in
+// chrome://tracing or https://ui.perfetto.dev. Spans carry a lane id
+// (tid) so the worker-pool structure of a sweep is visible: each
+// supervisor worker renders as one horizontal track.
+//
+// A nil *Tracer is valid and free: every method no-ops, so
+// instrumented code needs no "is tracing on?" branches. Tracers travel
+// via context (WithTracer / TracerFrom), never as parameters.
+
+// traceEvent is one Chrome trace-event object. Only the "X" (complete)
+// and "i" (instant) phases are emitted.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds since trace start
+	Dur   float64        `json:"dur,omitempty"` // microseconds (X only)
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Tracer accumulates trace events in memory. Safe for concurrent use.
+type Tracer struct {
+	t0     time.Time
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// NewTracer starts an empty trace whose clock begins now.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now()}
+}
+
+// Span opens a span named name on lane tid and returns its closer; call
+// the closer when the spanned work finishes. args may be nil.
+func (t *Tracer) Span(name string, tid int, args map[string]any) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Since(t.t0)
+	return func() {
+		end := time.Since(t.t0)
+		t.mu.Lock()
+		t.events = append(t.events, traceEvent{
+			Name:  name,
+			Phase: "X",
+			TS:    float64(start.Microseconds()),
+			Dur:   float64((end - start).Microseconds()),
+			PID:   1,
+			TID:   tid,
+			Args:  args,
+		})
+		t.mu.Unlock()
+	}
+}
+
+// Instant records a zero-duration marker (retries, shed requests) on
+// lane tid.
+func (t *Tracer) Instant(name string, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		Name:  name,
+		Phase: "i",
+		TS:    float64(now.Microseconds()),
+		PID:   1,
+		TID:   tid,
+		Scope: "t",
+		Args:  args,
+	})
+	t.mu.Unlock()
+}
+
+// Len reports how many events have been recorded.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON serializes the trace as a Chrome trace-event file:
+// {"traceEvents": [...]}, the object form Perfetto and chrome://tracing
+// both accept.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}{events})
+}
+
+// WriteFile writes the trace JSON to path (0644, truncating).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+type tracerKey struct{}
+
+// WithTracer returns ctx carrying the tracer for TracerFrom.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil (whose methods all
+// no-op) when tracing is off.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSpansSerialize(t *testing.T) {
+	tr := NewTracer()
+	end := tr.Span("cell xlisp/cps|SP|ET=8", 2, map[string]any{"model": "SP"})
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Instant("retry", 2, nil)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	span := doc.TraceEvents[0]
+	if span.Phase != "X" || span.TID != 2 || span.Dur <= 0 {
+		t.Errorf("span event malformed: %+v", span)
+	}
+	if span.Args["model"] != "SP" {
+		t.Errorf("span args lost: %+v", span.Args)
+	}
+	if inst := doc.TraceEvents[1]; inst.Phase != "i" || inst.Name != "retry" {
+		t.Errorf("instant event malformed: %+v", inst)
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	end := tr.Span("anything", 0, nil) // must not panic
+	end()
+	tr.Instant("x", 0, nil)
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "traceEvents") {
+		t.Fatalf("nil tracer JSON = %q", b.String())
+	}
+}
+
+func TestTracerContextAndConcurrency(t *testing.T) {
+	ctx := context.Background()
+	if TracerFrom(ctx) != nil {
+		t.Fatal("empty context should carry a nil tracer")
+	}
+	tr := NewTracer()
+	ctx = WithTracer(ctx, tr)
+	if TracerFrom(ctx) != tr {
+		t.Fatal("tracer did not round-trip through the context")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				TracerFrom(ctx).Span("s", w, nil)()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 8*200 {
+		t.Fatalf("lost events: %d, want %d", tr.Len(), 8*200)
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// VersionInfo is the build identity every binary reports via -version
+// and deesimd additionally serves at GET /versionz.
+type VersionInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`            // module version ("(devel)" for local builds)
+	Revision  string `json:"revision,omitempty"` // vcs.revision, when stamped
+	VCSTime   string `json:"vcs_time,omitempty"` // vcs.time, when stamped
+	Dirty     bool   `json:"dirty,omitempty"`    // vcs.modified
+	GoVersion string `json:"go_version"`
+}
+
+// Version reads the build identity from runtime/debug.ReadBuildInfo.
+// Works in any build mode; fields missing from the build info (e.g. vcs
+// stamps in `go test` binaries) are left empty.
+func Version() VersionInfo {
+	v := VersionInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.Module = bi.Main.Path
+	v.Version = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = shortRev(s.Value)
+		case "vcs.time":
+			v.VCSTime = s.Value
+		case "vcs.modified":
+			v.Dirty = s.Value == "true"
+		}
+	}
+	return v
+}
+
+// shortRev shortens a vcs.revision build setting to 12 characters.
+func shortRev(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}
+
+// String renders the one-line -version output, e.g.
+// "deesim version (devel) go1.24.0 rev 0360bca [dirty]".
+func (v VersionInfo) String() string {
+	s := v.Version
+	if s == "" {
+		s = "(unknown)"
+	}
+	s += " " + v.GoVersion
+	if v.Revision != "" {
+		s += " rev " + v.Revision
+	}
+	if v.Dirty {
+		s += " [dirty]"
+	}
+	return s
+}
+
+// PrintVersion writes "<name> version <info>" to w — the shared body of
+// every binary's -version flag.
+func PrintVersion(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s version %s\n", name, Version())
+}

@@ -4,10 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
+	"time"
 
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 )
 
@@ -23,38 +27,113 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/jobs/{id}/result completed job's result tables (JSON)
 //	GET  /healthz             liveness (200 while the process serves)
 //	GET  /readyz              readiness (503 while draining)
+//	GET  /metrics             Prometheus text exposition of the registry
+//	GET  /versionz            build/version info (JSON)
+//	GET  /debug/pprof/*       profiling (only when Config.Pprof is set)
 //
-// Every route runs behind panic isolation and a per-request deadline;
-// errors are JSON bodies {"error": ..., "kind": ...} whose kind names a
-// runx kind and whose status follows runx.Kind.HTTPStatus.
+// Every route runs behind panic isolation, a per-request deadline, and
+// the access-log/metrics middleware; errors are JSON bodies {"error":
+// ..., "kind": ...} whose kind names a runx kind and whose status
+// follows runx.Kind.HTTPStatus.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.wrap(s.handleSubmit))
-	mux.HandleFunc("GET /v1/jobs", s.wrap(s.handleList))
-	mux.HandleFunc("GET /v1/jobs/{id}", s.wrap(s.handleStatus))
-	mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap(s.handleResult))
-	mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
-	mux.HandleFunc("GET /readyz", s.wrap(s.handleReadyz))
+	mux.HandleFunc("POST /v1/jobs", s.wrap("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.wrap("list", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.wrap("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap("result", s.handleResult))
+	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /versionz", s.wrap("versionz", s.handleVersionz))
+	if s.cfg.Pprof {
+		// Registered without wrap: a CPU profile legitimately outlives
+		// the API request deadline, and pprof output is not JSON.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// wrap is the per-request robustness middleware: a deadline on the
-// request context (the same cancellation surface runx-hardened code
-// checks) and panic isolation, so one bad handler invocation is a 500,
-// not a dead daemon.
-func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+// statusRecorder captures the response status for the access log and
+// the request counters. A handler that never calls WriteHeader has
+// implicitly answered 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// accessEntry rides the request context so handlers can attach fields
+// the middleware cannot know — today just the job id a submission was
+// assigned. The middleware owns the struct; handlers only fill it.
+type accessEntry struct {
+	jobID string
+}
+
+type accessKey struct{}
+
+// setAccessJobID records the job id on the request's access-log entry.
+func setAccessJobID(ctx context.Context, id string) {
+	if e, ok := ctx.Value(accessKey{}).(*accessEntry); ok {
+		e.jobID = id
+	}
+}
+
+// wrap is the per-request middleware: a deadline on the request
+// context (the same cancellation surface runx-hardened code checks),
+// panic isolation (one bad handler invocation is a 500, not a dead
+// daemon), per-endpoint request counters and latency histograms, and
+// exactly one structured access-log line per request — shed (429) and
+// drain (503) responses included, since they matter most when
+// operators are staring at the log.
+func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		entry := &accessEntry{jobID: r.PathValue("id")}
+		ctx = context.WithValue(ctx, accessKey{}, entry)
 		r = r.WithContext(ctx)
+		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
-			if rec := recover(); rec != nil {
-				err := runx.FromPanic(rec, "server."+r.Method+" "+r.URL.Path)
+			if p := recover(); p != nil {
+				err := runx.FromPanic(p, "server."+r.Method+" "+r.URL.Path)
 				s.cfg.Logf("deesimd: %v", err)
-				s.writeError(w, err)
+				s.writeError(rec, err)
 			}
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			d := time.Since(start)
+			s.met.httpRequest(endpoint, rec.status, d)
+			attrs := []slog.Attr{
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("duration", d),
+			}
+			if entry.jobID != "" {
+				attrs = append(attrs, slog.String("job", entry.jobID))
+			}
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http request", attrs...)
 		}()
-		h(w, r)
+		h(rec, r)
 	}
 }
 
@@ -75,6 +154,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	setAccessJobID(r.Context(), st.ID)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
@@ -129,6 +209,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format. With the default registry this is the whole process in one
+// scrape: simulator core, supervisor, and server series.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.met.reg.WritePrometheus(w) // header written; a failed write has no recourse
+}
+
+func (s *Server) handleVersionz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Version())
 }
 
 // errorBody is the structured error envelope every non-2xx response

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"strconv"
+	"time"
+
+	"deesim/internal/obs"
+)
+
+// serverMetrics bundles the daemon's instrument handles. All handles
+// come from one registry — obs.Default in production, so the /metrics
+// endpoint exposes the whole process (simulator core, supervisor, and
+// server series in one scrape); a private registry under test, so
+// parallel server tests do not fight over shared gauges.
+type serverMetrics struct {
+	reg *obs.Registry
+
+	queueDepth *obs.Gauge // jobs accepted but not yet running
+	inflight   *obs.Gauge // jobs currently executing
+
+	accepted    *obs.Counter
+	sheds       *obs.Counter // 429: admission queue full
+	drainSheds  *obs.Counter // 503: draining
+	jobsDone    *obs.Counter
+	jobsFailed  *obs.Counter
+	jobsIntr    *obs.Counter // interrupted (resume on restart)
+	jobsResumed *obs.Counter // re-queued by crash recovery
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &serverMetrics{
+		reg:         reg,
+		queueDepth:  reg.GetOrCreateGauge("deesim_server_queue_depth"),
+		inflight:    reg.GetOrCreateGauge("deesim_server_jobs_inflight"),
+		accepted:    reg.GetOrCreateCounter("deesim_server_jobs_accepted_total"),
+		sheds:       reg.GetOrCreateCounter("deesim_server_sheds_total"),
+		drainSheds:  reg.GetOrCreateCounter("deesim_server_drain_sheds_total"),
+		jobsDone:    reg.GetOrCreateCounter("deesim_server_jobs_done_total"),
+		jobsFailed:  reg.GetOrCreateCounter("deesim_server_jobs_failed_total"),
+		jobsIntr:    reg.GetOrCreateCounter("deesim_server_jobs_interrupted_total"),
+		jobsResumed: reg.GetOrCreateCounter("deesim_server_jobs_resumed_total"),
+	}
+}
+
+// httpRequest records one served request. Endpoint is the route name
+// (a closed set fixed by Handler, never the raw URL path) and status
+// an HTTP code, so the label space is small and bounded — the
+// cardinality rule the whole metric scheme follows.
+func (m *serverMetrics) httpRequest(endpoint string, status int, d time.Duration) {
+	m.reg.GetOrCreateCounter(
+		`deesim_http_requests_total{endpoint="` + endpoint + `",status="` + strconv.Itoa(status) + `"}`).Inc()
+	m.reg.GetOrCreateHistogram(
+		`deesim_http_request_duration_seconds{endpoint="`+endpoint+`"}`, obs.DefaultLatencyBuckets).
+		Observe(d.Seconds())
+}

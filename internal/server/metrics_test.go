@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deesim/internal/obs"
+)
+
+// scrapeMetrics fetches /metrics and parses the Prometheus text format
+// into full-series-name -> value.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, body := getJSON(t, base+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: HTTP %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("/metrics: unparsable line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("/metrics: bad value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsEndpointDuringSweep is the live-sweep exposition test: a
+// paced job runs while /metrics is scraped, and the simulator-core and
+// admission-queue series must be present and advancing. The server
+// uses the default registry here, proving one scrape spans every
+// layer (sim core, supervisor, server, HTTP).
+func TestMetricsEndpointDuringSweep(t *testing.T) {
+	_, hs := newTestServer(t, Config{CellJobs: 1})
+	sp := smokeSpec()
+	sp.CellDelay = "150ms" // pace the 4 cells so a mid-sweep scrape is reliable
+	resp, body := postJSON(t, hs.URL+"/v1/jobs", sp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until at least one cell finished but the job is still running.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body := getJSON(t, hs.URL+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status: HTTP %d: %s", resp.StatusCode, body)
+		}
+		var cur JobStatus
+		if err := json.Unmarshal(body, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.CellsDone >= 1 && cur.State == StateRunning {
+			break
+		}
+		if cur.State == StateDone || cur.State == StateFailed {
+			t.Fatalf("job finished (%s) before a mid-sweep scrape; raise CellDelay", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never progressed: %+v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mid := scrapeMetrics(t, hs.URL)
+	if len(mid) < 15 {
+		t.Fatalf("mid-sweep scrape has %d series, want >= 15", len(mid))
+	}
+	// Core series must exist and show live work: the simulator has
+	// burned cycles, the supervisor has started cells, the admission
+	// path has accepted the job.
+	for _, name := range []string{
+		"deesim_sim_cycles_total",
+		"deesim_sim_runs_total",
+		"deesim_sim_instructions_issued_total",
+		"deesim_superv_tasks_started_total",
+		"deesim_superv_journal_fsyncs_total",
+		"deesim_server_jobs_accepted_total",
+	} {
+		if mid[name] <= 0 {
+			t.Errorf("mid-sweep %s = %v, want > 0", name, mid[name])
+		}
+	}
+	if _, ok := mid["deesim_server_queue_depth"]; !ok {
+		t.Error("mid-sweep scrape missing deesim_server_queue_depth")
+	}
+	if mid["deesim_server_jobs_inflight"] != 1 {
+		t.Errorf("mid-sweep jobs_inflight = %v, want 1", mid["deesim_server_jobs_inflight"])
+	}
+
+	waitState(t, hs.URL, st.ID, StateDone, 30*time.Second)
+	final := scrapeMetrics(t, hs.URL)
+	// Counters are monotone and must have advanced over the rest of the
+	// sweep (>= 3 more cells ran after the mid-sweep scrape).
+	for _, name := range []string{
+		"deesim_sim_cycles_total",
+		"deesim_superv_tasks_done_total",
+	} {
+		if final[name] <= mid[name] {
+			t.Errorf("%s did not advance during the sweep: mid %v, final %v", name, mid[name], final[name])
+		}
+	}
+	// The scrapes themselves are requests. The middleware counts a
+	// request after its response is written, so the final scrape sees
+	// the mid-sweep one but not itself.
+	reqSeries := `deesim_http_requests_total{endpoint="metrics",status="200"}`
+	if final[reqSeries] < 1 {
+		t.Errorf("%s = %v, want >= 1", reqSeries, final[reqSeries])
+	}
+	if final[`deesim_http_request_duration_seconds_count{endpoint="status"}`] <= 0 {
+		t.Error("status-endpoint latency histogram never observed a request")
+	}
+}
+
+// syncBuffer serializes writes: the access logger is hit from HTTP
+// handler goroutines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// accessLine is the JSON shape of one structured access-log record.
+type accessLine struct {
+	Msg      string `json:"msg"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Status   int    `json:"status"`
+	Duration any    `json:"duration"`
+	Job      string `json:"job"`
+}
+
+// TestAccessLogOnePerRequest proves every request — including shed
+// (429) and drain (503) responses — produces exactly one structured
+// access-log line carrying method, path, status, duration, and job id.
+func TestAccessLogOnePerRequest(t *testing.T) {
+	buf := &syncBuffer{}
+	logger := obs.NewLogger(buf, slog.LevelInfo, true)
+	s, hs := newTestServer(t, Config{
+		Logger:     logger,
+		Metrics:    obs.NewRegistry(),
+		QueueDepth: 1,
+		Workers:    1,
+		CellJobs:   1,
+	})
+
+	// A paced job occupies the worker; the queue then fills and sheds.
+	sp := smokeSpec()
+	sp.CellDelay = "80ms"
+	resp, body := postJSON(t, hs.URL+"/v1/jobs", sp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the 1-deep queue, then force a shed.
+	shed := 0
+	for i := 0; i < 4 && shed == 0; i++ {
+		if resp, _ := postJSON(t, hs.URL+"/v1/jobs", smokeSpec()); resp.StatusCode == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("queue never shed with depth 1")
+	}
+	getJSON(t, hs.URL+"/healthz")
+	getJSON(t, hs.URL+"/v1/jobs/"+st.ID)
+
+	var lines []accessLine
+	requests := 0
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l accessLine
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("unparsable log line %q: %v", raw, err)
+		}
+		if l.Msg != "http request" {
+			continue
+		}
+		requests++
+		lines = append(lines, l)
+		if l.Method == "" || l.Path == "" || l.Status == 0 || l.Duration == nil {
+			t.Errorf("access line missing fields: %+v", l)
+		}
+	}
+	find := func(status int, path string) *accessLine {
+		for i := range lines {
+			if lines[i].Status == status && strings.HasPrefix(lines[i].Path, path) {
+				return &lines[i]
+			}
+		}
+		return nil
+	}
+	if l := find(202, "/v1/jobs"); l == nil {
+		t.Error("no access line for the accepted submission")
+	} else if l.Job != st.ID {
+		t.Errorf("202 access line job = %q, want %q", l.Job, st.ID)
+	}
+	if find(429, "/v1/jobs") == nil {
+		t.Error("no access line for the shed (429) submission")
+	}
+	if find(200, "/healthz") == nil {
+		t.Error("no access line for /healthz")
+	}
+	if l := find(200, "/v1/jobs/"+st.ID); l == nil {
+		t.Error("no access line for the status request")
+	} else if l.Job != st.ID {
+		t.Errorf("status access line job = %q, want %q", l.Job, st.ID)
+	}
+
+	// Drain, then prove the 503 shed is access-logged too.
+	waitState(t, hs.URL, st.ID, StateDone, 30*time.Second)
+	drainDone := make(chan struct{})
+	go func() { s.Drain(context.Background()); close(drainDone) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resp, _ := postJSON(t, hs.URL+"/v1/jobs", smokeSpec()); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+	<-drainDone
+	found503 := false
+	for _, raw := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var l accessLine
+		if json.Unmarshal([]byte(raw), &l) == nil && l.Msg == "http request" && l.Status == 503 {
+			found503 = true
+		}
+	}
+	if !found503 {
+		t.Error("no access line for the drain (503) submission")
+	}
+}
+
+// TestVersionzEndpoint checks the build-info route serves JSON with a
+// Go version in it.
+func TestVersionzEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{Metrics: obs.NewRegistry()})
+	resp, body := getJSON(t, hs.URL+"/versionz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/versionz: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var v obs.VersionInfo
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("/versionz body unparsable: %v: %s", err, body)
+	}
+	if v.GoVersion == "" {
+		t.Errorf("/versionz reports no Go version: %s", body)
+	}
+}
+
+// TestPprofOptIn proves /debug/pprof/ is absent by default and present
+// with Config.Pprof.
+func TestPprofOptIn(t *testing.T) {
+	_, hs := newTestServer(t, Config{Metrics: obs.NewRegistry()})
+	if resp, _ := getJSON(t, hs.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: HTTP %d, want 404", resp.StatusCode)
+	}
+	_, hs2 := newTestServer(t, Config{Metrics: obs.NewRegistry(), Pprof: true})
+	if resp, _ := getJSON(t, hs2.URL+"/debug/pprof/"); resp.StatusCode != 200 {
+		t.Errorf("pprof on: HTTP %d, want 200", resp.StatusCode)
+	}
+}

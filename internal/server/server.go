@@ -28,6 +28,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"deesim/internal/experiments"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
 )
@@ -79,6 +81,16 @@ type Config struct {
 	Backoff time.Duration
 	// Logf, if non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// Logger, if non-nil, receives the structured access log — one line
+	// per HTTP request, shed and drain responses included. Nil discards.
+	Logger *slog.Logger
+	// Metrics is the registry server series register on; nil means
+	// obs.Default, so one /metrics scrape covers every layer of the
+	// process. Tests pass private registries to isolate their gauges.
+	Metrics *obs.Registry
+	// Pprof enables the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: profiling endpoints are debug surface, not API.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +120,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Discard
 	}
 	return c
 }
@@ -142,6 +157,7 @@ type JobStatus struct {
 // Close (hard, for tests).
 type Server struct {
 	cfg        Config
+	met        *serverMetrics
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -175,6 +191,7 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		met:        newServerMetrics(cfg.Metrics),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
@@ -190,8 +207,10 @@ func New(cfg Config) (*Server, error) {
 	s.queue = make(chan *job, cfg.QueueDepth+len(pending)+cfg.Workers)
 	for _, jb := range pending {
 		s.waiting++
+		s.met.jobsResumed.Inc()
 		s.queue <- jb
 	}
+	s.met.queueDepth.Set(float64(s.waiting))
 	return s, nil
 }
 
@@ -275,6 +294,8 @@ func (s *Server) worker() {
 		jb.cellsDone = 0
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		s.running[jb.id] = cancel
+		s.met.queueDepth.Set(float64(s.waiting))
+		s.met.inflight.Set(float64(len(s.running)))
 		s.mu.Unlock()
 
 		err := s.runJob(ctx, jb)
@@ -292,6 +313,9 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 			err = runx.FromPanic(r, "server.runJob")
 		}
 	}()
+	// Thread the job id through the context so any structured log line
+	// emitted under this sweep carries it.
+	ctx = obs.WithJobID(ctx, jb.id)
 	ws, cfg, err := jb.spec.resolve()
 	if err != nil {
 		return err
@@ -400,9 +424,11 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 func (s *Server) finishJob(jb *job, err error) {
 	s.mu.Lock()
 	delete(s.running, jb.id)
+	s.met.inflight.Set(float64(len(s.running)))
 	if err == nil {
 		jb.state = StateDone
 		s.mu.Unlock()
+		s.met.jobsDone.Inc()
 		s.cfg.Logf("deesimd: job %s: done (%d cells)", jb.id, jb.cellsTotal)
 		return
 	}
@@ -413,12 +439,14 @@ func (s *Server) finishJob(jb *job, err error) {
 	if runx.IsKind(err, runx.KindCanceled) {
 		jb.state = StateInterrupted
 		s.mu.Unlock()
+		s.met.jobsIntr.Inc()
 		s.cfg.Logf("deesimd: job %s: interrupted, journaled for resume: %v", jb.id, err)
 		return
 	}
 	jb.state = StateFailed
 	kind := jb.errKind
 	s.mu.Unlock()
+	s.met.jobsFailed.Inc()
 	s.cfg.Logf("deesimd: job %s: failed permanently: %v", jb.id, err)
 	data, _ := json.Marshal(struct {
 		Error string `json:"error"`
@@ -439,10 +467,12 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.met.drainSheds.Inc()
 		return nil, runx.Newf(runx.KindUnavailable, stageServer, "draining: not accepting new jobs")
 	}
 	if s.waiting >= s.cfg.QueueDepth {
 		s.mu.Unlock()
+		s.met.sheds.Inc()
 		return nil, runx.Newf(runx.KindOverload, stageServer,
 			"admission queue full (%d waiting); retry after %s", s.cfg.QueueDepth, s.cfg.RetryAfter)
 	}
@@ -452,6 +482,7 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	s.jobs[id] = jb
 	s.order = append(s.order, id)
 	s.waiting++
+	s.met.queueDepth.Set(float64(s.waiting))
 	s.mu.Unlock()
 
 	// Durability before acknowledgment: the spec reaches disk (fsync +
@@ -468,6 +499,7 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 		delete(s.jobs, id)
 		s.order = s.order[:len(s.order)-1]
 		s.waiting--
+		s.met.queueDepth.Set(float64(s.waiting))
 		s.mu.Unlock()
 		return nil, runx.Newf(runx.KindCorrupt, stageServer, "persist job %s: %w", id, err)
 	}
@@ -480,6 +512,7 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	// disk and the next process resumes it — accepted is accepted.
 	st := statusLocked(jb)
 	s.mu.Unlock()
+	s.met.accepted.Inc()
 	s.cfg.Logf("deesimd: job %s: accepted (%d cells)", id, jb.cellsTotal)
 	return st, nil
 }

@@ -366,10 +366,10 @@ func TestPanicIsolationPerRequest(t *testing.T) {
 	}
 	defer s.Close()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /boom", s.wrap(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /boom", s.wrap("boom", func(w http.ResponseWriter, r *http.Request) {
 		panic("handler exploded")
 	}))
-	mux.HandleFunc("GET /ok", s.wrap(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /ok", s.wrap("ok", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, 200, map[string]string{"status": "ok"})
 	}))
 	hs := httptest.NewServer(mux)

@@ -122,6 +122,8 @@ func (j *Journal) Append(rec Record) error {
 	if err := j.f.Sync(); err != nil {
 		return runx.Newf(runx.KindCorrupt, stageJournal, "fsync %s: %w", j.path, err)
 	}
+	mJournalRecords.Inc()
+	mJournalFsyncs.Inc()
 	return nil
 }
 

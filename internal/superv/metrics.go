@@ -1,0 +1,18 @@
+package superv
+
+import "deesim/internal/obs"
+
+// Supervisor telemetry, on the obs default registry. Instrument writes
+// happen at task granularity (start/done/retry/replay) and per journal
+// fsync — never inside a task's own compute — so the overhead is noise
+// next to the cells being supervised.
+var (
+	mTasksStarted   = obs.GetOrCreateCounter("deesim_superv_tasks_started_total")
+	mTasksDone      = obs.GetOrCreateCounter("deesim_superv_tasks_done_total")
+	mTasksReplayed  = obs.GetOrCreateCounter("deesim_superv_tasks_replayed_total")
+	mRetries        = obs.GetOrCreateCounter("deesim_superv_retries_total")
+	mBackoffSleeps  = obs.GetOrCreateCounter("deesim_superv_backoff_sleeps_total")
+	mBackoffMs      = obs.GetOrCreateCounter("deesim_superv_backoff_sleep_ms_total")
+	mJournalFsyncs  = obs.GetOrCreateCounter("deesim_superv_journal_fsyncs_total")
+	mJournalRecords = obs.GetOrCreateCounter("deesim_superv_journal_records_total")
+)

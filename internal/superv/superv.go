@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 )
 
@@ -156,6 +157,7 @@ func Run(ctx context.Context, tasks []Task, cfg Config) error {
 		// narrowed matrix on resume) — merging code simply never asks for it.
 		for _, t := range tasks {
 			if res, ok := cfg.Prior.Done[t.Key]; ok {
+				mTasksReplayed.Inc()
 				if cfg.OnDone != nil {
 					cfg.OnDone(t.Key, res, true)
 				}
@@ -185,15 +187,17 @@ func Run(ctx context.Context, tasks []Task, cfg Config) error {
 	queue := make(chan Task)
 	for w := 0; w < cfg.Jobs; w++ {
 		wg.Add(1)
-		go func() {
+		// Worker index w is the task's trace lane (tid), so a sweep's
+		// Chrome trace renders one horizontal track per pool worker.
+		go func(w int) {
 			defer wg.Done()
 			for t := range queue {
-				if err := runTask(ctx, t, cfg, &emitMu); err != nil {
+				if err := runTask(ctx, t, cfg, &emitMu, w); err != nil {
 					fail(err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for _, t := range todo {
@@ -215,8 +219,10 @@ feed:
 	return firstErr
 }
 
-// runTask drives one task through its attempt/retry loop.
-func runTask(ctx context.Context, t Task, cfg Config, emitMu *sync.Mutex) error {
+// runTask drives one task through its attempt/retry loop. lane is the
+// worker index, used as the trace tid.
+func runTask(ctx context.Context, t Task, cfg Config, emitMu *sync.Mutex, lane int) error {
+	tracer := obs.TracerFrom(ctx)
 	for attempt := 1; ; attempt++ {
 		if err := runx.CtxErr(ctx, stageRun); err != nil {
 			return runx.Annotate(err, t.Key)
@@ -226,8 +232,12 @@ func runTask(ctx context.Context, t Task, cfg Config, emitMu *sync.Mutex) error 
 				return err
 			}
 		}
+		mTasksStarted.Inc()
+		endSpan := tracer.Span(t.Key, lane+1, map[string]any{"attempt": attempt})
 		payload, err := runAttempt(ctx, t)
+		endSpan()
 		if err == nil {
+			mTasksDone.Inc()
 			if cfg.Journal != nil {
 				if jerr := cfg.Journal.Append(Record{Kind: KindDone, Key: t.Key, Attempt: attempt, Result: payload}); jerr != nil {
 					return jerr
@@ -255,10 +265,16 @@ func runTask(ctx context.Context, t Task, cfg Config, emitMu *sync.Mutex) error 
 			return err
 		}
 		delay := cfg.Retry.Delay(t.Key, attempt+1)
+		mRetries.Inc()
+		tracer.Instant("retry "+t.Key, lane+1, map[string]any{"attempt": attempt + 1, "delay": delay.String()})
 		if cfg.OnRetry != nil {
 			emitMu.Lock()
 			cfg.OnRetry(t.Key, attempt+1, delay, err)
 			emitMu.Unlock()
+		}
+		if delay > 0 {
+			mBackoffSleeps.Inc()
+			mBackoffMs.Add(delay.Milliseconds())
 		}
 		if serr := cfg.sleep(ctx, delay); serr != nil {
 			return runx.Annotate(serr, t.Key)
