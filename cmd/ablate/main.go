@@ -112,6 +112,10 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ablate:", err)
 		}
 	}()
+	stopFlush := obsFlags.FlushOnSignal(func(format string, args ...any) {
+		fmt.Fprintf(stderr, "ablate: "+format+"\n", args...)
+	})
+	defer stopFlush()
 	deadlockLimit = *dlFlag
 	if *journalFlag != "" && *resumeFlag != "" {
 		return fail(fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the journal it is given)"))

@@ -125,6 +125,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "deesim:", err)
 		}
 	}()
+	// Flush telemetry at first SIGINT/SIGTERM, not only on clean exit: a
+	// second signal (or a kill mid-drain) skips the deferred writers, and
+	// an interrupted sweep's metrics and trace are exactly the runs worth
+	// examining. The trace flusher is registered below once -trace-out
+	// has a tracer.
+	var traceFlush func() error
+	stopFlush := obsFlags.FlushOnSignal(func(format string, args ...any) {
+		fmt.Fprintf(stderr, "deesim: "+format+"\n", args...)
+	}, func() error {
+		if traceFlush != nil {
+			return traceFlush()
+		}
+		return nil
+	})
+	defer stopFlush()
 
 	if *benchOut != "" || *benchBaseline != "" {
 		ctx, stop := runx.MainContext(*timeoutFlag)
@@ -195,6 +210,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *traceOut != "" {
 		tracer := obs.NewTracer()
 		ctx = obs.WithTracer(ctx, tracer)
+		traceFlush = func() error { return tracer.WriteFile(*traceOut) }
 		defer func() {
 			if err := tracer.WriteFile(*traceOut); err != nil {
 				fmt.Fprintln(stderr, "deesim: write trace:", err)

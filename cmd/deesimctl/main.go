@@ -18,6 +18,17 @@
 //	result <id>            print a completed job's result tables (JSON)
 //	wait <id>              poll until the job completes, then print status
 //	health                 probe /healthz and /readyz; exit non-zero if not ready
+//	fleet                  print a coordinator's worker registry (point
+//	                       -server at deesim-coord)
+//	submit-distributed <spec.json|->  submit a sweep to a deesim-coord
+//	                       coordinator for fleet execution; identical
+//	                       wire shape to submit, spelled separately so
+//	                       scripts say what they mean
+//
+// wait polls adaptively: a healthy daemon is polled at -poll, but
+// consecutive failures back the cadence off exponentially — honoring
+// any Retry-After the server sends — capped so recovery is still
+// noticed promptly.
 //
 // Exit codes follow the runx kind contract (internal/runx/cli.go): 0
 // success, 2 usage, 10 shed by overload, 11 server unavailable, 4
@@ -70,8 +81,12 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "deesimctl:", err)
 		}
 	}()
+	stopFlush := obsFlags.FlushOnSignal(func(format string, args ...any) {
+		fmt.Fprintf(stderr, "deesimctl: "+format+"\n", args...)
+	})
+	defer stopFlush()
 	if fs.NArg() < 1 {
-		fmt.Fprintln(stderr, "deesimctl: missing command (submit, status, list, result, wait, health)")
+		fmt.Fprintln(stderr, "deesimctl: missing command (submit, submit-distributed, status, list, result, wait, health, fleet)")
 		fs.Usage()
 		return runx.ExitUsage
 	}
@@ -100,7 +115,7 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	switch cmd := fs.Arg(0); cmd {
-	case "submit":
+	case "submit", "submit-distributed":
 		path, err := needArg("spec.json")
 		if err != nil {
 			return fail(err)
@@ -122,7 +137,11 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "deesimctl: job %s accepted (%d cells)\n", st.ID, st.CellsTotal)
+		noun := "job"
+		if cmd == "submit-distributed" {
+			noun = "distributed sweep"
+		}
+		fmt.Fprintf(stderr, "deesimctl: %s %s accepted (%d cells)\n", noun, st.ID, st.CellsTotal)
 		if !*waitFlag {
 			fmt.Fprintln(stdout, st.ID)
 			return runx.ExitOK
@@ -179,6 +198,14 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		emit(st)
+		return runx.ExitOK
+
+	case "fleet":
+		raw, err := c.Fleet(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		stdout.Write(append(raw, '\n'))
 		return runx.ExitOK
 
 	case "health":

@@ -8,21 +8,34 @@
 //
 //	deesimd [-addr 127.0.0.1:8425] [-addr-file path] [-state dir]
 //	        [-queue N] [-workers N] [-cell-jobs N]
+//	        [-cell-slots N] [-cell-timeout d]
+//	        [-coord url] [-self-url url] [-heartbeat d]
 //	        [-job-timeout d] [-request-timeout d] [-drain-grace d]
 //	        [-retry-after d] [-retries N] [-backoff d]
-//	        [-log-level info] [-log-json] [-pprof] [-version]
+//	        [-log-level info] [-log-json] [-metrics-out path]
+//	        [-pprof] [-version]
+//
+// Fleet mode: with -coord the daemon also serves leased distributed-
+// sweep cells (POST /v1/cells, bounded by -cell-slots) and registers
+// with the given deesim-coord coordinator, heartbeating its tri-state
+// (ready/busy/draining) so the coordinator stops leasing to it the
+// moment a drain begins. -self-url is the base URL the coordinator
+// should dial back (defaults to http://<bound addr>).
 //
 // Telemetry: GET /metrics serves the whole process's series (simulator
 // core, supervisor, server) in Prometheus text format, GET /versionz
 // the build info, and -pprof opts into /debug/pprof/. Every request is
 // access-logged as one structured line (-log-json for JSON logs).
+// -metrics-out snapshots the registry to a file — written immediately
+// when SIGINT/SIGTERM arrives, not only on clean exit, so a drain cut
+// short still leaves telemetry behind.
 //
 // SIGINT/SIGTERM drains gracefully: admission closes (submissions get
-// 503, /readyz flips), running jobs get -drain-grace to finish, then
-// their contexts are canceled — progress stays journaled. The process
-// then exits 0; a second signal kills it immediately. On the next
-// start the state directory is scanned and every incomplete job
-// resumes from its journal, replaying finished cells.
+// 503, /readyz reports "draining"), running jobs get -drain-grace to
+// finish, then their contexts are canceled — progress stays journaled.
+// The process then exits 0; a second signal kills it immediately. On
+// the next start the state directory is scanned and every incomplete
+// job resumes from its journal, replaying finished cells.
 //
 // -addr-file, when set, receives the bound listen address (useful with
 // -addr 127.0.0.1:0 in tests and scripts).
@@ -39,6 +52,7 @@ import (
 	"os"
 	"time"
 
+	"deesim/internal/coord"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -59,31 +73,43 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		queueFlag    = fs.Int("queue", 8, "admission-queue depth; submissions beyond it are shed with 429")
 		workersFlag  = fs.Int("workers", 1, "jobs run concurrently")
 		cellJobsFlag = fs.Int("cell-jobs", 4, "worker-pool size inside each job's matrix sweep")
+		cellSlots    = fs.Int("cell-slots", 0, "concurrently-leased distributed-sweep cells served (0 = cell-jobs)")
+		cellTimeout  = fs.Duration("cell-timeout", 5*time.Minute, "execution cap per leased cell")
+		coordFlag    = fs.String("coord", "", "deesim-coord base URL to register with (enables fleet mode)")
+		selfURLFlag  = fs.String("self-url", "", "base URL the coordinator dials back (default http://<bound addr>)")
+		hbEvery      = fs.Duration("heartbeat", 0, "heartbeat cadence to the coordinator (0 = coordinator-assigned)")
 		jobTimeout   = fs.Duration("job-timeout", 0, "default wall-clock cap per job (0 = none; specs may set tighter)")
 		reqTimeout   = fs.Duration("request-timeout", 10*time.Second, "per-HTTP-request deadline")
 		drainGrace   = fs.Duration("drain-grace", 15*time.Second, "how long a drain lets running jobs finish before canceling")
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 429/503")
 		retriesFlag  = fs.Int("retries", 2, "default per-cell retries for retryable failures")
 		backoffFlag  = fs.Duration("backoff", 250*time.Millisecond, "default base retry backoff per cell")
-
-		versionFlag = fs.Bool("version", false, "print build/version info and exit")
-		logLevel    = fs.String("log-level", "info", "log level: debug, info, warn, error")
-		logJSON     = fs.Bool("log-json", false, "emit logs as JSON lines instead of text")
-		pprofFlag   = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints (debug surface; off by default)")
+		pprofFlag    = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints (debug surface; off by default)")
 	)
+	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return runx.ExitUsage
 	}
-	if *versionFlag {
-		obs.PrintVersion(stdout, "deesimd")
+	if done, err := obsFlags.Handle("deesimd", stdout, stderr); done {
 		return runx.ExitOK
+	} else if err != nil {
+		fmt.Fprintln(stderr, "deesimd:", err)
+		return runx.ExitCode(err)
 	}
 	logger := log.New(stderr, "", log.LstdFlags|log.Lmicroseconds)
 	fail := func(err error) int {
 		logger.Printf("deesimd: %v", err)
 		return runx.ExitCode(err)
 	}
-	slogger, err := obs.SetupLogger(stderr, *logLevel, *logJSON)
+	defer func() {
+		if err := obsFlags.WriteMetrics(); err != nil {
+			logger.Printf("deesimd: %v", err)
+		}
+	}()
+	stopFlush := obsFlags.FlushOnSignal(logger.Printf)
+	defer stopFlush()
+
+	slogger, err := obs.SetupLogger(stderr, obsFlags.LogLevel, obsFlags.LogJSON)
 	if err != nil {
 		return fail(err)
 	}
@@ -93,6 +119,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		QueueDepth:     *queueFlag,
 		Workers:        *workersFlag,
 		CellJobs:       *cellJobsFlag,
+		CellSlots:      *cellSlots,
+		CellTimeout:    *cellTimeout,
 		JobTimeout:     *jobTimeout,
 		RequestTimeout: *reqTimeout,
 		DrainGrace:     *drainGrace,
@@ -126,16 +154,40 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		ln.Addr(), *stateFlag, *queueFlag, *workersFlag)
 	fmt.Fprintln(stdout, ln.Addr().String())
 
+	// Fleet mode: join the coordinator and keep beating until shutdown.
+	hbCtx, hbStop := context.WithCancel(context.Background())
+	defer hbStop()
+	if *coordFlag != "" {
+		selfURL := *selfURLFlag
+		if selfURL == "" {
+			selfURL = "http://" + ln.Addr().String()
+		}
+		hb := &coord.Heartbeater{
+			CoordURL: *coordFlag,
+			SelfURL:  selfURL,
+			Slots:    s.CellSlots(),
+			Every:    *hbEvery,
+			State: func() (string, int) {
+				return s.WorkerState(), s.CellsActive()
+			},
+			Logf: logger.Printf,
+		}
+		go hb.Run(hbCtx)
+	}
+
 	ctx, stop := runx.MainContext(0)
 	select {
 	case <-ctx.Done():
 		// First signal: drain. stop() restores the default handler so a
-		// second signal kills the process outright.
+		// second signal kills the process outright. The heartbeater keeps
+		// beating through the drain so the coordinator sees "draining"
+		// and stops leasing here before the listener closes.
 		stop()
 		logger.Printf("deesimd: signal received, draining")
 		if err := s.Drain(context.Background()); err != nil {
 			return fail(err)
 		}
+		hbStop()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {

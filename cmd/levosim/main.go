@@ -54,6 +54,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "levosim:", err)
 		}
 	}()
+	stopFlush := obsFlags.FlushOnSignal(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "levosim: "+format+"\n", args...)
+	})
+	defer stopFlush()
 
 	cfg := levo.Config{
 		Rows: *rows, Cols: *cols, DEEPaths: *deePaths,

@@ -54,6 +54,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 		}
 	}()
+	stopFlush := obsFlags.FlushOnSignal(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	})
+	defer stopFlush()
 
 	ctx, stop := runx.MainContext(*timeout)
 	defer stop()

@@ -51,6 +51,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "treeviz:", err)
 		}
 	}()
+	stopFlush := obsFlags.FlushOnSignal(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "treeviz: "+format+"\n", args...)
+	})
+	defer stopFlush()
 
 	ctx, stop := runx.MainContext(*timeout)
 	defer stop()

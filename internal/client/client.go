@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"deesim/internal/runx"
@@ -44,6 +45,10 @@ type Client struct {
 	Logf func(format string, args ...any)
 
 	sleep func(ctx context.Context, d time.Duration) error // test seam
+
+	// lastHint is the most recent Retry-After hint in nanoseconds
+	// (atomic); Wait's adaptive poll backoff reads it.
+	lastHint int64
 }
 
 // New returns a client for the given base URL with modest defaults:
@@ -103,6 +108,40 @@ func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error)
 	return raw, nil
 }
 
+// RunCell executes one distributed-sweep cell on the worker,
+// synchronously, returning the CellResult body verbatim — the
+// coordinator journals these bytes unparsed, so byte-for-byte fidelity
+// here is what makes duplicate detection exact. Exactly one attempt:
+// the coordinator owns cell retry through its lease state machine, so
+// a client-level retry would double-execute behind the lease's back.
+// The breaker still gates and observes the attempt — that is the
+// per-worker fail-fast the coordinator leans on during a partition.
+func (c *Client) RunCell(ctx context.Context, req server.CellRequest) (json.RawMessage, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageClient, "encode cell request: %v", err)
+	}
+	if err := c.Breaker.Allow(); err != nil {
+		return nil, err
+	}
+	var raw json.RawMessage
+	if _, err := c.once(ctx, http.MethodPost, "/v1/cells", body, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Fleet fetches a coordinator's worker registry (GET /v1/workers),
+// verbatim. Raw JSON rather than a typed slice: the client package
+// sits below coord in the import graph, and the CLI only re-emits it.
+func (c *Client) Fleet(ctx context.Context) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // Healthy probes /healthz (process liveness).
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
@@ -113,21 +152,34 @@ func (c *Client) Ready(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 }
 
-// Wait polls a job's status every poll interval until it completes,
-// returning the final status. A failed job returns its status AND a
-// typed error reconstructed from the job's kind. Transient polling
-// failures (daemon restarting, shed request) are tolerated and polling
+// Wait polls a job's status until it completes, returning the final
+// status. A failed job returns its status AND a typed error
+// reconstructed from the job's kind. Transient polling failures
+// (daemon restarting, shed request) are tolerated and polling
 // continues; non-retryable errors and context cancellation end the
 // wait. An interrupted job (daemon draining) keeps being polled — it
 // resumes when the daemon comes back.
+//
+// The poll cadence is adaptive: a healthy poll runs at the given
+// interval, but consecutive retryable failures double the delay — and
+// any Retry-After hint the server sent raises it further — so a
+// draining or overloaded daemon is not hammered at full rate. The
+// backoff is capped at WaitBackoffCap (or 8× poll, whichever is
+// larger) and resets to the base interval on the first healthy poll.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (server.JobStatus, error) {
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
+	capd := WaitBackoffCap
+	if m := 8 * poll; m > capd {
+		capd = m
+	}
+	delay := poll
 	for {
 		st, err := c.Status(ctx, id)
 		switch {
 		case err == nil:
+			delay = poll // healthy server: back to base cadence
 			switch st.State {
 			case server.StateDone:
 				return st, nil
@@ -135,14 +187,32 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve
 				return st, runx.Newf(runx.KindFromString(st.Kind), stageClient, "job %s failed: %s", id, st.Error)
 			}
 		case runx.Retryable(err):
-			c.logf("deesimctl: poll %s: %v (will keep polling)", id, err)
+			delay *= 2
+			if hint := c.retryAfterHint(); hint > delay {
+				delay = hint
+			}
+			if delay > capd {
+				delay = capd
+			}
+			c.logf("deesimctl: poll %s: %v (will keep polling, next in %s)", id, err, delay)
 		default:
 			return server.JobStatus{}, err
 		}
-		if err := c.snooze(ctx, poll); err != nil {
+		if err := c.snooze(ctx, delay); err != nil {
 			return server.JobStatus{}, err
 		}
 	}
+}
+
+// WaitBackoffCap bounds Wait's adaptive poll backoff so a long outage
+// never stretches the cadence past recovery-detection usefulness.
+const WaitBackoffCap = 10 * time.Second
+
+// retryAfterHint returns the most recent Retry-After hint any response
+// carried (0 if none yet). Wait consults it so its poll backoff honors
+// the server's own estimate of when capacity returns.
+func (c *Client) retryAfterHint() time.Duration {
+	return time.Duration(atomic.LoadInt64(&c.lastHint))
 }
 
 // do runs one logical request through the retry loop: breaker gate,
@@ -233,7 +303,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	// Shed requests and client errors prove the server is up; only 5xx
 	// marks it unhealthy.
 	c.Breaker.Record(resp.StatusCode < 500)
-	return parseRetryAfter(resp.Header.Get("Retry-After")), classify(method, path, resp.StatusCode, data)
+	hint := parseRetryAfter(resp.Header.Get("Retry-After"))
+	if hint > 0 {
+		atomic.StoreInt64(&c.lastHint, int64(hint))
+	}
+	return hint, classify(method, path, resp.StatusCode, data)
 }
 
 // classify turns a non-2xx response into a typed error. The JSON error

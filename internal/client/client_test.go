@@ -337,3 +337,101 @@ func TestParseRetryAfter(t *testing.T) {
 		}
 	}
 }
+
+// TestWaitAdaptiveBackoff scripts a daemon outage mid-wait and checks
+// the poll cadence: healthy polls run at the base interval, consecutive
+// retryable failures double the delay, the server's Retry-After hint
+// raises it, the backoff caps at WaitBackoffCap, and the first healthy
+// poll resets to the base interval.
+func TestWaitAdaptiveBackoff(t *testing.T) {
+	running, _ := json.Marshal(server.JobStatus{ID: "j1", State: server.StateRunning})
+	done, _ := json.Marshal(server.JobStatus{ID: "j1", State: server.StateDone})
+	script := []func(w http.ResponseWriter){
+		func(w http.ResponseWriter) { w.Write(running) }, // healthy: base cadence
+		func(w http.ResponseWriter) { // outage begins, server hints 2s
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+		},
+		func(w http.ResponseWriter) { // hint persists but doubling overtakes it
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+		},
+		func(w http.ResponseWriter) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+		},
+		func(w http.ResponseWriter) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+		},
+		func(w http.ResponseWriter) { w.Write(running) }, // recovery: reset
+		func(w http.ResponseWriter) { w.Write(done) },
+	}
+	var call atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(call.Add(1)) - 1
+		if n >= len(script) {
+			w.Write(done)
+			return
+		}
+		script[n](w)
+	}))
+	defer srv.Close()
+
+	c, delays := quiet(srv.URL)
+	c.Retry = superv.RetryPolicy{Attempts: 1} // Wait's loop owns poll retry
+	c.Breaker = nil
+
+	st, err := c.Wait(context.Background(), "j1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("final state %q", st.State)
+	}
+	want := []time.Duration{
+		1 * time.Second,  // healthy
+		2 * time.Second,  // 2×1s, matches the 2s hint
+		4 * time.Second,  // doubling overtakes the stale hint
+		8 * time.Second,  //
+		10 * time.Second, // capped at WaitBackoffCap
+		1 * time.Second,  // healthy again: reset to base
+	}
+	if len(*delays) != len(want) {
+		t.Fatalf("poll delays = %v, want %v", *delays, want)
+	}
+	for i, d := range want {
+		if (*delays)[i] != d {
+			t.Errorf("delay[%d] = %s, want %s (all: %v)", i, (*delays)[i], d, *delays)
+		}
+	}
+}
+
+// TestWaitHintRaisesBackoff: a Retry-After hint larger than the doubled
+// delay wins — the server's own capacity estimate is never undercut.
+func TestWaitHintRaisesBackoff(t *testing.T) {
+	done, _ := json.Marshal(server.JobStatus{ID: "j1", State: server.StateDone})
+	var call atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if call.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "shed", "kind": "overload"})
+			return
+		}
+		w.Write(done)
+	}))
+	defer srv.Close()
+
+	c, delays := quiet(srv.URL)
+	c.Retry = superv.RetryPolicy{Attempts: 1}
+	c.Breaker = nil
+
+	if _, err := c.Wait(context.Background(), "j1", 100*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(*delays) == 0 || (*delays)[0] != 7*time.Second {
+		t.Errorf("first backoff = %v, want the 7s Retry-After hint", *delays)
+	}
+}

@@ -1,0 +1,779 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"deesim/internal/bench"
+	"deesim/internal/client"
+	"deesim/internal/experiments"
+	"deesim/internal/obs"
+	"deesim/internal/runx"
+	"deesim/internal/server"
+	"deesim/internal/superv"
+)
+
+const stageCoord = "coord"
+
+// WorkerClient is the coordinator's view of one worker: run a leased
+// cell, synchronously, returning the CellResult bytes verbatim. The
+// production implementation is client.Client (per-worker breaker
+// included); scheduler tests swap in fakes that stall, crash, lie, and
+// duplicate.
+type WorkerClient interface {
+	RunCell(ctx context.Context, req server.CellRequest) (json.RawMessage, error)
+}
+
+// Config parameterizes the coordinator.
+type Config struct {
+	// StateDir is the durable root: sweeps/<id>/{spec.json,
+	// coord.journal, result.json, failed.json}.
+	StateDir string
+	// QueueDepth bounds sweeps accepted but not yet running (default 8).
+	QueueDepth int
+	// LeaseTTL is the wall-clock bound on one cell lease; an expired
+	// lease re-dispatches the cell (default 2m). Must exceed the
+	// workers' CellTimeout or healthy slow cells get revoked.
+	LeaseTTL time.Duration
+	// HeartbeatTimeout is how stale a worker's heartbeat may grow before
+	// the coordinator declares it lost and expires its leases
+	// (default 15s).
+	HeartbeatTimeout time.Duration
+	// HeartbeatEvery is the cadence workers are told to beat at
+	// (default HeartbeatTimeout/3).
+	HeartbeatEvery time.Duration
+	// CellRetries bounds re-dispatches per cell beyond the first attempt
+	// (default 2). Lease expiries and retryable worker errors consume
+	// the same budget.
+	CellRetries int
+	// Backoff seeds the per-cell re-dispatch backoff (superv's capped
+	// seeded-jitter policy; default 250ms).
+	Backoff time.Duration
+	// StragglerFactor triggers speculation: once the pending queue is
+	// empty, a lease running longer than factor × the median completed
+	// cell duration gets a speculative duplicate on an idle worker
+	// (default 3; 0 disables).
+	StragglerFactor float64
+	// RequestTimeout bounds each API request (default 10s).
+	RequestTimeout time.Duration
+	// DrainGrace is how long Drain lets the running sweep finish before
+	// canceling it (default 15s).
+	DrainGrace time.Duration
+	// RetryAfter is the backoff hint sent with 429/503 (default 2s).
+	RetryAfter time.Duration
+	// CellTimeout is the per-RPC HTTP budget for dispatches (default
+	// LeaseTTL + 10s, so the lease — not the transport — is the
+	// authority on giving up).
+	CellTimeout time.Duration
+	// Logf, Logger, Metrics: as in server.Config.
+	Logf    func(format string, args ...any)
+	Logger  *slog.Logger
+	Metrics *obs.Registry
+	// NewWorkerClient builds the client for a registered worker's base
+	// URL. Nil means a client.Client with a single attempt and a
+	// per-worker breaker. Tests inject fakes here.
+	NewWorkerClient func(baseURL string) WorkerClient
+	// now is the clock seam for tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 2 * time.Minute
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 15 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.HeartbeatTimeout / 3
+	}
+	if c.CellRetries < 0 {
+		c.CellRetries = 0
+	} else if c.CellRetries == 0 {
+		c.CellRetries = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 250 * time.Millisecond
+	}
+	if c.StragglerFactor < 0 {
+		c.StragglerFactor = 0
+	} else if c.StragglerFactor == 0 {
+		c.StragglerFactor = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 15 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.CellTimeout <= 0 {
+		c.CellTimeout = c.LeaseTTL + 10*time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Discard
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// worker is one registered deesimd instance.
+type worker struct {
+	id       string
+	url      string
+	slots    int
+	state    string // last advertised tri-state (or "lost")
+	inflight int    // worker-reported cells executing
+	lastBeat time.Time
+	lost     bool // heartbeat stale beyond HeartbeatTimeout
+	leases   int  // coordinator-side outstanding leases
+	client   WorkerClient
+}
+
+// WorkerStatus is the fleet API's JSON rendering of a worker.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	State    string `json:"state"` // ready|busy|draining|lost
+	Slots    int    `json:"slots"`
+	Inflight int    `json:"inflight"`
+	Leases   int    `json:"leases"`
+	LastBeat string `json:"last_beat"` // staleness, e.g. "1.2s"
+}
+
+// sweep is the in-memory record of one distributed sweep; mutable
+// fields are guarded by Coordinator.mu.
+type sweep struct {
+	id         string
+	spec       server.Spec
+	state      string
+	cellsDone  int
+	cellsTotal int
+	resumed    bool
+	errText    string
+	errKind    string
+}
+
+// Coordinator is the distributed-sweep control plane. Create with New,
+// start the runner with Start, serve Handler() over HTTP, stop with
+// Drain. Sweeps run one at a time — the fleet is the parallelism.
+type Coordinator struct {
+	cfg        Config
+	met        *coordMetrics
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu          sync.Mutex
+	workers     map[string]*worker
+	wseq        int
+	sweeps      map[string]*sweep
+	order       []string
+	waiting     int
+	seq         int
+	queue       chan *sweep
+	queueClosed bool
+	draining    bool
+	running     map[string]context.CancelFunc
+
+	wg sync.WaitGroup
+}
+
+// New builds a coordinator over StateDir, recovering sweeps a previous
+// process left behind: completed ones serve their recorded results,
+// incomplete ones re-queue and resume from their journals.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, runx.Newf(runx.KindInvalidInput, stageCoord, "empty state directory")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "sweeps"), 0o755); err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageCoord, "state dir: %w", err)
+	}
+	if cfg.NewWorkerClient == nil {
+		cfg.NewWorkerClient = func(baseURL string) WorkerClient {
+			c := client.New(baseURL)
+			// One attempt per dispatch: the lease state machine owns cell
+			// retry; the HTTP budget outlasts the lease so the lease — not
+			// the transport — decides when to give up.
+			c.Retry = superv.RetryPolicy{Attempts: 1}
+			c.HTTP = &http.Client{Timeout: cfg.CellTimeout}
+			return c
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		met:        newCoordMetrics(cfg.Metrics),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		workers:    make(map[string]*worker),
+		sweeps:     make(map[string]*sweep),
+		running:    make(map[string]context.CancelFunc),
+	}
+	pending, err := c.recover()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	c.queue = make(chan *sweep, cfg.QueueDepth+len(pending)+1)
+	for _, sw := range pending {
+		c.waiting++
+		c.queue <- sw
+	}
+	return c, nil
+}
+
+// recover scans the sweeps directory, mirroring the worker daemon's
+// crash recovery: done and failed sweeps are indexed, anything else is
+// re-queued for journal resumption.
+func (c *Coordinator) recover() ([]*sweep, error) {
+	dir := filepath.Join(c.cfg.StateDir, "sweeps")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageCoord, "scan %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var pending []*sweep
+	for _, id := range names {
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > c.seq {
+			c.seq = n
+		}
+		specData, err := os.ReadFile(filepath.Join(dir, id, "spec.json"))
+		if err != nil {
+			c.cfg.Logf("deesim-coord: recovery: sweep %s has no readable spec, skipping: %v", id, err)
+			continue
+		}
+		var sp server.Spec
+		if err := json.Unmarshal(specData, &sp); err != nil {
+			c.cfg.Logf("deesim-coord: recovery: sweep %s spec unparsable, skipping: %v", id, err)
+			continue
+		}
+		sw := &sweep{id: id, spec: sp, cellsTotal: sp.CellsTotal()}
+		switch {
+		case fileExists(filepath.Join(dir, id, "result.json")):
+			sw.state = server.StateDone
+			sw.cellsDone = sw.cellsTotal
+		case fileExists(filepath.Join(dir, id, "failed.json")):
+			sw.state = server.StateFailed
+			var f struct{ Error, Kind string }
+			if data, err := os.ReadFile(filepath.Join(dir, id, "failed.json")); err == nil {
+				if json.Unmarshal(data, &f) == nil {
+					sw.errText, sw.errKind = f.Error, f.Kind
+				}
+			}
+		default:
+			sw.state = server.StateQueued
+			sw.resumed = true
+			pending = append(pending, sw)
+		}
+		c.sweeps[id] = sw
+		c.order = append(c.order, id)
+	}
+	if len(pending) > 0 {
+		c.cfg.Logf("deesim-coord: recovery: re-queued %d incomplete sweep(s)", len(pending))
+	}
+	return pending, nil
+}
+
+// Start launches the sweep runner. Call once.
+func (c *Coordinator) Start() {
+	c.wg.Add(1)
+	go c.runner()
+}
+
+func (c *Coordinator) runner() {
+	defer c.wg.Done()
+	for sw := range c.queue {
+		c.mu.Lock()
+		if c.draining {
+			c.mu.Unlock()
+			continue // durable on disk; the next process resumes it
+		}
+		c.waiting--
+		sw.state = server.StateRunning
+		sw.cellsDone = 0
+		ctx, cancel := context.WithCancel(c.baseCtx)
+		c.running[sw.id] = cancel
+		c.mu.Unlock()
+
+		err := c.runSweep(ctx, sw)
+		cancel()
+		c.finishSweep(sw, err)
+	}
+}
+
+// runSweep executes one distributed sweep end to end: decompose,
+// lease/collect under the journal, then merge — and prove the merge.
+func (c *Coordinator) runSweep(ctx context.Context, sw *sweep) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = runx.FromPanic(r, "coord.runSweep")
+		}
+	}()
+	ctx = obs.WithJobID(ctx, sw.id)
+	ws, cfg, err := sw.spec.Resolve()
+	if err != nil {
+		return err
+	}
+	timeout, err := parseSpecDuration("timeout", sw.spec.Timeout)
+	if err != nil {
+		return err
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	tasks := experiments.MatrixTasks(ws, cfg)
+	meta := experiments.MatrixMeta(ws, cfg)
+	jpath := filepath.Join(c.sweepDir(sw.id), "coord.journal")
+	var (
+		jr    *Journal
+		prior *State
+	)
+	if fileExists(jpath) {
+		jr, prior, err = Resume(jpath, "deesim-coord", meta)
+		if err != nil {
+			// Same self-healing rule as the worker daemon: an unusable
+			// journal carries no trustworthy progress, and cells are
+			// deterministic, so restart from scratch.
+			c.cfg.Logf("deesim-coord: sweep %s: journal unusable (%v), restarting from scratch", sw.id, err)
+			if rmErr := os.Remove(jpath); rmErr != nil {
+				return runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s: drop unusable journal: %v", sw.id, rmErr)
+			}
+			jr, prior = nil, nil
+		} else {
+			c.met.sweepsResumed.Inc()
+			c.cfg.Logf("deesim-coord: sweep %s: resuming, %s", sw.id, prior.Summary(len(tasks)))
+		}
+	}
+	if jr == nil {
+		if jr, err = Create(jpath, "deesim-coord", meta); err != nil {
+			return err
+		}
+	}
+	defer jr.Close()
+
+	sched := newScheduler(c, sw, tasks, jr, prior)
+	done, err := sched.run(ctx)
+	if err != nil {
+		return err
+	}
+	return c.mergeAndWrite(ctx, sw, ws, cfg, tasks, done)
+}
+
+// mergeAndWrite replays the collected cell payloads through the SAME
+// aggregation path a single-node run uses — RunMatrixContext with the
+// full cell set as prior state executes nothing and merges everything —
+// then writes the result file with the identical final encoding. That
+// construction, plus the completeness check below, is the merge proof:
+// there is no coordinator-specific math to diverge.
+func (c *Coordinator) mergeAndWrite(ctx context.Context, sw *sweep, ws []bench.Workload, cfg experiments.Config, tasks []experiments.MatrixTask, done map[string]json.RawMessage) error {
+	for _, t := range tasks {
+		if _, ok := done[t.Key()]; !ok {
+			return runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s: merge refused: cell %s has no result", sw.id, t.Key())
+		}
+	}
+	prior := &superv.State{Done: done}
+	results, err := experiments.RunMatrixContext(ctx, ws, cfg, experiments.MatrixConfig{Jobs: 1, Prior: prior})
+	if err != nil {
+		return runx.Annotate(err, "sweep "+sw.id+" merge")
+	}
+	c.met.mergeChecks.Inc()
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return runx.Newf(runx.KindUnknown, stageCoord, "sweep %s: marshal results: %w", sw.id, err)
+	}
+	if err := superv.WriteFileAtomic(filepath.Join(c.sweepDir(sw.id), "result.json"), append(data, '\n')); err != nil {
+		return runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s: write result: %w", sw.id, err)
+	}
+	return nil
+}
+
+// finishSweep mirrors the worker daemon's terminal-state rules: a
+// canceled sweep stays journaled and resumes on restart; every other
+// failure is permanent and recorded so restarts do not retry
+// deterministic errors.
+func (c *Coordinator) finishSweep(sw *sweep, err error) {
+	c.mu.Lock()
+	delete(c.running, sw.id)
+	if err == nil {
+		sw.state = server.StateDone
+		c.mu.Unlock()
+		c.met.sweepsDone.Inc()
+		c.cfg.Logf("deesim-coord: sweep %s: done (%d cells)", sw.id, sw.cellsTotal)
+		return
+	}
+	sw.errText = err.Error()
+	if e, ok := runx.As(err); ok {
+		sw.errKind = e.Kind.String()
+	}
+	if runx.IsKind(err, runx.KindCanceled) {
+		sw.state = server.StateInterrupted
+		c.mu.Unlock()
+		c.cfg.Logf("deesim-coord: sweep %s: interrupted, journaled for resume: %v", sw.id, err)
+		return
+	}
+	sw.state = server.StateFailed
+	kind := sw.errKind
+	c.mu.Unlock()
+	c.met.sweepsFailed.Inc()
+	c.cfg.Logf("deesim-coord: sweep %s: failed permanently: %v", sw.id, err)
+	data, _ := json.Marshal(struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind,omitempty"`
+	}{sw.errText, kind})
+	if werr := superv.WriteFileAtomic(filepath.Join(c.sweepDir(sw.id), "failed.json"), append(data, '\n')); werr != nil {
+		c.cfg.Logf("deesim-coord: sweep %s: could not record failure: %v", sw.id, werr)
+	}
+}
+
+// Submit admits a distributed sweep with the worker daemon's admission
+// contract: shed when full or draining, fsync the spec before the 202.
+func (c *Coordinator) Submit(sp server.Spec) (*server.JobStatus, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return nil, runx.Newf(runx.KindUnavailable, stageCoord, "draining: not accepting new sweeps")
+	}
+	if c.waiting >= c.cfg.QueueDepth {
+		c.mu.Unlock()
+		return nil, runx.Newf(runx.KindOverload, stageCoord,
+			"admission queue full (%d waiting); retry after %s", c.cfg.QueueDepth, c.cfg.RetryAfter)
+	}
+	c.seq++
+	id := fmt.Sprintf("s%06d", c.seq)
+	sw := &sweep{id: id, spec: sp, state: server.StateQueued, cellsTotal: sp.CellsTotal()}
+	c.sweeps[id] = sw
+	c.order = append(c.order, id)
+	c.waiting++
+	c.mu.Unlock()
+
+	specData, err := json.MarshalIndent(sp, "", "  ")
+	if err == nil {
+		if err = os.MkdirAll(c.sweepDir(id), 0o755); err == nil {
+			err = superv.WriteFileAtomic(filepath.Join(c.sweepDir(id), "spec.json"), append(specData, '\n'))
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.sweeps, id)
+		c.order = c.order[:len(c.order)-1]
+		c.waiting--
+		c.mu.Unlock()
+		return nil, runx.Newf(runx.KindCorrupt, stageCoord, "persist sweep %s: %w", id, err)
+	}
+
+	c.mu.Lock()
+	if !c.queueClosed {
+		c.queue <- sw
+	}
+	st := sweepStatus(sw)
+	c.mu.Unlock()
+	c.cfg.Logf("deesim-coord: sweep %s: accepted (%d cells)", id, sw.cellsTotal)
+	return st, nil
+}
+
+// Status returns one sweep's status snapshot.
+func (c *Coordinator) Status(id string) (*server.JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw, ok := c.sweeps[id]
+	if !ok {
+		return nil, false
+	}
+	return sweepStatus(sw), true
+}
+
+// List returns every sweep's status in submission order.
+func (c *Coordinator) List() []*server.JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*server.JobStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, sweepStatus(c.sweeps[id]))
+	}
+	return out
+}
+
+func sweepStatus(sw *sweep) *server.JobStatus {
+	return &server.JobStatus{
+		ID:         sw.id,
+		State:      sw.state,
+		CellsDone:  sw.cellsDone,
+		CellsTotal: sw.cellsTotal,
+		Resumed:    sw.resumed,
+		Error:      sw.errText,
+		Kind:       sw.errKind,
+	}
+}
+
+// ResultPath returns the path of a done sweep's result file.
+func (c *Coordinator) ResultPath(id string) string {
+	return filepath.Join(c.sweepDir(id), "result.json")
+}
+
+// Draining reports whether drain has begun.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Drain gracefully stops the coordinator: admission closes, the
+// running sweep gets DrainGrace to finish, then its context is
+// canceled — every granted lease is already journaled, so the next
+// start resumes without re-running completed cells.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	if !c.draining {
+		c.draining = true
+		if !c.queueClosed {
+			close(c.queue)
+			c.queueClosed = true
+		}
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("deesim-coord: draining: admission closed, waiting up to %s for the running sweep", c.cfg.DrainGrace)
+
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	grace := time.NewTimer(c.cfg.DrainGrace)
+	defer grace.Stop()
+	select {
+	case <-done:
+	case <-grace.C:
+		c.cfg.Logf("deesim-coord: drain grace expired, canceling the running sweep (progress stays journaled)")
+		c.cancelRunning()
+		<-done
+	case <-ctx.Done():
+		c.cancelRunning()
+		<-done
+	}
+	c.baseCancel()
+	return nil
+}
+
+func (c *Coordinator) cancelRunning() {
+	c.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(c.running))
+	for _, cf := range c.running {
+		cancels = append(cancels, cf)
+	}
+	c.mu.Unlock()
+	for _, cf := range cancels {
+		cf()
+	}
+}
+
+// Close hard-stops the coordinator (tests).
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.draining = true
+	if !c.queueClosed {
+		close(c.queue)
+		c.queueClosed = true
+	}
+	c.mu.Unlock()
+	c.baseCancel()
+	c.wg.Wait()
+}
+
+func (c *Coordinator) sweepDir(id string) string {
+	return filepath.Join(c.cfg.StateDir, "sweeps", id)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+func parseSpecDuration(name, val string) (time.Duration, error) {
+	if val == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return 0, runx.Newf(runx.KindInvalidInput, stageCoord, "bad %s %q (want a non-negative Go duration like \"30s\")", name, val)
+	}
+	return d, nil
+}
+
+// ---- Worker registry ----
+
+// RegisterWorker admits (or refreshes) a worker. A re-registration
+// under the same URL keeps the id stable, so a restarted worker
+// reclaims its identity instead of leaking registry entries.
+func (c *Coordinator) RegisterWorker(url string, slots int) (id string, every time.Duration, err error) {
+	url = strings.TrimRight(url, "/")
+	if url == "" {
+		return "", 0, runx.Newf(runx.KindInvalidInput, stageCoord, "register: empty worker url")
+	}
+	if slots <= 0 {
+		slots = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		if w.url == url {
+			w.slots = slots
+			w.lastBeat = c.cfg.now()
+			w.lost = false
+			w.state = server.WorkerReady
+			c.updateWorkersLiveLocked()
+			return w.id, c.cfg.HeartbeatEvery, nil
+		}
+	}
+	c.wseq++
+	id = fmt.Sprintf("w%04d", c.wseq)
+	c.workers[id] = &worker{
+		id:       id,
+		url:      url,
+		slots:    slots,
+		state:    server.WorkerReady,
+		lastBeat: c.cfg.now(),
+		client:   c.cfg.NewWorkerClient(url),
+	}
+	c.updateWorkersLiveLocked()
+	c.cfg.Logf("deesim-coord: worker %s registered (%s, %d slots)", id, url, slots)
+	return id, c.cfg.HeartbeatEvery, nil
+}
+
+// HeartbeatWorker records a worker's beat. Unknown ids are typed
+// KindInvalidInput so the worker re-registers (a coordinator restart
+// empties the registry; the fleet heals itself through this path).
+func (c *Coordinator) HeartbeatWorker(id, state string, inflight int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[id]
+	if !ok {
+		return runx.Newf(runx.KindInvalidInput, stageCoord, "heartbeat from unknown worker %q (re-register)", id)
+	}
+	w.lastBeat = c.cfg.now()
+	w.lost = false
+	w.state = state
+	w.inflight = inflight
+	c.met.heartbeats.Inc()
+	c.updateWorkersLiveLocked()
+	return nil
+}
+
+// Fleet returns every registered worker's status, sorted by id.
+func (c *Coordinator) Fleet() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.now()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		st := w.state
+		if w.lost || now.Sub(w.lastBeat) > c.cfg.HeartbeatTimeout {
+			st = "lost"
+		}
+		out = append(out, WorkerStatus{
+			ID: w.id, URL: w.url, State: st,
+			Slots: w.slots, Inflight: w.inflight, Leases: w.leases,
+			LastBeat: now.Sub(w.lastBeat).Round(100 * time.Millisecond).String(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// workerSnap is the scheduler's race-free view of one worker: a value
+// snapshot taken under the registry lock, so the event loop never
+// touches live registry fields concurrently with heartbeat handlers.
+type workerSnap struct {
+	id     string
+	slots  int
+	leases int
+	state  string
+	lost   bool
+	client WorkerClient
+}
+
+// sweepWorkers marks stale workers lost (counting each transition) and
+// returns the registry snapshot the scheduler picks from.
+func (c *Coordinator) sweepWorkers() []*workerSnap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.now()
+	out := make([]*workerSnap, 0, len(c.workers))
+	for _, w := range c.workers {
+		if !w.lost && now.Sub(w.lastBeat) > c.cfg.HeartbeatTimeout {
+			w.lost = true
+			c.met.workerEvictons.Inc()
+			c.cfg.Logf("deesim-coord: worker %s (%s) lost: heartbeat stale by %s", w.id, w.url, now.Sub(w.lastBeat).Round(time.Millisecond))
+		}
+		out = append(out, &workerSnap{
+			id: w.id, slots: w.slots, leases: w.leases,
+			state: w.state, lost: w.lost, client: w.client,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	c.updateWorkersLiveLocked()
+	return out
+}
+
+func (c *Coordinator) updateWorkersLiveLocked() {
+	now := c.cfg.now()
+	live := 0
+	for _, w := range c.workers {
+		if !w.lost && now.Sub(w.lastBeat) <= c.cfg.HeartbeatTimeout {
+			live++
+		}
+	}
+	c.met.workersLive.Set(float64(live))
+}
+
+// adjustLeases moves a worker's coordinator-side outstanding-lease
+// count (delta ±1) under the registry lock.
+func (c *Coordinator) adjustLeases(workerID string, delta int) {
+	c.mu.Lock()
+	if w, ok := c.workers[workerID]; ok {
+		w.leases += delta
+		if w.leases < 0 {
+			w.leases = 0
+		}
+	}
+	c.mu.Unlock()
+}
+
+// noteCellDone bumps a sweep's progress counter for the status API.
+func (c *Coordinator) noteCellDone(sw *sweep) {
+	c.mu.Lock()
+	sw.cellsDone++
+	c.mu.Unlock()
+}

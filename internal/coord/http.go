@@ -1,0 +1,248 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"deesim/internal/obs"
+	"deesim/internal/runx"
+	"deesim/internal/server"
+)
+
+const maxBodyBytes = 1 << 20
+
+// RegisterRequest is the body of POST /v1/workers: a deesimd instance
+// announcing itself to the coordinator.
+type RegisterRequest struct {
+	URL   string `json:"url"`
+	Slots int    `json:"slots"`
+}
+
+// RegisterResponse tells the worker its assigned id and the heartbeat
+// cadence the coordinator expects.
+type RegisterResponse struct {
+	ID             string `json:"id"`
+	HeartbeatEvery string `json:"heartbeat_every"`
+}
+
+// HeartbeatRequest is the body of POST /v1/workers/{id}/heartbeat.
+type HeartbeatRequest struct {
+	State    string `json:"state"` // ready|busy|draining
+	Inflight int    `json:"inflight"`
+}
+
+// Handler returns the coordinator HTTP API. The /v1/jobs surface is
+// shape-identical to deesimd's, so the existing client (and deesimctl)
+// drive a distributed sweep with zero new verbs; /v1/workers is the
+// fleet membership surface.
+//
+//	POST /v1/jobs                    submit a distributed sweep
+//	GET  /v1/jobs[,/{id},/{id}/result]  status and results
+//	POST /v1/workers                 register a worker
+//	POST /v1/workers/{id}/heartbeat  worker liveness + tri-state
+//	GET  /v1/workers                 fleet listing
+//	GET  /healthz /readyz /metrics /versionz  as on deesimd
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.wrap("submit", c.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", c.wrap("list", c.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", c.wrap("status", c.handleStatus))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", c.wrap("result", c.handleResult))
+	mux.HandleFunc("POST /v1/workers", c.wrap("register", c.handleRegister))
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", c.wrap("heartbeat", c.handleHeartbeat))
+	mux.HandleFunc("GET /v1/workers", c.wrap("fleet", c.handleFleet))
+	mux.HandleFunc("GET /healthz", c.wrap("healthz", c.handleHealthz))
+	mux.HandleFunc("GET /readyz", c.wrap("readyz", c.handleReadyz))
+	mux.HandleFunc("GET /metrics", c.wrap("metrics", c.handleMetrics))
+	mux.HandleFunc("GET /versionz", c.wrap("versionz", c.handleVersionz))
+	return mux
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// wrap mirrors the worker daemon's middleware: request deadline, panic
+// isolation, per-endpoint counters, one structured access-log line.
+func (c *Coordinator) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				err := runx.FromPanic(p, "coord."+r.Method+" "+r.URL.Path)
+				c.cfg.Logf("deesim-coord: %v", err)
+				c.writeError(rec, err)
+			}
+			if rec.status == 0 {
+				rec.status = http.StatusOK
+			}
+			d := time.Since(start)
+			c.met.httpRequest(endpoint, rec.status, d)
+			c.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.status),
+				slog.Duration("duration", d))
+		}()
+		h(rec, r)
+	}
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp server.Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		c.writeError(w, runx.Newf(runx.KindInvalidInput, stageCoord, "decode spec: %v", err))
+		return
+	}
+	st, err := c.Submit(sp)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.List())
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := c.Status(r.PathValue("id"))
+	if !ok {
+		c.writeError(w, runx.Newf(runx.KindInvalidInput, stageCoord, "unknown sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := c.Status(id)
+	if !ok {
+		c.writeError(w, runx.Newf(runx.KindInvalidInput, stageCoord, "unknown sweep %q", id))
+		return
+	}
+	switch st.State {
+	case server.StateDone:
+	case server.StateFailed:
+		c.writeError(w, runx.Newf(runx.KindFromString(st.Kind), stageCoord, "sweep %s failed: %s", id, st.Error))
+		return
+	default:
+		c.writeError(w, runx.Newf(runx.KindUnavailable, stageCoord, "sweep %s is %s (%d/%d cells)", id, st.State, st.CellsDone, st.CellsTotal))
+		return
+	}
+	data, err := os.ReadFile(c.ResultPath(id))
+	if err != nil {
+		c.writeError(w, runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s result unreadable: %v", id, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		c.writeError(w, runx.Newf(runx.KindInvalidInput, stageCoord, "decode register request: %v", err))
+		return
+	}
+	id, every, err := c.RegisterWorker(req.URL, req.Slots)
+	if err != nil {
+		c.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RegisterResponse{ID: id, HeartbeatEvery: every.String()})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		c.writeError(w, runx.Newf(runx.KindInvalidInput, stageCoord, "decode heartbeat: %v", err))
+		return
+	}
+	if err := c.HeartbeatWorker(r.PathValue("id"), req.State, req.Inflight); err != nil {
+		c.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Fleet())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() {
+		w.Header().Set("Retry-After", strconv.Itoa(int((c.cfg.RetryAfter).Seconds()+0.5)))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = c.met.reg.WritePrometheus(w)
+}
+
+func (c *Coordinator) handleVersionz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Version())
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, err error) {
+	kind := runx.KindUnknown
+	if e, ok := runx.As(err); ok {
+		kind = e.Kind
+	}
+	if kind == runx.KindOverload || kind == runx.KindUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int((c.cfg.RetryAfter).Seconds()+0.5)))
+	}
+	writeJSON(w, kind.HTTPStatus(), struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}{err.Error(), kind.String()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

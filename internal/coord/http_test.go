@@ -1,0 +1,273 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"deesim/internal/client"
+	"deesim/internal/faultinject"
+	"deesim/internal/server"
+	"deesim/internal/superv"
+)
+
+func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+// TestWorkerRegistryHTTP drives the fleet membership surface over HTTP:
+// register, heartbeat, re-register under the same URL, fleet listing,
+// and the 400 that tells a worker to re-register after a coordinator
+// restart.
+func TestWorkerRegistryHTTP(t *testing.T) {
+	c := newTestCoord(t, map[string]*fakeWorker{"http://w1": {}}, nil)
+	hs := httptest.NewServer(c.Handler())
+	defer hs.Close()
+
+	resp, body := postJSON(t, hs.URL+"/v1/workers", RegisterRequest{URL: "http://w1", Slots: 2})
+	if resp.StatusCode != 200 {
+		t.Fatalf("register: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var reg RegisterResponse
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.ID == "" {
+		t.Fatal("register returned no worker id")
+	}
+	if _, err := time.ParseDuration(reg.HeartbeatEvery); err != nil {
+		t.Errorf("heartbeat_every %q unparsable: %v", reg.HeartbeatEvery, err)
+	}
+
+	resp, body = postJSON(t, hs.URL+"/v1/workers/"+reg.ID+"/heartbeat", HeartbeatRequest{State: server.WorkerBusy, Inflight: 2})
+	if resp.StatusCode != 200 {
+		t.Fatalf("heartbeat: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = getJSON(t, hs.URL+"/v1/workers")
+	if resp.StatusCode != 200 {
+		t.Fatalf("fleet: HTTP %d", resp.StatusCode)
+	}
+	var fleet []WorkerStatus
+	if err := json.Unmarshal(body, &fleet); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 1 || fleet[0].State != server.WorkerBusy || fleet[0].Inflight != 2 {
+		t.Errorf("fleet = %+v", fleet)
+	}
+
+	// Same URL re-registers under the same id (worker restart).
+	resp, body = postJSON(t, hs.URL+"/v1/workers", RegisterRequest{URL: "http://w1", Slots: 3})
+	var reg2 RegisterResponse
+	if err := json.Unmarshal(body, &reg2); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || reg2.ID != reg.ID {
+		t.Errorf("re-register: HTTP %d id %q, want 200 id %q", resp.StatusCode, reg2.ID, reg.ID)
+	}
+
+	// Unknown worker id: 400, the worker's cue to re-register.
+	resp, _ = postJSON(t, hs.URL+"/v1/workers/w9999/heartbeat", HeartbeatRequest{State: server.WorkerReady})
+	if resp.StatusCode != 400 {
+		t.Errorf("unknown-worker heartbeat: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestCoordReadyzDraining: the coordinator's readiness flips to a
+// distinct "draining" body with Retry-After, mirroring the worker
+// daemon's contract.
+func TestCoordReadyzDraining(t *testing.T) {
+	c := newTestCoord(t, nil, nil)
+	c.Start()
+	hs := httptest.NewServer(c.Handler())
+	defer hs.Close()
+
+	resp, body := getJSON(t, hs.URL+"/readyz")
+	var rb struct{ Status string }
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || rb.Status != "ok" {
+		t.Errorf("readyz before drain: HTTP %d %q", resp.StatusCode, rb.Status)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = getJSON(t, hs.URL+"/readyz")
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 503 || rb.Status != "draining" {
+		t.Errorf("readyz after drain: HTTP %d %q, want 503 draining", resp.StatusCode, rb.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining readyz missing Retry-After")
+	}
+
+	// Submissions shed over HTTP too.
+	resp, _ = postJSON(t, hs.URL+"/v1/jobs", smokeSpec())
+	if resp.StatusCode != 503 {
+		t.Errorf("submit while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestSweepOverHTTPWithRealWorkers is the full-stack integration: a
+// coordinator serving its HTTP API, two REAL deesimd server instances
+// executing cells over HTTP, the stock client driving submission and
+// wait — and one worker partitioned (connection-refused + heartbeats
+// stopped) mid-fleet, so its cells re-dispatch to the survivor. The
+// merged result must still be byte-identical to a single-node run.
+func TestSweepOverHTTPWithRealWorkers(t *testing.T) {
+	newWorker := func() (*server.Server, *httptest.Server) {
+		s, err := server.New(server.Config{
+			StateDir:  t.TempDir(),
+			CellJobs:  2,
+			CellSlots: 4,
+			Retries:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		hs := httptest.NewServer(s.Handler())
+		t.Cleanup(func() { hs.Close(); s.Close() })
+		return s, hs
+	}
+	_, wsA := newWorker()
+	_, wsB := newWorker()
+
+	pt := faultinject.NewPartitionTransport(nil)
+	pt.Open() // worker A is unreachable from the very first dispatch
+
+	c := newTestCoord(t, nil, func(cfg *Config) {
+		cfg.HeartbeatTimeout = 150 * time.Millisecond
+		cfg.CellRetries = 4
+		cfg.Backoff = 50 * time.Millisecond
+		cfg.NewWorkerClient = func(url string) WorkerClient {
+			cl := client.New(url)
+			cl.Retry = superv.RetryPolicy{Attempts: 1}
+			if url == wsA.URL {
+				cl.HTTP = &http.Client{Transport: pt, Timeout: 5 * time.Second}
+			}
+			return cl
+		}
+	})
+	idA := registerWorker(t, c, wsA.URL, 2)
+	idB := registerWorker(t, c, wsB.URL, 2)
+	_ = idA // partitioned: beats once at registration, then goes silent
+	beatForever(t, c, idB)
+	c.Start()
+
+	hs := httptest.NewServer(c.Handler())
+	defer hs.Close()
+	cc := client.New(hs.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := cc.Submit(ctx, smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cc.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("wait: %v (last status %+v)", err, final)
+	}
+	raw, err := cc.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(c.ResultPath(st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := goldenResult(t, smokeSpec())
+	if string(onDisk) != string(golden) {
+		t.Error("merged result on disk differs from single-node golden")
+	}
+	// The HTTP body is the same document; json.RawMessage trims the
+	// trailing newline deesimctl re-appends when printing.
+	if string(append(raw, '\n')) != string(golden) {
+		t.Error("result served over HTTP differs from single-node golden")
+	}
+	if pt.Refused() == 0 {
+		t.Error("partition transport never exercised: dispatches to the partitioned worker did not fail")
+	}
+	var stateA string
+	for _, w := range c.Fleet() {
+		if w.ID == idA {
+			stateA = w.State
+		}
+	}
+	if stateA != "lost" {
+		t.Errorf("partitioned worker state = %q, want lost", stateA)
+	}
+	if got := counter(c, "deesim_coord_redispatches_total"); got == 0 {
+		t.Error("no re-dispatch recorded for the partitioned worker's cells")
+	}
+}
+
+// TestSweepHTTPStatusAndErrors covers the /v1/jobs surface edges the
+// client depends on: unknown ids, premature result fetches, bad specs.
+func TestSweepHTTPStatusAndErrors(t *testing.T) {
+	c := newTestCoord(t, nil, nil)
+	hs := httptest.NewServer(c.Handler())
+	defer hs.Close()
+
+	if resp, _ := getJSON(t, hs.URL+"/v1/jobs/s999999"); resp.StatusCode != 400 {
+		t.Errorf("unknown sweep status: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, hs.URL+"/v1/jobs", map[string]any{"unknown_field": 1}); resp.StatusCode != 400 {
+		t.Errorf("unknown-field spec: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Runner not started: the sweep stays queued, result is 503 +
+	// Retry-After so pollers back off.
+	st, err := c.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := getJSON(t, hs.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != 503 {
+		t.Errorf("premature result: HTTP %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("premature result missing Retry-After")
+	}
+
+	resp, body := getJSON(t, hs.URL+"/v1/jobs")
+	var list []server.JobStatus
+	if resp.StatusCode != 200 || json.Unmarshal(body, &list) != nil || len(list) != 1 {
+		t.Errorf("list: HTTP %d body %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,358 @@
+// Package coord is the distributed-sweep control plane: a coordinator
+// that decomposes a matrix sweep into cells (the same task
+// decomposition as a single-node journaled run), leases cells to
+// registered deesimd workers with time-bounded leases, re-dispatches
+// cells whose leases expire (worker crash, partition, or stall), and
+// merges the returned results through the exact aggregation path a
+// single-node run uses — so the merged tables are byte-identical.
+//
+// Durability follows the superv discipline: every assignment and
+// completion is one fsync'd JSONL record, so a SIGKILL'd coordinator
+// resumes its sweep from the journal without re-running finished
+// cells. Recovery tolerates exactly one failure mode — a torn final
+// record — and treats any other damage as a typed KindCorrupt error.
+package coord
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"deesim/internal/runx"
+)
+
+// JournalVersion is the coordinator journal's on-disk format version.
+const JournalVersion = 1
+
+// Coordinator journal record kinds. A journal is a header followed by
+// assign/done/expire/fail records appended in dispatch order.
+const (
+	kindHeader = "header"
+	// KindAssign marks a lease grant: the cell was durably assigned to a
+	// worker before the dispatch RPC left the coordinator.
+	KindAssign = "assign"
+	// KindDone marks a cell completion; the record carries the worker's
+	// CellResult payload verbatim. The first durable done record for a
+	// key wins — later completions of the same key are duplicates.
+	KindDone = "done"
+	// KindExpire marks a lease the coordinator revoked (TTL passed,
+	// heartbeat lost, dispatch failed); the cell returns to the pending
+	// queue.
+	KindExpire = "expire"
+	// KindFail marks a cell attempt failing with a typed error; the
+	// supervisor decides from Retryable whether the cell re-queues.
+	KindFail = "fail"
+)
+
+// Record is one coordinator journal line.
+type Record struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"v,omitempty"` // header only
+	Tool    string `json:"tool,omitempty"`
+	// Meta carries the sweep identity (the experiments.MatrixMeta
+	// digest) so resume refuses a journal recorded under a different
+	// matrix.
+	Meta map[string]string `json:"meta,omitempty"`
+
+	Key     string `json:"key,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Lease   string `json:"lease,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// Speculative marks a straggler-mitigation duplicate lease.
+	Speculative bool            `json:"spec,omitempty"`
+	Result      json.RawMessage `json:"result,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	ErrKind     string          `json:"errkind,omitempty"`
+	Retryable   bool            `json:"retryable,omitempty"`
+	Reason      string          `json:"reason,omitempty"`
+}
+
+// State is the digest of a coordinator journal replay.
+type State struct {
+	Tool string
+	Meta map[string]string
+	// Done maps completed cell keys to their durable result payloads —
+	// the first completion recorded for each key.
+	Done map[string]json.RawMessage
+	// Attempts maps cell keys that were assigned (and possibly expired
+	// or failed) to the highest attempt number the journal records.
+	// Cells present here but not in Done were in flight when the
+	// coordinator died; resume re-queues them.
+	Attempts map[string]int
+	// Duplicates counts completions discarded because an identical
+	// result was already durable for the key.
+	Duplicates int
+	// Truncated is the number of torn-tail bytes recovery dropped.
+	Truncated int
+}
+
+// Journal is an open, appendable coordinator journal. Safe for
+// concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+const stageJournal = "coord.Journal"
+
+// Create starts a fresh journal at path, fsync'ing the versioned
+// header before returning.
+func Create(path, tool string, meta map[string]string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "create %s: %w", path, err)
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.Append(Record{Kind: kindHeader, Version: JournalVersion, Tool: tool, Meta: meta}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Append marshals rec as one JSONL line, writes it, and fsyncs —
+// the durability contract every assign/done relies on.
+func (j *Journal) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return runx.Newf(runx.KindInvalidInput, stageJournal, "marshal %s record: %w", rec.Kind, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return runx.Newf(runx.KindInvalidInput, stageJournal, "append to closed journal %s", j.path)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return runx.Newf(runx.KindCorrupt, stageJournal, "write %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return runx.Newf(runx.KindCorrupt, stageJournal, "fsync %s: %w", j.path, err)
+	}
+	mJournalFsyncs.Inc()
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close syncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// Load replays the journal at path into a State, tolerating a torn
+// final record (see Decode).
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "read %s: %w", path, err)
+	}
+	return Decode(data)
+}
+
+// Decode replays in-memory journal bytes. Recovery is tolerant of
+// exactly one failure mode — a torn final record from a crash
+// mid-write: an unterminated or unparsable final line is dropped and
+// counted in State.Truncated. Any other damage (missing or
+// wrong-version header, unparsable interior record, a done record
+// without key or payload) is a typed KindCorrupt error. Decode never
+// panics on arbitrary bytes; FuzzCoordJournal holds it to that.
+func Decode(data []byte) (*State, error) {
+	st := &State{
+		Done:     make(map[string]json.RawMessage),
+		Attempts: make(map[string]int),
+	}
+	rest := data
+	sawHeader := false
+	lineNo := 0
+	for len(rest) > 0 {
+		nl := -1
+		for i, b := range rest {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			st.Truncated = len(rest)
+			break
+		}
+		line, isLast := rest[:nl], nl+1 == len(rest)
+		rest = rest[nl+1:]
+		lineNo++
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			if isLast {
+				st.Truncated = len(line) + 1
+				break
+			}
+			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
+		}
+		if !sawHeader {
+			if rec.Kind != kindHeader {
+				return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: first record is %q, want header", lineNo, rec.Kind)
+			}
+			if rec.Version != JournalVersion {
+				return nil, runx.Newf(runx.KindCorrupt, stageJournal, "journal version %d, this build reads %d", rec.Version, JournalVersion)
+			}
+			st.Tool, st.Meta = rec.Tool, rec.Meta
+			sawHeader = true
+			continue
+		}
+		if err := st.apply(rec); err != nil {
+			if isLast {
+				st.Truncated = len(line) + 1
+				break
+			}
+			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
+		}
+	}
+	if !sawHeader {
+		return nil, runx.Newf(runx.KindCorrupt, stageJournal, "no journal header (empty or truncated before the header record)")
+	}
+	return st, nil
+}
+
+// apply folds one post-header record into the state. The first done
+// record for a key wins — that is the deterministic duplicate rule the
+// live coordinator follows, replayed identically here.
+func (st *State) apply(rec Record) error {
+	if rec.Key == "" {
+		return fmt.Errorf("%s record without a cell key", rec.Kind)
+	}
+	switch rec.Kind {
+	case KindAssign:
+		if _, done := st.Done[rec.Key]; !done {
+			if rec.Attempt > st.Attempts[rec.Key] {
+				st.Attempts[rec.Key] = rec.Attempt
+			} else if rec.Attempt <= 0 {
+				st.Attempts[rec.Key]++
+			}
+		}
+	case KindDone:
+		if len(rec.Result) == 0 {
+			return fmt.Errorf("done record for %s without a result payload", rec.Key)
+		}
+		if _, dup := st.Done[rec.Key]; dup {
+			st.Duplicates++
+			return nil
+		}
+		st.Done[rec.Key] = rec.Result
+		delete(st.Attempts, rec.Key)
+	case KindExpire, KindFail:
+		if _, done := st.Done[rec.Key]; !done {
+			if rec.Attempt > st.Attempts[rec.Key] {
+				st.Attempts[rec.Key] = rec.Attempt
+			}
+		}
+	case kindHeader:
+		return fmt.Errorf("second header record")
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+	return nil
+}
+
+// Resume reopens a coordinator journal for a continued sweep: replay
+// (tolerating a torn tail), verify tool and meta identity, compact to
+// header + one done record per completed cell via an atomic temp-file
+// swap, and reopen for append. The compaction bounds journal growth
+// across repeated crashes and guarantees the resumed file starts from
+// a clean, fully-terminated prefix.
+func Resume(path, tool string, meta map[string]string) (*Journal, *State, error) {
+	st, err := Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Tool != tool {
+		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal,
+			"journal %s was recorded by %q, not %q", path, st.Tool, tool)
+	}
+	for k, v := range st.Meta {
+		if want, ok := meta[k]; ok && want != v {
+			return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal,
+				"journal %s was recorded with %s=%q, this sweep has %q", path, k, v, want)
+		}
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".ckpt-*")
+	if err != nil {
+		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	writeRec := func(rec Record) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(append(line, '\n'))
+		return err
+	}
+	if err := writeRec(Record{Kind: kindHeader, Version: JournalVersion, Tool: st.Tool, Meta: st.Meta}); err == nil {
+		keys := make([]string, 0, len(st.Done))
+		for k := range st.Done {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err = writeRec(Record{Kind: KindDone, Key: k, Attempt: 1, Result: st.Done[k]}); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "swap checkpoint: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "reopen %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path}, st, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// Summary renders a one-line progress digest of a replayed state.
+func (st *State) Summary(total int) string {
+	return fmt.Sprintf("%d/%d cells journaled complete, %d in flight at crash, %d duplicate(s), %d torn byte(s) recovered",
+		len(st.Done), total, len(st.Attempts), st.Duplicates, st.Truncated)
+}

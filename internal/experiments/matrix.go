@@ -20,12 +20,13 @@ import (
 
 // MatrixTask addresses one cell of the experiment matrix: a (workload
 // input) × model × resource-level triple. Its Key is the journal task
-// key, so two runs over the same matrix agree on task identity.
+// key, so two runs over the same matrix agree on task identity. The
+// JSON tags fix the wire shape the distributed-sweep cell RPC uses.
 type MatrixTask struct {
-	Workload string
-	Input    string // input name within the workload
-	Model    string
-	ET       int
+	Workload string `json:"workload"`
+	Input    string `json:"input"` // input name within the workload
+	Model    string `json:"model"`
+	ET       int    `json:"et"`
 }
 
 // Key renders the task's journal identity,
@@ -34,12 +35,14 @@ func (t MatrixTask) Key() string {
 	return t.Workload + "/" + t.Input + "|" + t.Model + "|ET=" + strconv.Itoa(t.ET)
 }
 
-// cellResult is the JSON payload journaled per completed matrix cell.
+// CellResult is the JSON payload journaled per completed matrix cell.
 // It carries everything merging needs: the cell's speedup and
 // root-resolution rate plus the input-level statistics (identical
 // across a given input's cells, recorded redundantly so any subset of
-// cells reconstructs them).
-type cellResult struct {
+// cells reconstructs them). It is also the cell RPC's response body:
+// a distributed sweep's coordinator journals these payloads verbatim
+// and replays them through the same merge as a single-node run.
+type CellResult struct {
 	Workload string  `json:"workload"`
 	Input    string  `json:"input"`
 	Model    string  `json:"model"`
@@ -167,7 +170,7 @@ func (e *inputSim) drop(sim *ilpsim.Sim) {
 }
 
 // run executes one cell on the shared simulator.
-func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*cellResult, error) {
+func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*CellResult, error) {
 	tr, sim, err := e.get(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -191,7 +194,7 @@ func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*cellResu
 		}
 		return nil, runx.Annotate(err, e.name)
 	}
-	return &cellResult{
+	return &CellResult{
 		Workload: t.Workload,
 		Input:    t.Input,
 		Model:    t.Model,
@@ -289,7 +292,7 @@ func RunMatrixContext(ctx context.Context, ws []bench.Workload, cfg Config, mcfg
 		mergeErr error
 	)
 	onDone := func(key string, payload json.RawMessage, replayed bool) {
-		var cell cellResult
+		var cell CellResult
 		if err := json.Unmarshal(payload, &cell); err != nil {
 			mu.Lock()
 			if mergeErr == nil {
@@ -388,4 +391,56 @@ func MatrixTaskCount(ws []bench.Workload, cfg Config) int {
 		n += len(w.Inputs) * len(cfg.Models) * len(cfg.Resources)
 	}
 	return n
+}
+
+// MatrixTasks enumerates the sweep's cells in the same deterministic
+// order RunMatrixContext queues them (workloads as given, then inputs,
+// models, resource levels). A distributed coordinator uses this as the
+// authoritative task decomposition, so its cells are exactly the cells
+// a single-node journaled run would execute.
+func MatrixTasks(ws []bench.Workload, cfg Config) []MatrixTask {
+	cfg = cfg.withDefaults()
+	tasks := make([]MatrixTask, 0, MatrixTaskCount(ws, cfg))
+	for _, w := range ws {
+		for _, in := range w.Inputs {
+			for _, m := range cfg.Models {
+				for _, et := range cfg.Resources {
+					tasks = append(tasks, MatrixTask{Workload: w.Name, Input: in.Name, Model: m.String(), ET: et})
+				}
+			}
+		}
+	}
+	return tasks
+}
+
+// RunCell executes exactly one matrix cell: it builds the cell's input
+// (trace + prepared simulator) and runs the (model, ET) simulation,
+// returning the same CellResult payload a journaled sweep records.
+// This is the worker half of a distributed sweep — a deesimd node
+// serves leased cells through it. Unknown workloads, inputs, or models
+// are typed KindInvalidInput so a coordinator never re-dispatches a
+// structurally impossible cell.
+func RunCell(ctx context.Context, ws []bench.Workload, cfg Config, t MatrixTask) (*CellResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateWorkloads(ws); err != nil {
+		return nil, err
+	}
+	const stage = "experiments.RunCell"
+	for _, w := range ws {
+		if w.Name != t.Workload {
+			continue
+		}
+		for _, in := range w.Inputs {
+			if in.Name != t.Input {
+				continue
+			}
+			ent := &inputSim{build: in.Build, name: w.Name + "/" + in.Name}
+			return ent.run(ctx, t, cfg)
+		}
+		return nil, runx.Newf(runx.KindInvalidInput, stage, "workload %q has no input %q", t.Workload, t.Input)
+	}
+	return nil, runx.Newf(runx.KindInvalidInput, stage, "unknown workload %q", t.Workload)
 }

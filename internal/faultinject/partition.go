@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"net/http"
+	"sync"
+	"syscall"
+)
+
+// PartitionTransport simulates a network partition: an
+// http.RoundTripper that, while Open, fails every round trip
+// immediately with an error wrapping syscall.ECONNREFUSED — the
+// signature of an unreachable host — without touching the inner
+// transport. Heal restores connectivity.
+//
+// Distributed-sweep tests wrap a worker client (or a heartbeater's
+// client) with it to cut one node out of the fleet mid-sweep and prove
+// the coordinator's heartbeat-staleness and lease-expiry paths
+// re-dispatch the partitioned node's cells. Unlike FaultyTransport's
+// probabilistic resets, a partition is a state, not an event: every
+// request fails until the test heals it.
+type PartitionTransport struct {
+	Inner http.RoundTripper
+
+	mu      sync.Mutex
+	open    bool
+	refused uint64
+}
+
+// NewPartitionTransport wraps inner (nil = http.DefaultTransport),
+// initially healed.
+func NewPartitionTransport(inner http.RoundTripper) *PartitionTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &PartitionTransport{Inner: inner}
+}
+
+// Open starts the partition: subsequent round trips are refused.
+func (t *PartitionTransport) Open() {
+	t.mu.Lock()
+	t.open = true
+	t.mu.Unlock()
+}
+
+// Heal ends the partition.
+func (t *PartitionTransport) Heal() {
+	t.mu.Lock()
+	t.open = false
+	t.mu.Unlock()
+}
+
+// Partitioned reports whether the partition is open.
+func (t *PartitionTransport) Partitioned() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.open
+}
+
+// Refused reports how many round trips the partition has refused.
+func (t *PartitionTransport) Refused() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.refused
+}
+
+// refusedErr wraps ECONNREFUSED so errors.Is(err, syscall.ECONNREFUSED)
+// holds, matching a real dial failure's unwrap chain.
+type refusedErr struct{}
+
+func (refusedErr) Error() string   { return "faultinject: connection refused (partitioned)" }
+func (refusedErr) Unwrap() error   { return syscall.ECONNREFUSED }
+func (refusedErr) Timeout() bool   { return false }
+func (refusedErr) Temporary() bool { return true }
+
+// RoundTrip refuses while partitioned, defers to the inner transport
+// otherwise.
+func (t *PartitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	open := t.open
+	if open {
+		t.refused++
+	}
+	t.mu.Unlock()
+	if open {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, refusedErr{}
+	}
+	return t.Inner.RoundTrip(req)
+}

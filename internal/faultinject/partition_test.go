@@ -1,0 +1,58 @@
+package faultinject
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+)
+
+// TestPartitionTransport: while open, every round trip fails with an
+// error that unwraps to ECONNREFUSED (matching a real dial failure);
+// healed, requests pass through untouched.
+func TestPartitionTransport(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(200)
+	}))
+	defer hs.Close()
+
+	pt := NewPartitionTransport(nil)
+	cl := &http.Client{Transport: pt}
+
+	if pt.Partitioned() {
+		t.Fatal("fresh transport is partitioned")
+	}
+	resp, err := cl.Get(hs.URL)
+	if err != nil {
+		t.Fatalf("healed round trip failed: %v", err)
+	}
+	resp.Body.Close()
+
+	pt.Open()
+	_, err = cl.Get(hs.URL)
+	if err == nil {
+		t.Fatal("partitioned round trip succeeded")
+	}
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Errorf("partition error %v does not unwrap to ECONNREFUSED", err)
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		t.Error("refusal misreported as a timeout")
+	}
+	if pt.Refused() != 1 {
+		t.Errorf("refused = %d, want 1", pt.Refused())
+	}
+
+	pt.Heal()
+	resp, err = cl.Get(hs.URL)
+	if err != nil {
+		t.Fatalf("round trip after heal failed: %v", err)
+	}
+	resp.Body.Close()
+	if pt.Refused() != 1 {
+		t.Errorf("healed requests counted as refused: %d", pt.Refused())
+	}
+}

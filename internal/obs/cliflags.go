@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 )
 
 // CLIFlags is the shared observability flag block the deesim binaries
@@ -16,6 +19,8 @@ type CLIFlags struct {
 	LogLevel   string
 	LogJSON    bool
 	MetricsOut string
+
+	mu sync.Mutex // serializes metric-snapshot writes (signal vs. exit)
 }
 
 // RegisterCLIFlags installs the shared flag block on fs.
@@ -42,13 +47,54 @@ func (f *CLIFlags) Handle(name string, stdout, stderr io.Writer) (done bool, err
 	return false, nil
 }
 
+// FlushOnSignal installs a watcher that flushes -metrics-out — and any
+// extra flushers the binary registers, such as a -trace-out writer —
+// the moment SIGINT or SIGTERM arrives, rather than only on clean
+// exit. Deferred cleanup never runs when a drain is cut short by a
+// second signal (or the process is killed mid-drain); flushing at
+// first signal means the telemetry of an interrupted run still reaches
+// disk. The exit-path WriteMetrics call stays in place and simply
+// overwrites the snapshot with fresher numbers; the two writers are
+// serialized on the flag block's mutex, so the file is never
+// interleaved. The returned stop function uninstalls the watcher.
+func (f *CLIFlags) FlushOnSignal(logf func(format string, args ...any), extra ...func() error) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ch:
+		}
+		if err := f.WriteMetrics(); err != nil && logf != nil {
+			logf("flush on signal: %v", err)
+		}
+		for _, fn := range extra {
+			if err := fn(); err != nil && logf != nil {
+				logf("flush on signal: %v", err)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}
+
 // WriteMetrics dumps the default registry to -metrics-out in
 // Prometheus text format. A no-op without the flag, so callers defer
-// it unconditionally.
+// it unconditionally. Safe to call more than once (the signal-flush
+// path and the exit path may both write; last writer wins).
 func (f *CLIFlags) WriteMetrics() error {
 	if f.MetricsOut == "" {
 		return nil
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	fh, err := os.Create(f.MetricsOut)
 	if err != nil {
 		return fmt.Errorf("metrics-out: %w", err)

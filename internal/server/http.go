@@ -38,6 +38,9 @@ const maxSpecBytes = 1 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.wrap("submit", s.handleSubmit))
+	// The cell RPC runs a whole simulation inside the request, so it
+	// gets the cell deadline (plus shedding slack), not the API one.
+	mux.HandleFunc("POST /v1/cells", s.wrapTimeout("cell", s.cfg.CellTimeout+5*time.Second, s.handleCell))
 	mux.HandleFunc("GET /v1/jobs", s.wrap("list", s.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.wrap("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.wrap("result", s.handleResult))
@@ -103,9 +106,16 @@ func setAccessJobID(ctx context.Context, id string) {
 // drain (503) responses included, since they matter most when
 // operators are staring at the log.
 func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return s.wrapTimeout(endpoint, s.cfg.RequestTimeout, h)
+}
+
+// wrapTimeout is wrap with an explicit request deadline, for the cell
+// RPC whose in-request simulation legitimately outlives the API
+// deadline.
+func (s *Server) wrapTimeout(endpoint string, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		entry := &accessEntry{jobID: r.PathValue("id")}
 		ctx = context.WithValue(ctx, accessKey{}, entry)
@@ -203,12 +213,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// ReadyStatus is the /readyz body. Status is the worker tri-state —
+// "ready", "busy" (every cell slot occupied; still 200, the process
+// serves), or "draining" (503) — reported distinctly so a coordinator
+// stops leasing to draining workers instead of burning a lease to find
+// out.
+type ReadyStatus struct {
+	Status        string `json:"status"`
+	CellsInflight int    `json:"cells_inflight"`
+	CellSlots     int    `json:"cell_slots"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		s.writeError(w, runx.Newf(runx.KindUnavailable, stageServer, "draining"))
-		return
+	st := ReadyStatus{Status: s.WorkerState(), CellsInflight: s.CellsActive(), CellSlots: s.CellSlots()}
+	code := http.StatusOK
+	if st.Status == WorkerDraining {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter).Seconds()+0.5)))
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeJSON(w, code, st)
 }
 
 // handleMetrics serves the registry in Prometheus text exposition

@@ -25,6 +25,10 @@ type serverMetrics struct {
 	jobsFailed  *obs.Counter
 	jobsIntr    *obs.Counter // interrupted (resume on restart)
 	jobsResumed *obs.Counter // re-queued by crash recovery
+
+	cellsInflight *obs.Gauge   // leased distributed-sweep cells executing
+	cellsServed   *obs.Counter // leased cells completed and returned
+	cellSheds     *obs.Counter // leased cells shed (busy or draining)
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -42,6 +46,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		jobsFailed:  reg.GetOrCreateCounter("deesim_server_jobs_failed_total"),
 		jobsIntr:    reg.GetOrCreateCounter("deesim_server_jobs_interrupted_total"),
 		jobsResumed: reg.GetOrCreateCounter("deesim_server_jobs_resumed_total"),
+
+		cellsInflight: reg.GetOrCreateGauge("deesim_server_cells_inflight"),
+		cellsServed:   reg.GetOrCreateCounter("deesim_server_cells_served_total"),
+		cellSheds:     reg.GetOrCreateCounter("deesim_server_cell_sheds_total"),
 	}
 }
 

@@ -65,6 +65,13 @@ type Config struct {
 	// CellJobs is the superv worker-pool size inside each job's matrix
 	// sweep (default 4).
 	CellJobs int
+	// CellSlots bounds concurrently-leased distributed-sweep cells
+	// (POST /v1/cells); requests beyond it are shed with 429 so the
+	// coordinator leases elsewhere (default = CellJobs).
+	CellSlots int
+	// CellTimeout caps one leased cell's execution (default 5m). The
+	// coordinator's lease TTL should exceed it.
+	CellTimeout time.Duration
 	// JobTimeout caps any job whose spec does not set its own tighter
 	// deadline (0 = none).
 	JobTimeout time.Duration
@@ -102,6 +109,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CellJobs <= 0 {
 		c.CellJobs = 4
+	}
+	if c.CellSlots <= 0 {
+		c.CellSlots = c.CellJobs
+	}
+	if c.CellTimeout <= 0 {
+		c.CellTimeout = 5 * time.Minute
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
@@ -161,6 +174,9 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	cellSlots   chan struct{} // leased-cell admission (capacity CellSlots)
+	cellsActive int64         // leased cells executing right now (atomic)
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	order       []string // submission/recovery order
@@ -194,6 +210,7 @@ func New(cfg Config) (*Server, error) {
 		met:        newServerMetrics(cfg.Metrics),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		cellSlots:  make(chan struct{}, cfg.CellSlots),
 		jobs:       make(map[string]*job),
 		running:    make(map[string]context.CancelFunc),
 	}
@@ -443,18 +460,25 @@ func (s *Server) finishJob(jb *job, err error) {
 		s.cfg.Logf("deesimd: job %s: interrupted, journaled for resume: %v", jb.id, err)
 		return
 	}
-	jb.state = StateFailed
+	// The marker must be durable before StateFailed is observable:
+	// anyone who sees the state (or a recovery scan after a crash
+	// here) must also see failed.json, or the job re-runs rather than
+	// silently resurrecting as queued.
 	kind := jb.errKind
+	errText := jb.errText
 	s.mu.Unlock()
-	s.met.jobsFailed.Inc()
-	s.cfg.Logf("deesimd: job %s: failed permanently: %v", jb.id, err)
 	data, _ := json.Marshal(struct {
 		Error string `json:"error"`
 		Kind  string `json:"kind,omitempty"`
-	}{jb.errText, kind})
+	}{errText, kind})
 	if werr := superv.WriteFileAtomic(filepath.Join(s.jobDir(jb.id), "failed.json"), append(data, '\n')); werr != nil {
 		s.cfg.Logf("deesimd: job %s: could not record failure: %v", jb.id, werr)
 	}
+	s.mu.Lock()
+	jb.state = StateFailed
+	s.mu.Unlock()
+	s.met.jobsFailed.Inc()
+	s.cfg.Logf("deesimd: job %s: failed permanently: %v", jb.id, err)
 }
 
 // Submit admits a job: sheds with KindOverload when the queue is full

@@ -79,6 +79,14 @@ func (sp Spec) resolve() ([]bench.Workload, experiments.Config, error) {
 	return ws, cfg, nil
 }
 
+// Resolve expands the spec into concrete workloads and an experiments
+// config — the exported face of resolve, for the distributed-sweep
+// coordinator, which must decompose a spec into the exact cell set a
+// single-node run would execute.
+func (sp Spec) Resolve() ([]bench.Workload, experiments.Config, error) {
+	return sp.resolve()
+}
+
 // Validate checks the spec without running anything: matrix resolution
 // plus duration syntax. The admission handler calls it so a malformed
 // submission is rejected with 400 before it costs a queue slot.
