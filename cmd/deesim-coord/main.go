@@ -13,7 +13,7 @@
 //	             [-cell-retries N] [-backoff d] [-straggler-factor F]
 //	             [-cell-timeout d] [-request-timeout d] [-drain-grace d]
 //	             [-retry-after d] [-log-level info] [-log-json]
-//	             [-metrics-out path] [-version]
+//	             [-metrics-out path] [-version] [-fsck]
 //
 // Fault tolerance: every lease grant and cell completion is fsync'd to
 // a per-sweep journal before it takes effect, so a SIGKILL'd
@@ -23,6 +23,10 @@
 // cells are speculatively duplicated near the end of a sweep, first
 // durable completion wins. SIGINT/SIGTERM drains gracefully and
 // flushes -metrics-out immediately.
+//
+// With -fsck the coordinator does not serve: it integrity-checks the
+// -state directory and exits, corrupt-kind code if anything is corrupt
+// or quarantined.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"time"
 
 	"deesim/internal/coord"
+	"deesim/internal/fsck"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
@@ -63,6 +68,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		reqTimeout   = fs.Duration("request-timeout", 10*time.Second, "per-HTTP-request deadline")
 		drainGrace   = fs.Duration("drain-grace", 15*time.Second, "how long a drain lets the running sweep finish before canceling")
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 429/503")
+		fsckFlag     = fs.Bool("fsck", false, "integrity-check the -state directory and exit (do not serve)")
 	)
 	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +96,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	slogger, err := obs.SetupLogger(stderr, obsFlags.LogLevel, obsFlags.LogJSON)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *fsckFlag {
+		r, err := fsck.Dir(nil, *stateFlag)
+		if err != nil {
+			return fail(err)
+		}
+		r.Render(stdout)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		return runx.ExitOK
 	}
 
 	c, err := coord.New(coord.Config{

@@ -15,6 +15,7 @@
 //	       [-figure name]
 //	       [-bench-out BENCH_core.json] [-bench-baseline BENCH_core.json]
 //	       [-bench-regress] [-bench-cap N]
+//	       [-fsck -journal run.journal]
 //
 // With -bench-out or -bench-baseline the command runs in perf mode
 // instead of sweeping: it measures the ILP core per (workload × model ×
@@ -42,6 +43,10 @@
 // baseline snapshot; any speedup drifting beyond the tolerance exits
 // non-zero with a regression error naming the model, benchmark, and
 // figure. -write-golden records such a snapshot.
+//
+// With -fsck, no sweep runs: the -journal file is integrity-checked
+// (full replay, verifying each record's content digest) and the
+// verdict printed; a corrupt journal exits with the corrupt-kind code.
 package main
 
 import (
@@ -58,6 +63,7 @@ import (
 	"deesim/internal/cache"
 	"deesim/internal/dee"
 	"deesim/internal/experiments"
+	"deesim/internal/fsck"
 	"deesim/internal/ilpsim"
 	"deesim/internal/obs"
 	"deesim/internal/perf"
@@ -91,6 +97,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		timeoutFlag = fs.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s or 1m (0 = none)")
 		dlFlag      = fs.Int("deadlock-limit", 0, fmt.Sprintf("abort a simulation after this many cycles without progress (0 = default %d)", ilpsim.DefaultDeadlockLimit))
 
+		fsckFlag    = fs.Bool("fsck", false, "integrity-check the -journal file and exit (no sweep runs)")
 		journalFlag = fs.String("journal", "", "record the sweep to a crash-safe run journal at this path")
 		resumeFlag  = fs.String("resume", "", "resume an interrupted sweep from this journal (re-runs only unfinished cells)")
 		jobsFlag    = fs.Int("jobs", 4, "worker-pool size for the journaled sweep")
@@ -140,6 +147,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 	defer stopFlush()
+
+	if *fsckFlag {
+		if *journalFlag == "" {
+			return fail(runx.Newf(runx.KindInvalidInput, "deesim", "-fsck needs -journal <path> to check"))
+		}
+		r := fsck.JournalReport(nil, *journalFlag)
+		r.Render(stdout)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
 
 	if *benchOut != "" || *benchBaseline != "" {
 		ctx, stop := runx.MainContext(*timeoutFlag)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"deesim/internal/dee"
+	"deesim/internal/runx"
 	"deesim/internal/superv"
 )
 
@@ -84,6 +85,42 @@ func TestJournalResumeEndToEnd(t *testing.T) {
 		t.Error("resume under a changed matrix succeeded")
 	} else if !strings.Contains(stderr, "journal") {
 		t.Errorf("unhelpful refusal: %s", stderr)
+	}
+}
+
+// TestFsckJournalEndToEnd: -fsck replays a journal's record digests —
+// exit 0 on a clean journal, the corrupt-kind exit code after a
+// mid-file bit flip, and usage guidance without -journal.
+func TestFsckJournalEndToEnd(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "run.journal")
+	code, _, stderr := run(t, "-bench", "xlisp", "-max", "3000",
+		"-models", "SP", "-resources", "8", "-journal", journal)
+	if code != 0 {
+		t.Fatalf("journaled run exited %d: %s", code, stderr)
+	}
+	code, out, stderr := run(t, "-fsck", "-journal", journal)
+	if code != 0 {
+		t.Fatalf("clean fsck exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("clean fsck output: %s", out)
+	}
+
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(journal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = run(t, "-fsck", "-journal", journal)
+	if code != runx.ExitCorrupt {
+		t.Fatalf("corrupt fsck exited %d, want %d:\n%s", code, runx.ExitCorrupt, out)
+	}
+
+	if code, _, stderr := run(t, "-fsck"); code == 0 || !strings.Contains(stderr, "-journal") {
+		t.Errorf("-fsck without -journal exited %d: %s", code, stderr)
 	}
 }
 

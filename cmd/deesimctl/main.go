@@ -24,6 +24,12 @@
 //	                       coordinator for fleet execution; identical
 //	                       wire shape to submit, spelled separately so
 //	                       scripts say what they mean
+//	fsck <state-dir>       offline integrity check of a daemon state
+//	                       directory (no server needed): verifies every
+//	                       artifact's digest, replays journals, lists
+//	                       quarantined and stale files; any corrupt or
+//	                       quarantined artifact exits with the
+//	                       corrupt-kind code
 //
 // wait polls adaptively: a healthy daemon is polled at -poll, but
 // consecutive failures back the cadence off exponentially — honoring
@@ -45,6 +51,7 @@ import (
 	"time"
 
 	"deesim/internal/client"
+	"deesim/internal/fsck"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -86,7 +93,7 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	})
 	defer stopFlush()
 	if fs.NArg() < 1 {
-		fmt.Fprintln(stderr, "deesimctl: missing command (submit, submit-distributed, status, list, result, wait, health, fleet)")
+		fmt.Fprintln(stderr, "deesimctl: missing command (submit, submit-distributed, status, list, result, wait, health, fleet, fsck)")
 		fs.Usage()
 		return runx.ExitUsage
 	}
@@ -206,6 +213,23 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		stdout.Write(append(raw, '\n'))
+		return runx.ExitOK
+
+	case "fsck":
+		// Offline: walks the state directory directly, no daemon involved
+		// (run it against a stopped daemon's -state dir).
+		dir, err := needArg("state-dir")
+		if err != nil {
+			return fail(err)
+		}
+		r, err := fsck.Dir(nil, dir)
+		if err != nil {
+			return fail(err)
+		}
+		r.Render(stdout)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
 		return runx.ExitOK
 
 	case "health":

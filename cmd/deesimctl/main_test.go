@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 
+	"deesim/internal/durable"
+	"deesim/internal/faultinject"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 )
@@ -101,6 +103,43 @@ func TestCtlSubmitWaitFromStdin(t *testing.T) {
 	var tables []json.RawMessage
 	if err := json.Unmarshal(out.Bytes(), &tables); err != nil {
 		t.Fatalf("submit -wait did not print result JSON: %v\n%s", err, out.String())
+	}
+}
+
+// TestCtlFsck: the offline integrity check exits 0 on a clean state
+// directory and with the corrupt-kind code once an artifact stops
+// matching its digest — and again while damage sits in quarantine.
+func TestCtlFsck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "result.json")
+	if err := durable.WriteFileAtomic(nil, path, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	run := func() (int, string) {
+		var out, errb bytes.Buffer
+		code := realMain([]string{"fsck", dir}, strings.NewReader(""), &out, &errb)
+		return code, out.String() + errb.String()
+	}
+	if code, all := run(); code != runx.ExitOK {
+		t.Fatalf("clean fsck exited %d: %s", code, all)
+	}
+	ffs := faultinject.NewFaultyFS(nil, 31)
+	if _, err := ffs.RotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	code, all := run()
+	if code != runx.ExitCorrupt {
+		t.Fatalf("corrupt fsck exited %d, want %d: %s", code, runx.ExitCorrupt, all)
+	}
+	if !strings.Contains(all, "corrupt") {
+		t.Errorf("corrupt fsck output missing verdict: %s", all)
+	}
+	// The daemon's remediation is quarantine; fsck must keep flagging it.
+	if _, err := durable.Quarantine(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	if code, all := run(); code != runx.ExitCorrupt || !strings.Contains(all, "quarantined") {
+		t.Fatalf("quarantined fsck exited %d: %s", code, all)
 	}
 }
 

@@ -13,7 +13,7 @@
 //	        [-job-timeout d] [-request-timeout d] [-drain-grace d]
 //	        [-retry-after d] [-retries N] [-backoff d]
 //	        [-log-level info] [-log-json] [-metrics-out path]
-//	        [-pprof] [-version]
+//	        [-pprof] [-version] [-fsck]
 //
 // Fleet mode: with -coord the daemon also serves leased distributed-
 // sweep cells (POST /v1/cells, bounded by -cell-slots) and registers
@@ -39,6 +39,12 @@
 //
 // -addr-file, when set, receives the bound listen address (useful with
 // -addr 127.0.0.1:0 in tests and scripts).
+//
+// With -fsck the daemon does not serve: it integrity-checks the -state
+// directory (digest sidecars, journal replay, quarantine contents),
+// prints per-artifact verdicts, and exits — corrupt-kind code if
+// anything is corrupt or quarantined. Run it on a stopped daemon's
+// state before restarting after suspected disk trouble.
 package main
 
 import (
@@ -53,6 +59,7 @@ import (
 	"time"
 
 	"deesim/internal/coord"
+	"deesim/internal/fsck"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -85,6 +92,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		retriesFlag  = fs.Int("retries", 2, "default per-cell retries for retryable failures")
 		backoffFlag  = fs.Duration("backoff", 250*time.Millisecond, "default base retry backoff per cell")
 		pprofFlag    = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints (debug surface; off by default)")
+		fsckFlag     = fs.Bool("fsck", false, "integrity-check the -state directory and exit (do not serve)")
 	)
 	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +120,18 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	slogger, err := obs.SetupLogger(stderr, obsFlags.LogLevel, obsFlags.LogJSON)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *fsckFlag {
+		r, err := fsck.Dir(nil, *stateFlag)
+		if err != nil {
+			return fail(err)
+		}
+		r.Render(stdout)
+		if err := r.Err(); err != nil {
+			return fail(err)
+		}
+		return runx.ExitOK
 	}
 
 	s, err := server.New(server.Config{

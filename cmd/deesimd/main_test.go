@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"deesim/internal/client"
+	"deesim/internal/durable"
 	"deesim/internal/server"
 	"deesim/internal/superv"
 )
@@ -269,7 +270,9 @@ func TestSigtermMidSweepDrainsAndExitsZero(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(spec, bytes.Replace(fast, []byte(`"30s"`), []byte(`"0s"`), 1), 0o644); err != nil {
+	// The spec is a digest-verified artifact: edit it through the durable
+	// writer so the sidecar follows, as an operator would re-run sha256sum.
+	if err := durable.WriteFileAtomic(nil, spec, bytes.Replace(fast, []byte(`"30s"`), []byte(`"0s"`), 1)); err != nil {
 		t.Fatal(err)
 	}
 	d2 := startDaemon(t, stateDir)

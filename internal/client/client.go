@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deesim/internal/durable"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 	"deesim/internal/superv"
@@ -292,6 +293,14 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		c.Breaker.Record(true)
+		// The server stamps result bodies with their content digest;
+		// re-hashing what actually arrived extends the storage integrity
+		// check across the wire (proxy truncation, transport bit flips).
+		if sum := resp.Header.Get(durable.DigestHeader); sum != "" {
+			if verr := durable.Verify(data, sum); verr != nil {
+				return 0, runx.Newf(runx.KindCorrupt, stageClient, "%s %s: response body failed digest check: %v", method, path, verr)
+			}
+		}
 		if out == nil {
 			return 0, nil
 		}

@@ -12,10 +12,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"deesim/internal/bench"
 	"deesim/internal/client"
+	"deesim/internal/durable"
 	"deesim/internal/experiments"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
@@ -83,6 +85,9 @@ type Config struct {
 	// URL. Nil means a client.Client with a single attempt and a
 	// per-worker breaker. Tests inject fakes here.
 	NewWorkerClient func(baseURL string) WorkerClient
+	// FS is the filesystem every durable write goes through; nil means
+	// the real one. Tests inject faultinject.FaultyFS here.
+	FS durable.FS
 	// now is the clock seam for tests.
 	now func() time.Time
 }
@@ -134,6 +139,7 @@ func (c Config) withDefaults() Config {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	c.FS = durable.Or(c.FS)
 	return c
 }
 
@@ -183,6 +189,10 @@ type Coordinator struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// degraded is set when a durable write hits ENOSPC; the
+	// coordinator sheds new sweeps until a probe write succeeds.
+	degraded atomic.Bool
+
 	mu          sync.Mutex
 	workers     map[string]*worker
 	wseq        int
@@ -206,9 +216,10 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.StateDir == "" {
 		return nil, runx.Newf(runx.KindInvalidInput, stageCoord, "empty state directory")
 	}
-	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "sweeps"), 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(filepath.Join(cfg.StateDir, "sweeps"), 0o755); err != nil {
 		return nil, runx.Newf(runx.KindInvalidInput, stageCoord, "state dir: %w", err)
 	}
+	cfg.FS.SyncDir(cfg.StateDir)
 	if cfg.NewWorkerClient == nil {
 		cfg.NewWorkerClient = func(baseURL string) WorkerClient {
 			c := client.New(baseURL)
@@ -247,14 +258,16 @@ func New(cfg Config) (*Coordinator, error) {
 // crash recovery: done and failed sweeps are indexed, anything else is
 // re-queued for journal resumption.
 func (c *Coordinator) recover() ([]*sweep, error) {
+	fsys := c.cfg.FS
 	dir := filepath.Join(c.cfg.StateDir, "sweeps")
-	entries, err := os.ReadDir(dir)
+	durable.SweepStale(fsys, dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, runx.Newf(runx.KindInvalidInput, stageCoord, "scan %s: %w", dir, err)
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if e.IsDir() {
+		if e.IsDir() && e.Name() != durable.QuarantineDir {
 			names = append(names, e.Name())
 		}
 	}
@@ -264,9 +277,17 @@ func (c *Coordinator) recover() ([]*sweep, error) {
 		if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > c.seq {
 			c.seq = n
 		}
-		specData, err := os.ReadFile(filepath.Join(dir, id, "spec.json"))
+		sdir := filepath.Join(dir, id)
+		durable.SweepStale(fsys, sdir)
+		specData, err := durable.ReadFileVerified(fsys, filepath.Join(sdir, "spec.json"))
 		if err != nil {
-			c.cfg.Logf("deesim-coord: recovery: sweep %s has no readable spec, skipping: %v", id, err)
+			if runx.IsKind(err, runx.KindCorrupt) {
+				qp, _ := durable.Quarantine(fsys, filepath.Join(sdir, "spec.json"))
+				c.met.quarantined.Inc()
+				c.cfg.Logf("deesim-coord: recovery: sweep %s spec corrupt, quarantined to %s: %v", id, qp, err)
+			} else {
+				c.cfg.Logf("deesim-coord: recovery: sweep %s has no readable spec, skipping: %v", id, err)
+			}
 			continue
 		}
 		var sp server.Spec
@@ -276,13 +297,13 @@ func (c *Coordinator) recover() ([]*sweep, error) {
 		}
 		sw := &sweep{id: id, spec: sp, cellsTotal: sp.CellsTotal()}
 		switch {
-		case fileExists(filepath.Join(dir, id, "result.json")):
+		case c.verifyOrQuarantine(sw, filepath.Join(sdir, "result.json")):
 			sw.state = server.StateDone
 			sw.cellsDone = sw.cellsTotal
-		case fileExists(filepath.Join(dir, id, "failed.json")):
+		case c.verifyOrQuarantine(sw, filepath.Join(sdir, "failed.json")):
 			sw.state = server.StateFailed
 			var f struct{ Error, Kind string }
-			if data, err := os.ReadFile(filepath.Join(dir, id, "failed.json")); err == nil {
+			if data, err := fsys.ReadFile(filepath.Join(sdir, "failed.json")); err == nil {
 				if json.Unmarshal(data, &f) == nil {
 					sw.errText, sw.errKind = f.Error, f.Kind
 				}
@@ -299,6 +320,29 @@ func (c *Coordinator) recover() ([]*sweep, error) {
 		c.cfg.Logf("deesim-coord: recovery: re-queued %d incomplete sweep(s)", len(pending))
 	}
 	return pending, nil
+}
+
+// verifyOrQuarantine reports whether a terminal-state artifact exists
+// and passes its digest check; a corrupt one is quarantined and
+// reported absent, which re-queues the sweep — cells replay from the
+// coordinator journal and only the damaged merge re-runs.
+func (c *Coordinator) verifyOrQuarantine(sw *sweep, path string) bool {
+	if _, err := c.cfg.FS.Stat(path); err != nil {
+		return false
+	}
+	if _, err := durable.ReadFileVerified(c.cfg.FS, path); err != nil {
+		qp, qerr := durable.Quarantine(c.cfg.FS, path)
+		if qerr != nil {
+			c.cfg.Logf("deesim-coord: sweep %s: %s corrupt and quarantine failed (%v); treating as absent: %v", sw.id, filepath.Base(path), qerr, err)
+			return false
+		}
+		c.met.quarantined.Inc()
+		c.met.healed.Inc()
+		durable.NoteHealed()
+		c.cfg.Logf("deesim-coord: sweep %s: %s failed integrity check, quarantined to %s; sweep will re-run: %v", sw.id, filepath.Base(path), qp, err)
+		return false
+	}
+	return true
 }
 
 // Start launches the sweep runner. Call once.
@@ -359,15 +403,23 @@ func (c *Coordinator) runSweep(ctx context.Context, sw *sweep) (err error) {
 		prior *State
 	)
 	if fileExists(jpath) {
-		jr, prior, err = Resume(jpath, "deesim-coord", meta)
+		jr, prior, err = ResumeFS(c.cfg.FS, jpath, "deesim-coord", meta)
 		if err != nil {
+			if runx.IsKind(err, runx.KindUnavailable) {
+				return err // disk full, not damage: park for resume
+			}
 			// Same self-healing rule as the worker daemon: an unusable
 			// journal carries no trustworthy progress, and cells are
-			// deterministic, so restart from scratch.
-			c.cfg.Logf("deesim-coord: sweep %s: journal unusable (%v), restarting from scratch", sw.id, err)
-			if rmErr := os.Remove(jpath); rmErr != nil {
-				return runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s: drop unusable journal: %v", sw.id, rmErr)
+			// deterministic — but the evidence is quarantined, never
+			// deleted.
+			qp, qerr := durable.Quarantine(c.cfg.FS, jpath)
+			if qerr != nil {
+				return runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s: journal unusable (%v) and quarantine failed: %v", sw.id, err, qerr)
 			}
+			c.met.quarantined.Inc()
+			c.met.healed.Inc()
+			durable.NoteHealed()
+			c.cfg.Logf("deesim-coord: sweep %s: journal unusable (%v), quarantined to %s, restarting from scratch", sw.id, err, qp)
 			jr, prior = nil, nil
 		} else {
 			c.met.sweepsResumed.Inc()
@@ -375,7 +427,7 @@ func (c *Coordinator) runSweep(ctx context.Context, sw *sweep) (err error) {
 		}
 	}
 	if jr == nil {
-		if jr, err = Create(jpath, "deesim-coord", meta); err != nil {
+		if jr, err = CreateFS(c.cfg.FS, jpath, "deesim-coord", meta); err != nil {
 			return err
 		}
 	}
@@ -411,7 +463,10 @@ func (c *Coordinator) mergeAndWrite(ctx context.Context, sw *sweep, ws []bench.W
 	if err != nil {
 		return runx.Newf(runx.KindUnknown, stageCoord, "sweep %s: marshal results: %w", sw.id, err)
 	}
-	if err := superv.WriteFileAtomic(filepath.Join(c.sweepDir(sw.id), "result.json"), append(data, '\n')); err != nil {
+	if err := durable.WriteFileAtomic(c.cfg.FS, filepath.Join(c.sweepDir(sw.id), "result.json"), append(data, '\n')); err != nil {
+		if durable.IsNoSpace(err) {
+			return runx.Newf(runx.KindUnavailable, stageCoord, "sweep %s: write result: %w", sw.id, err)
+		}
 		return runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s: write result: %w", sw.id, err)
 	}
 	return nil
@@ -435,9 +490,16 @@ func (c *Coordinator) finishSweep(sw *sweep, err error) {
 	if e, ok := runx.As(err); ok {
 		sw.errKind = e.Kind.String()
 	}
-	if runx.IsKind(err, runx.KindCanceled) {
+	if runx.IsKind(err, runx.KindCanceled) || durable.IsNoSpace(err) {
+		// Canceled (drain) and disk-full both park the sweep as
+		// interrupted: the journal's durable prefix is intact and the
+		// sweep resumes without re-running leased cells. A worker-side
+		// KindUnavailable still fails normally below.
 		sw.state = server.StateInterrupted
 		c.mu.Unlock()
+		if durable.IsNoSpace(err) {
+			c.setDegraded(true)
+		}
 		c.cfg.Logf("deesim-coord: sweep %s: interrupted, journaled for resume: %v", sw.id, err)
 		return
 	}
@@ -450,7 +512,10 @@ func (c *Coordinator) finishSweep(sw *sweep, err error) {
 		Error string `json:"error"`
 		Kind  string `json:"kind,omitempty"`
 	}{sw.errText, kind})
-	if werr := superv.WriteFileAtomic(filepath.Join(c.sweepDir(sw.id), "failed.json"), append(data, '\n')); werr != nil {
+	if werr := durable.WriteFileAtomic(c.cfg.FS, filepath.Join(c.sweepDir(sw.id), "failed.json"), append(data, '\n')); werr != nil {
+		if durable.IsNoSpace(werr) {
+			c.setDegraded(true)
+		}
 		c.cfg.Logf("deesim-coord: sweep %s: could not record failure: %v", sw.id, werr)
 	}
 }
@@ -460,6 +525,10 @@ func (c *Coordinator) finishSweep(sw *sweep, err error) {
 func (c *Coordinator) Submit(sp server.Spec) (*server.JobStatus, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
+	}
+	if c.Degraded() {
+		return nil, runx.Newf(runx.KindUnavailable, stageCoord,
+			"low disk: shedding new sweeps until durable writes succeed; retry after %s", c.cfg.RetryAfter)
 	}
 	c.mu.Lock()
 	if c.draining {
@@ -481,8 +550,11 @@ func (c *Coordinator) Submit(sp server.Spec) (*server.JobStatus, error) {
 
 	specData, err := json.MarshalIndent(sp, "", "  ")
 	if err == nil {
-		if err = os.MkdirAll(c.sweepDir(id), 0o755); err == nil {
-			err = superv.WriteFileAtomic(filepath.Join(c.sweepDir(id), "spec.json"), append(specData, '\n'))
+		if err = c.cfg.FS.MkdirAll(c.sweepDir(id), 0o755); err == nil {
+			// fsync the parent so the new directory entry is durable
+			// before the spec rename that depends on it.
+			c.cfg.FS.SyncDir(filepath.Join(c.cfg.StateDir, "sweeps"))
+			err = durable.WriteFileAtomic(c.cfg.FS, filepath.Join(c.sweepDir(id), "spec.json"), append(specData, '\n'))
 		}
 	}
 	if err != nil {
@@ -491,6 +563,10 @@ func (c *Coordinator) Submit(sp server.Spec) (*server.JobStatus, error) {
 		c.order = c.order[:len(c.order)-1]
 		c.waiting--
 		c.mu.Unlock()
+		if durable.IsNoSpace(err) {
+			c.setDegraded(true)
+			return nil, runx.Newf(runx.KindUnavailable, stageCoord, "persist sweep %s: %w", id, err)
+		}
 		return nil, runx.Newf(runx.KindCorrupt, stageCoord, "persist sweep %s: %w", id, err)
 	}
 
@@ -614,6 +690,48 @@ func (c *Coordinator) Close() {
 
 func (c *Coordinator) sweepDir(id string) string {
 	return filepath.Join(c.cfg.StateDir, "sweeps", id)
+}
+
+// Degraded reports whether the coordinator is in low-disk degraded
+// mode, probing its way back out with a tiny durable write.
+func (c *Coordinator) Degraded() bool {
+	if !c.degraded.Load() {
+		return false
+	}
+	if c.probeDisk() {
+		c.setDegraded(false)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) setDegraded(on bool) {
+	was := c.degraded.Swap(on)
+	if was == on {
+		return
+	}
+	if on {
+		c.met.lowDisk.Set(1)
+		durable.SetLowDisk(true)
+		c.cfg.Logf("deesim-coord: durable write hit ENOSPC; entering degraded mode (shedding new sweeps, acked state intact)")
+	} else {
+		c.met.lowDisk.Set(0)
+		durable.SetLowDisk(false)
+		c.cfg.Logf("deesim-coord: disk probe succeeded; leaving degraded mode")
+	}
+}
+
+func (c *Coordinator) probeDisk() bool {
+	path := filepath.Join(c.cfg.StateDir, ".diskprobe")
+	f, err := c.cfg.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return false
+	}
+	_, werr := f.Write([]byte("ok\n"))
+	serr := f.Sync()
+	cerr := f.Close()
+	c.cfg.FS.Remove(path)
+	return werr == nil && serr == nil && cerr == nil
 }
 
 func fileExists(path string) bool {

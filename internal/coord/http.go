@@ -6,10 +6,10 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	"os"
 	"strconv"
 	"time"
 
+	"deesim/internal/durable"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -158,12 +158,25 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, runx.Newf(runx.KindUnavailable, stageCoord, "sweep %s is %s (%d/%d cells)", id, st.State, st.CellsDone, st.CellsTotal))
 		return
 	}
-	data, err := os.ReadFile(c.ResultPath(id))
+	data, err := durable.ReadFileVerified(c.cfg.FS, c.ResultPath(id))
 	if err != nil {
+		if runx.IsKind(err, runx.KindCorrupt) {
+			// Quarantine the damage; the next restart's recovery scan
+			// sees no result and re-runs the sweep (cells replay from
+			// the coordinator journal, so only the merge re-executes).
+			if qp, qerr := durable.Quarantine(c.cfg.FS, c.ResultPath(id)); qerr == nil {
+				c.met.quarantined.Inc()
+				c.cfg.Logf("deesim-coord: sweep %s: result failed integrity check, quarantined to %s: %v", id, qp, err)
+			}
+			c.writeError(w, runx.Newf(runx.KindUnavailable, stageCoord,
+				"sweep %s result failed integrity check; quarantined, restart to re-run", id))
+			return
+		}
 		c.writeError(w, runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s result unreadable: %v", id, err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(durable.DigestHeader, durable.Digest(data))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 }

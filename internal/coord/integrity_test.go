@@ -1,0 +1,118 @@
+package coord
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"deesim/internal/faultinject"
+	"deesim/internal/runx"
+	"deesim/internal/server"
+)
+
+// TestCoordCorruptionQuarantineAndHeal is the coordinator side of the
+// seeded-corruption end-to-end: finish a distributed sweep, flip one
+// stored byte in its coord.journal and one in its merged result.json,
+// then bring a new coordinator up on the same state directory. fsck
+// must flag the damage with the corrupt kind, recovery must quarantine
+// both artifacts (preserving the evidence) and re-run the sweep, and
+// the healed merge must be byte-identical to the single-node golden.
+func TestCoordCorruptionQuarantineAndHeal(t *testing.T) {
+	stateDir := t.TempDir()
+	c1 := newTestCoord(t, map[string]*fakeWorker{"http://w1": {}}, func(cfg *Config) {
+		cfg.StateDir = stateDir
+	})
+	registerWorker(t, c1, "http://w1", 4)
+	c1.Start()
+	st, err := c1.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitSweep(t, c1, st.ID, 10*time.Second); final.State != server.StateDone {
+		t.Fatalf("sweep ended %s: %s", final.State, final.Error)
+	}
+	c1.Close()
+
+	sweepDir := filepath.Join(stateDir, "sweeps", st.ID)
+	ffs := faultinject.NewFaultyFS(nil, 11)
+	if _, err := ffs.RotFile(filepath.Join(sweepDir, "coord.journal")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.RotFile(filepath.Join(sweepDir, "result.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := &fakeWorker{}
+	c2 := newTestCoord(t, map[string]*fakeWorker{"http://w1": fresh}, func(cfg *Config) {
+		cfg.StateDir = stateDir
+	})
+	registerWorker(t, c2, "http://w1", 4)
+	c2.Start()
+	final := waitSweep(t, c2, st.ID, 10*time.Second)
+	if final.State != server.StateDone {
+		t.Fatalf("healed sweep ended %s: %s", final.State, final.Error)
+	}
+	// The corrupt journal forced a from-scratch re-run of all 4 cells.
+	if got := fresh.callCount(); got != 4 {
+		t.Errorf("healed sweep dispatched %d cells, want 4", got)
+	}
+	merged, err := os.ReadFile(c2.ResultPath(st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden := goldenResult(t, smokeSpec()); string(merged) != string(golden) {
+		t.Error("healed result differs from single-node golden")
+	}
+	// The damaged artifacts were preserved, not deleted.
+	qents, err := os.ReadDir(filepath.Join(sweepDir, ".quarantine"))
+	if err != nil {
+		t.Fatalf("no quarantine directory: %v", err)
+	}
+	if len(qents) < 2 {
+		t.Errorf("quarantine holds %d entries, want the rotted journal and result", len(qents))
+	}
+	if got := counter(c2, "deesim_coord_quarantined_total"); got < 1 {
+		t.Errorf("quarantined counter = %d", got)
+	}
+}
+
+// TestCoordNoSpaceShedsSubmissions: a coordinator under disk pressure
+// sheds new sweeps with a retryable kind and reports degraded, then
+// heals itself once the probe write succeeds.
+func TestCoordNoSpaceShedsSubmissions(t *testing.T) {
+	ffs := faultinject.NewFaultyFS(nil, 12)
+	c := newTestCoord(t, map[string]*fakeWorker{"http://w1": {}}, func(cfg *Config) {
+		cfg.FS = ffs
+	})
+	registerWorker(t, c, "http://w1", 4)
+	c.Start()
+
+	st, err := c.Submit(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitSweep(t, c, st.ID, 10*time.Second); final.State != server.StateDone {
+		t.Fatalf("sweep ended %s: %s", final.State, final.Error)
+	}
+
+	ffs.SetNoSpace(true)
+	if _, err := c.Submit(smokeSpec()); !runx.IsKind(err, runx.KindUnavailable) {
+		t.Fatalf("submit under ENOSPC = %v, want KindUnavailable", err)
+	}
+	if !c.Degraded() {
+		t.Error("coordinator not degraded under ENOSPC")
+	}
+	// Space frees: the probe heals admission.
+	ffs.SetNoSpace(false)
+	if c.Degraded() {
+		t.Error("still degraded after space freed")
+	}
+	st2, err := c.Submit(smokeSpec())
+	if err != nil {
+		t.Fatalf("submit after heal: %v", err)
+	}
+	if final := waitSweep(t, c, st2.ID, 10*time.Second); final.State != server.StateDone {
+		t.Fatalf("post-heal sweep ended %s: %s", final.State, final.Error)
+	}
+}

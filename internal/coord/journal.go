@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"deesim/internal/durable"
 	"deesim/internal/runx"
 )
 
@@ -70,6 +71,46 @@ type Record struct {
 	ErrKind     string          `json:"errkind,omitempty"`
 	Retryable   bool            `json:"retryable,omitempty"`
 	Reason      string          `json:"reason,omitempty"`
+
+	// Sum is the record's content digest (durable.Digest over the
+	// record marshaled with Sum empty), written by Append and verified
+	// on replay — the superv journal's integrity discipline. Sum-less
+	// records are legacy and replay unverified.
+	Sum string `json:"sum,omitempty"`
+}
+
+// encodeRecord marshals rec as one newline-terminated JSONL line with
+// its content digest in the Sum field; see the superv journal for why
+// re-marshaling the decoded record reproduces these bytes exactly.
+func encodeRecord(rec Record) ([]byte, error) {
+	rec.Sum = ""
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	rec.Sum = durable.Digest(line)
+	line, err = json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// verifyRecordSum checks a decoded record against its recorded Sum.
+func verifyRecordSum(rec Record) error {
+	if rec.Sum == "" {
+		return nil
+	}
+	sum := rec.Sum
+	rec.Sum = ""
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := durable.Verify(line, sum); err != nil {
+		return fmt.Errorf("record sum: %w", err)
+	}
+	return nil
 }
 
 // State is the digest of a coordinator journal replay.
@@ -95,7 +136,8 @@ type State struct {
 // concurrent use.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	fsys durable.FS
+	f    durable.File
 	path string
 }
 
@@ -104,11 +146,20 @@ const stageJournal = "coord.Journal"
 // Create starts a fresh journal at path, fsync'ing the versioned
 // header before returning.
 func Create(path, tool string, meta map[string]string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateFS(nil, path, tool, meta)
+}
+
+// CreateFS is Create on an injectable filesystem (nil = the real one).
+// Opening a journal first sweeps stale temp files a crashed writer
+// left in the directory.
+func CreateFS(fsys durable.FS, path, tool string, meta map[string]string) (*Journal, error) {
+	fsys = durable.Or(fsys)
+	durable.SweepStale(fsys, filepath.Dir(path)) // counted in deesim_durable_stale_swept_total
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "create %s: %w", path, err)
+		return nil, runx.Newf(journalOpenKind(err), stageJournal, "create %s: %w", path, err)
 	}
-	j := &Journal{f: f, path: path}
+	j := &Journal{fsys: fsys, f: f, path: path}
 	if err := j.Append(Record{Kind: kindHeader, Version: JournalVersion, Tool: tool, Meta: meta}); err != nil {
 		f.Close()
 		return nil, err
@@ -116,10 +167,29 @@ func Create(path, tool string, meta map[string]string) (*Journal, error) {
 	return j, nil
 }
 
-// Append marshals rec as one JSONL line, writes it, and fsyncs —
-// the durability contract every assign/done relies on.
+// journalOpenKind and journalWriteKind classify journal I/O failures:
+// a full disk is KindUnavailable (the durable prefix is intact; free
+// space and resume), other open-time failures are the caller's path,
+// and other mid-run I/O errors leave the file untrustworthy.
+func journalOpenKind(err error) runx.Kind {
+	if durable.IsNoSpace(err) {
+		return runx.KindUnavailable
+	}
+	return runx.KindInvalidInput
+}
+
+func journalWriteKind(err error) runx.Kind {
+	if durable.IsNoSpace(err) {
+		return runx.KindUnavailable
+	}
+	return runx.KindCorrupt
+}
+
+// Append marshals rec as one JSONL line with its content digest in the
+// sum field, writes it, and fsyncs — the durability contract every
+// assign/done relies on.
 func (j *Journal) Append(rec Record) error {
-	line, err := json.Marshal(rec)
+	line, err := encodeRecord(rec)
 	if err != nil {
 		return runx.Newf(runx.KindInvalidInput, stageJournal, "marshal %s record: %w", rec.Kind, err)
 	}
@@ -128,11 +198,11 @@ func (j *Journal) Append(rec Record) error {
 	if j.f == nil {
 		return runx.Newf(runx.KindInvalidInput, stageJournal, "append to closed journal %s", j.path)
 	}
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
-		return runx.Newf(runx.KindCorrupt, stageJournal, "write %s: %w", j.path, err)
+	if _, err := j.f.Write(line); err != nil {
+		return runx.Newf(journalWriteKind(err), stageJournal, "write %s: %w", j.path, err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return runx.Newf(runx.KindCorrupt, stageJournal, "fsync %s: %w", j.path, err)
+		return runx.Newf(journalWriteKind(err), stageJournal, "fsync %s: %w", j.path, err)
 	}
 	mJournalFsyncs.Inc()
 	return nil
@@ -159,7 +229,12 @@ func (j *Journal) Close() error {
 // Load replays the journal at path into a State, tolerating a torn
 // final record (see Decode).
 func Load(path string) (*State, error) {
-	data, err := os.ReadFile(path)
+	return LoadFS(nil, path)
+}
+
+// LoadFS is Load on an injectable filesystem (nil = the real one).
+func LoadFS(fsys durable.FS, path string) (*State, error) {
+	data, err := durable.Or(fsys).ReadFile(path)
 	if err != nil {
 		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "read %s: %w", path, err)
 	}
@@ -205,6 +280,16 @@ func Decode(data []byte) (*State, error) {
 				st.Truncated = len(line) + 1
 				break
 			}
+			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
+		}
+		if err := verifyRecordSum(rec); err != nil {
+			if isLast {
+				// A damaged final record is recoverable the same way a
+				// torn one is: drop it and re-run the affected cell.
+				st.Truncated = len(line) + 1
+				break
+			}
+			durable.NoteCorrupt()
 			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
 		}
 		if !sawHeader {
@@ -279,7 +364,14 @@ func (st *State) apply(rec Record) error {
 // across repeated crashes and guarantees the resumed file starts from
 // a clean, fully-terminated prefix.
 func Resume(path, tool string, meta map[string]string) (*Journal, *State, error) {
-	st, err := Load(path)
+	return ResumeFS(nil, path, tool, meta)
+}
+
+// ResumeFS is Resume on an injectable filesystem (nil = the real one).
+func ResumeFS(fsys durable.FS, path, tool string, meta map[string]string) (*Journal, *State, error) {
+	fsys = durable.Or(fsys)
+	durable.SweepStale(fsys, filepath.Dir(path))
+	st, err := LoadFS(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -293,18 +385,18 @@ func Resume(path, tool string, meta map[string]string) (*Journal, *State, error)
 				"journal %s was recorded with %s=%q, this sweep has %q", path, k, v, want)
 		}
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".ckpt-*")
+	tmp, err := durable.TempFile(fsys, path, "ckpt")
 	if err != nil {
-		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "checkpoint temp: %w", err)
+		return nil, nil, runx.Newf(journalOpenKind(err), stageJournal, "checkpoint temp: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	w := bufio.NewWriter(tmp)
 	writeRec := func(rec Record) error {
-		line, err := json.Marshal(rec)
+		line, err := encodeRecord(rec)
 		if err != nil {
 			return err
 		}
-		_, err = w.Write(append(line, '\n'))
+		_, err = w.Write(line)
 		return err
 	}
 	if err := writeRec(Record{Kind: kindHeader, Version: JournalVersion, Tool: st.Tool, Meta: st.Meta}); err == nil {
@@ -329,26 +421,19 @@ func Resume(path, tool string, meta map[string]string) (*Journal, *State, error)
 		err = cerr
 	}
 	if err != nil {
-		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "write checkpoint: %w", err)
+		return nil, nil, runx.Newf(journalWriteKind(err), stageJournal, "write checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "swap checkpoint: %w", err)
+	// The compaction swap fsyncs the parent directory via
+	// durable.RenameAndSync — the step a bare os.Rename forgot here
+	// before the integrity layer.
+	if err := durable.RenameAndSync(fsys, tmp.Name(), path); err != nil {
+		return nil, nil, runx.Newf(journalWriteKind(err), stageJournal, "swap checkpoint: %w", err)
 	}
-	syncDir(filepath.Dir(path))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "reopen %s: %w", path, err)
+		return nil, nil, runx.Newf(journalOpenKind(err), stageJournal, "reopen %s: %w", path, err)
 	}
-	return &Journal{f: f, path: path}, st, nil
-}
-
-// syncDir fsyncs a directory so a rename within it is durable.
-// Best-effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
+	return &Journal{fsys: fsys, f: f, path: path}, st, nil
 }
 
 // Summary renders a one-line progress digest of a replayed state.

@@ -37,6 +37,9 @@ type coordMetrics struct {
 	sweepsDone     *obs.Counter
 	sweepsFailed   *obs.Counter
 	sweepsResumed  *obs.Counter // journals replayed after a coordinator crash
+	quarantined    *obs.Counter // artifacts moved to .quarantine/
+	healed         *obs.Counter // quarantined sweeps re-entered into the run path
+	lowDisk        *obs.Gauge   // 1 while shedding because durable writes hit ENOSPC
 	mergeChecks    *obs.Counter // merges verified against the journal set
 }
 
@@ -64,6 +67,9 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 		sweepsDone:     reg.GetOrCreateCounter("deesim_coord_sweeps_done_total"),
 		sweepsFailed:   reg.GetOrCreateCounter("deesim_coord_sweeps_failed_total"),
 		sweepsResumed:  reg.GetOrCreateCounter("deesim_coord_sweeps_resumed_total"),
+		quarantined:    reg.GetOrCreateCounter("deesim_coord_quarantined_total"),
+		healed:         reg.GetOrCreateCounter("deesim_coord_healed_total"),
+		lowDisk:        reg.GetOrCreateGauge("deesim_coord_low_disk"),
 		mergeChecks:    reg.GetOrCreateCounter("deesim_coord_merge_checks_total"),
 	}
 }

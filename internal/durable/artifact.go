@@ -1,0 +1,292 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"deesim/internal/runx"
+)
+
+const stageDurable = "durable"
+
+// SumSuffix is the extension of a whole-file digest sidecar.
+const SumSuffix = ".sha256"
+
+// QuarantineDir is the name of the sibling directory damaged artifacts
+// are moved into. Artifacts are never deleted on integrity failure —
+// quarantine preserves the evidence for fsck and post-mortems while
+// getting the poison out of the resume path.
+const QuarantineDir = ".quarantine"
+
+// DigestHeader is the HTTP response header deesimd stamps on served
+// result bodies with the body's Digest-form sum, extending integrity
+// checking over the wire: the client re-hashes what it received and
+// rejects a body that no longer matches what the daemon read from
+// disk.
+const DigestHeader = "X-Deesim-Digest"
+
+// Digest returns the canonical content digest of data, in the
+// "sha256:<hex>" form journal records and fsck reports use. These
+// digests double as the content-addressed cache keys planned in the
+// roadmap.
+func Digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// Verify checks data against a Digest-form sum. A mismatch — or a sum
+// naming an algorithm this build does not know — is a typed
+// runx.KindCorrupt error.
+func Verify(data []byte, sum string) error {
+	hexSum, ok := strings.CutPrefix(sum, "sha256:")
+	if !ok {
+		return runx.Newf(runx.KindCorrupt, stageDurable, "unknown digest form %q", sum)
+	}
+	got := sha256.Sum256(data)
+	if hex.EncodeToString(got[:]) != hexSum {
+		return runx.Newf(runx.KindCorrupt, stageDurable,
+			"content digest mismatch: recorded %s, data hashes to sha256:%s", sum, hex.EncodeToString(got[:]))
+	}
+	return nil
+}
+
+// SumPath returns the sidecar path holding path's digest.
+func SumPath(path string) string { return path + SumSuffix }
+
+// IsSumPath reports whether path is a digest sidecar.
+func IsSumPath(path string) bool { return strings.HasSuffix(path, SumSuffix) }
+
+// formatSidecar renders the sidecar body in coreutils sha256sum
+// format ("<hex>  <basename>\n") so `sha256sum -c x.sha256` works in
+// the artifact directory alongside `deesimctl fsck`.
+func formatSidecar(path string, data []byte) []byte {
+	sum := sha256.Sum256(data)
+	return []byte(hex.EncodeToString(sum[:]) + "  " + filepath.Base(path) + "\n")
+}
+
+// parseSidecar extracts the Digest-form sum from a sidecar body.
+func parseSidecar(body []byte) (string, error) {
+	fields := strings.Fields(string(body))
+	if len(fields) == 0 {
+		return "", fmt.Errorf("empty digest sidecar")
+	}
+	hexSum := fields[0]
+	if len(hexSum) != sha256.Size*2 {
+		return "", fmt.Errorf("sidecar digest is %d hex chars, want %d", len(hexSum), sha256.Size*2)
+	}
+	if _, err := hex.DecodeString(hexSum); err != nil {
+		return "", fmt.Errorf("sidecar digest is not hex: %w", err)
+	}
+	return "sha256:" + strings.ToLower(hexSum), nil
+}
+
+// TempFile creates an exclusive temp file next to path named
+// "<base>.<kind>-<n>". The numeric suffix keeps temp names inside the
+// pattern SweepStale recognizes, so leftovers from a crashed writer
+// are reclaimed on the next journal open or state-dir recovery.
+func TempFile(fsys FS, path, kind string) (File, error) {
+	fsys = Or(fsys)
+	for n := 0; ; n++ {
+		name := path + "." + kind + "-" + strconv.Itoa(n)
+		f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			return f, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, err
+		}
+	}
+}
+
+// RenameAndSync renames oldpath over newpath and fsyncs newpath's
+// parent directory — the step a bare os.Rename forgets and without
+// which a crash can lose the rename itself. Every rename-into-place
+// site (journal compaction, atomic file writes, quarantine moves)
+// funnels through here.
+func RenameAndSync(fsys FS, oldpath, newpath string) error {
+	fsys = Or(fsys)
+	if err := fsys.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	fsys.SyncDir(filepath.Dir(newpath))
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file,
+// fsync, rename, and parent-directory fsync, then records data's
+// digest in the ".sha256" sidecar the same way. Readers never observe
+// a partial artifact, and ReadFileVerified can prove the bytes they do
+// observe are the bytes that were persisted.
+//
+// The artifact and its sidecar are two files, so a crash between the
+// two renames can leave a fresh artifact beside a stale sidecar. That
+// window is deliberate: the mismatch reads as KindCorrupt, the
+// artifact quarantines, and the work re-runs deterministically — a
+// spurious re-run, never a silently wrong read.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	fsys = Or(fsys)
+	if err := writeFileAtomicRaw(fsys, path, data); err != nil {
+		return err
+	}
+	return writeFileAtomicRaw(fsys, SumPath(path), formatSidecar(path, data))
+}
+
+// writeFileAtomicRaw is the temp+sync+rename core without a sidecar.
+func writeFileAtomicRaw(fsys FS, path string, data []byte) error {
+	tmp, err := TempFile(fsys, path, "tmp")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	defer fsys.Remove(name) // no-op after a successful rename
+	_, err = tmp.Write(data)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return RenameAndSync(fsys, name, path)
+}
+
+// ReadFileVerified reads path and checks it against its ".sha256"
+// sidecar. A missing sidecar means a legacy artifact from before the
+// integrity layer: the bytes are returned unverified. A present
+// sidecar that fails to parse or does not match the content is a
+// typed runx.KindCorrupt error (and counts in the corruption series);
+// the caller should Quarantine the artifact and re-enter its resume
+// path.
+func ReadFileVerified(fsys FS, path string) ([]byte, error) {
+	fsys = Or(fsys)
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	body, serr := fsys.ReadFile(SumPath(path))
+	if serr != nil {
+		if errors.Is(serr, os.ErrNotExist) {
+			return data, nil // legacy artifact: accepted, unverified
+		}
+		return nil, serr
+	}
+	sum, perr := parseSidecar(body)
+	if perr != nil {
+		mCorrupt.Inc()
+		return nil, runx.Newf(runx.KindCorrupt, stageDurable, "%s: %v", SumPath(path), perr)
+	}
+	if err := Verify(data, sum); err != nil {
+		mCorrupt.Inc()
+		return nil, runx.Annotate(err, path)
+	}
+	return data, nil
+}
+
+// VerifyFile checks path against its sidecar without returning the
+// content. verified reports whether a sidecar existed to check
+// against; legacy artifacts return (false, nil).
+func VerifyFile(fsys FS, path string) (verified bool, err error) {
+	fsys = Or(fsys)
+	if _, serr := fsys.Stat(SumPath(path)); serr != nil {
+		if errors.Is(serr, os.ErrNotExist) {
+			return false, nil
+		}
+		return false, serr
+	}
+	_, err = ReadFileVerified(fsys, path)
+	return true, err
+}
+
+// Quarantine moves path (and its digest sidecar, if any) into the
+// ".quarantine/" directory beside it, returning the artifact's new
+// path. Nothing is deleted: the damaged bytes stay available to fsck
+// and debugging while the resume path sees a clean directory and
+// re-runs the affected work. Destination names get a numeric suffix
+// when a previous quarantine of the same artifact already exists.
+func Quarantine(fsys FS, path string) (string, error) {
+	fsys = Or(fsys)
+	qdir := filepath.Join(filepath.Dir(path), QuarantineDir)
+	if err := fsys.MkdirAll(qdir, 0o755); err != nil {
+		return "", runx.Newf(runx.KindUnavailable, stageDurable, "quarantine dir %s: %w", qdir, err)
+	}
+	base := filepath.Base(path)
+	dest := filepath.Join(qdir, base)
+	for n := 1; ; n++ {
+		if _, err := fsys.Stat(dest); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dest = filepath.Join(qdir, base+"."+strconv.Itoa(n))
+	}
+	if err := RenameAndSync(fsys, path, dest); err != nil {
+		return "", runx.Newf(runx.KindUnavailable, stageDurable, "quarantine %s: %w", path, err)
+	}
+	// Carry the sidecar along so the quarantined pair stays auditable.
+	if _, err := fsys.Stat(SumPath(path)); err == nil {
+		if err := RenameAndSync(fsys, SumPath(path), SumPath(dest)); err != nil {
+			return dest, runx.Newf(runx.KindUnavailable, stageDurable, "quarantine sidecar of %s: %w", path, err)
+		}
+	}
+	fsys.SyncDir(filepath.Dir(path))
+	mQuarantined.Inc()
+	return dest, nil
+}
+
+// staleRe matches the temp-file names this layer (and os.CreateTemp
+// with the historical "<base>.tmp-*" / "<base>.ckpt-*" patterns)
+// generates: a dot-separated tmp/ckpt marker with an all-digit
+// suffix. Matching is deliberately narrow so a sweep can never eat a
+// real artifact.
+var staleRe = regexp.MustCompile(`\.(tmp|ckpt)-\d+$`)
+
+// IsStaleName reports whether a file name is a crashed writer's
+// leftover temp file.
+func IsStaleName(name string) bool { return staleRe.MatchString(name) }
+
+// SweepStale removes stale "*.tmp-N" / "*.ckpt-N" files from dir —
+// debris from writers that crashed between creating a temp file and
+// renaming it into place. Called on journal open and state-dir
+// recovery, when no writer can be mid-flight in the directory.
+// Returns the number of files removed; removals count in the
+// deesim_durable_stale_swept_total series.
+func SweepStale(fsys FS, dir string) (int, error) {
+	fsys = Or(fsys)
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	removed := 0
+	for _, ent := range ents {
+		if ent.IsDir() || !IsStaleName(ent.Name()) {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, ent.Name())); err == nil {
+			removed++
+			mStaleSwept.Inc()
+		}
+	}
+	if removed > 0 {
+		fsys.SyncDir(dir)
+	}
+	return removed, nil
+}
+
+// IsNoSpace reports whether err is a disk-full condition (ENOSPC or
+// quota exhaustion). Callers classify these as runx.KindUnavailable —
+// transient, resolved by freeing space — rather than KindCorrupt, so
+// affected jobs park as interrupted and resume instead of failing.
+func IsNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}

@@ -1,0 +1,237 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"deesim/internal/runx"
+)
+
+func TestDigestVerifyRoundTrip(t *testing.T) {
+	data := []byte(`{"v":1}`)
+	sum := Digest(data)
+	if !strings.HasPrefix(sum, "sha256:") || len(sum) != len("sha256:")+64 {
+		t.Fatalf("digest form %q", sum)
+	}
+	if err := Verify(data, sum); err != nil {
+		t.Fatalf("self-verify: %v", err)
+	}
+	if err := Verify([]byte(`{"v":2}`), sum); !runx.IsKind(err, runx.KindCorrupt) {
+		t.Errorf("mismatch returned %v, want KindCorrupt", err)
+	}
+	if err := Verify(data, "md5:abc"); !runx.IsKind(err, runx.KindCorrupt) {
+		t.Errorf("unknown algorithm returned %v, want KindCorrupt", err)
+	}
+}
+
+func TestWriteFileAtomicAndReadFileVerified(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "result.json")
+	data := []byte(`{"speedup":3.14}`)
+	if err := WriteFileAtomic(nil, path, data); err != nil {
+		t.Fatal(err)
+	}
+	// The artifact's own bytes are untouched by the integrity layer —
+	// digests live in the sidecar, so results stay byte-identical.
+	raw, err := os.ReadFile(path)
+	if err != nil || string(raw) != string(data) {
+		t.Fatalf("artifact bytes %q, %v", raw, err)
+	}
+	got, err := ReadFileVerified(nil, path)
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("verified read %q, %v", got, err)
+	}
+	// Sidecar is sha256sum -c compatible: "<hex>  <basename>\n".
+	sc, err := os.ReadFile(SumPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strings.TrimPrefix(Digest(data), "sha256:") + "  result.json\n"; string(sc) != want {
+		t.Errorf("sidecar %q, want %q", sc, want)
+	}
+	// No temp debris left behind.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if IsStaleName(e.Name()) {
+			t.Errorf("leftover temp %s", e.Name())
+		}
+	}
+}
+
+func TestReadFileVerifiedDetectsEveryFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	data := []byte(`{"k":"value"}`)
+	if err := WriteFileAtomic(nil, path, data); err != nil {
+		t.Fatal(err)
+	}
+	for off := range data {
+		for bit := 0; bit < 8; bit++ {
+			rot := append([]byte(nil), data...)
+			rot[off] ^= 1 << bit
+			if err := os.WriteFile(path, rot, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadFileVerified(nil, path); !runx.IsKind(err, runx.KindCorrupt) {
+				t.Fatalf("flip byte %d bit %d returned %v, want KindCorrupt", off, bit, err)
+			}
+		}
+	}
+}
+
+func TestReadFileVerifiedLegacyWithoutSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte("legacy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFileVerified(nil, path)
+	if err != nil || string(got) != "legacy" {
+		t.Fatalf("legacy read %q, %v", got, err)
+	}
+	verified, err := VerifyFile(nil, path)
+	if verified || err != nil {
+		t.Errorf("VerifyFile legacy = (%v, %v), want (false, nil)", verified, err)
+	}
+}
+
+func TestQuarantineMovesArtifactAndSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := WriteFileAtomic(nil, path, []byte("poison")); err != nil {
+		t.Fatal(err)
+	}
+	dest, err := Quarantine(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(dest) != filepath.Join(dir, QuarantineDir) {
+		t.Errorf("quarantined to %s", dest)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("original artifact still present")
+	}
+	if _, err := os.Stat(dest); err != nil {
+		t.Errorf("quarantined artifact missing: %v", err)
+	}
+	if _, err := os.Stat(SumPath(dest)); err != nil {
+		t.Errorf("sidecar did not move along: %v", err)
+	}
+	// A second quarantine of the same name must not clobber the first.
+	if err := os.WriteFile(path, []byte("poison2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dest2, err := Quarantine(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dest2 == dest {
+		t.Errorf("second quarantine reused %s", dest)
+	}
+	if got, _ := os.ReadFile(dest); string(got) != "poison" {
+		t.Errorf("first quarantined copy clobbered: %q", got)
+	}
+}
+
+func TestSweepStale(t *testing.T) {
+	dir := t.TempDir()
+	keep := []string{"run.journal", "result.json", "result.json.sha256", "note.tmp-x", "v.tmp"}
+	drop := []string{"run.journal.tmp-0", "run.journal.ckpt-3", "result.json.tmp-12"}
+	for _, n := range append(append([]string{}, keep...), drop...) {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := SweepStale(nil, dir)
+	if err != nil || n != len(drop) {
+		t.Fatalf("swept %d, %v; want %d", n, err, len(drop))
+	}
+	for _, n := range keep {
+		if _, err := os.Stat(filepath.Join(dir, n)); err != nil {
+			t.Errorf("sweep ate %s", n)
+		}
+	}
+	for _, n := range drop {
+		if _, err := os.Stat(filepath.Join(dir, n)); !os.IsNotExist(err) {
+			t.Errorf("sweep kept %s", n)
+		}
+	}
+	// Missing directory is not an error (fresh state dir).
+	if n, err := SweepStale(nil, filepath.Join(dir, "nope")); n != 0 || err != nil {
+		t.Errorf("missing dir: %d, %v", n, err)
+	}
+}
+
+func TestTempFileNamesAreSweepable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	f1, err := TempFile(nil, path, "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := TempFile(nil, path, "ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	defer f2.Close()
+	if f1.Name() == f2.Name() {
+		t.Errorf("O_EXCL loop reused %s", f1.Name())
+	}
+	for _, f := range []File{f1, f2} {
+		if !IsStaleName(filepath.Base(f.Name())) {
+			t.Errorf("temp name %s not sweepable", f.Name())
+		}
+	}
+}
+
+func TestIsNoSpace(t *testing.T) {
+	if !IsNoSpace(&os.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}) {
+		t.Error("ENOSPC not classified")
+	}
+	if !IsNoSpace(syscall.EDQUOT) {
+		t.Error("EDQUOT not classified")
+	}
+	if IsNoSpace(syscall.EIO) {
+		t.Error("EIO misclassified as no-space")
+	}
+	if IsNoSpace(nil) {
+		t.Error("nil misclassified")
+	}
+}
+
+// FuzzArtifactVerify drives the verification path with arbitrary
+// artifact bytes and arbitrary sidecar bytes: it must never panic,
+// must accept exactly the sidecar WriteFileAtomic would have recorded,
+// and must reject everything else with a typed error.
+func FuzzArtifactVerify(f *testing.F) {
+	f.Add([]byte(`{"v":1}`), []byte("deadbeef  result.json\n"))
+	f.Add([]byte(""), []byte(""))
+	f.Add([]byte("x"), []byte(strings.Repeat("0", 64)+"  x\n"))
+	f.Fuzz(func(t *testing.T, data, sidecar []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "artifact")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		if err := os.WriteFile(SumPath(path), sidecar, 0o644); err != nil {
+			t.Skip()
+		}
+		got, err := ReadFileVerified(nil, path)
+		if err != nil {
+			if !runx.IsKind(err, runx.KindCorrupt) {
+				t.Fatalf("untyped verification error: %v", err)
+			}
+			return
+		}
+		// Accepted: the sidecar's first field must be data's true digest.
+		if string(got) != string(data) {
+			t.Fatalf("verified read returned different bytes")
+		}
+		fields := strings.Fields(string(sidecar))
+		if len(fields) == 0 || "sha256:"+strings.ToLower(fields[0]) != Digest(data) {
+			t.Fatalf("accepted a sidecar %q that does not digest-match the data", sidecar)
+		}
+	})
+}

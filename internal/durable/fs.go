@@ -1,0 +1,100 @@
+// Package durable is the checksummed durable-artifact layer every
+// persist site in the repo writes through: superv and coord journal
+// records, server spec/result/failed documents, and golden baselines.
+// Every artifact carries a SHA-256 content digest recorded at persist
+// time (a ".sha256" sidecar for whole files, a "sum" field for JSONL
+// records) and verified at read time. Verification failure classifies
+// as runx.KindCorrupt and the damaged artifact is moved — never
+// deleted — into a ".quarantine/" sibling directory; the caller then
+// re-enters its normal resume/retry path, so the affected work simply
+// re-runs and the healed output is byte-identical to an uncorrupted
+// run.
+//
+// All file operations go through the FS interface so tests can inject
+// disk faults (faultinject.FaultyFS): ENOSPC, EIO on write or sync,
+// torn writes, read-back bit rot, rename failure. Production code uses
+// the OS implementation.
+package durable
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the durable layer needs from an
+// opened file. Sync is the durability barrier: a write is not durable
+// until Sync returns nil.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS abstracts the filesystem operations behind every durable write
+// site. The OS implementation passes straight through to the os
+// package; faultinject.FaultyFS wraps any FS with seeded fault
+// injection.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile reads the whole file with os.ReadFile semantics.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm os.FileMode) error
+	// Stat stats a path.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir lists a directory sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs a directory so a rename within it is durable.
+	// Best-effort on filesystems that reject directory fsync.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS backed by the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best-effort: directory may not support opening for sync
+	}
+	err = d.Sync()
+	d.Close()
+	// Directory fsync is rejected by some filesystems; treat as advisory.
+	_ = err
+	return nil
+}
+
+// Or returns fsys, or OS when fsys is nil — the idiom config structs
+// use so a zero-value FS field means "the real filesystem".
+func Or(fsys FS) FS {
+	if fsys == nil {
+		return OS
+	}
+	return fsys
+}

@@ -1,0 +1,34 @@
+package durable
+
+import "deesim/internal/obs"
+
+// Integrity series on the default registry. Corruption detection and
+// quarantine increment inside this package; heals are noted by the
+// callers that actually re-run the damaged work (server/coord resume
+// paths), and the low-disk gauge tracks daemon degraded mode.
+var (
+	mCorrupt     = obs.GetOrCreateCounter("deesim_durable_corrupt_total")
+	mQuarantined = obs.GetOrCreateCounter("deesim_durable_quarantined_total")
+	mHealed      = obs.GetOrCreateCounter("deesim_durable_healed_total")
+	mStaleSwept  = obs.GetOrCreateCounter("deesim_durable_stale_swept_total")
+	mLowDisk     = obs.GetOrCreateGauge("deesim_durable_low_disk")
+)
+
+// NoteCorrupt counts an integrity failure detected outside the
+// ReadFileVerified path (per-record journal sums).
+func NoteCorrupt() { mCorrupt.Inc() }
+
+// NoteHealed counts a quarantined artifact whose work was re-entered
+// into the resume/retry path.
+func NoteHealed() { mHealed.Inc() }
+
+// SetLowDisk flips the low-disk gauge: 1 while a daemon is shedding
+// work because durable writes hit ENOSPC, 0 once a probe write
+// succeeds again.
+func SetLowDisk(low bool) {
+	if low {
+		mLowDisk.Set(1)
+	} else {
+		mLowDisk.Set(0)
+	}
+}

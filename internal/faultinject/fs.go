@@ -1,0 +1,248 @@
+package faultinject
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+
+	"deesim/internal/durable"
+)
+
+// FaultyFS wraps a durable.FS with seeded disk-fault injection — the
+// fourth fault surface, covering the durability fabric itself. Every
+// durable write site (superv/coord journals, server job documents,
+// golden baselines) runs behind durable.FS, so threading a FaultyFS
+// through a Config exercises the whole persist path hermetically:
+//
+//   - ENOSPC: NoSpace mode fails every write, create, and mkdir with
+//     syscall.ENOSPC (durable.IsNoSpace-classifiable), simulating a
+//     full disk that later drains;
+//   - EIO on write/sync: WriteErrRate / SyncErrRate fail individual
+//     operations with syscall.EIO;
+//   - torn writes: TornWriteRate persists only a prefix of the buffer
+//     and then fails — the crash-mid-write a journal's torn-tail
+//     recovery must absorb;
+//   - read-back bit rot: BitRotRate flips one deterministic bit in a
+//     ReadFile result, which record sums and sidecar digests must
+//     catch;
+//   - rename failure: RenameErrRate fails the atomic-install step.
+//
+// All faults draw from one splitmix64 stream, so a failing seed
+// replays exactly. Counters report how many faults actually fired.
+type FaultyFS struct {
+	Inner durable.FS
+
+	mu            sync.Mutex
+	r             *rng
+	noSpace       bool
+	writeErrRate  float64
+	syncErrRate   float64
+	tornWriteRate float64
+	bitRotRate    float64
+	renameErrRate float64
+
+	// Injected-fault counters, one per fault class.
+	NoSpaceHits int
+	WriteErrs   int
+	SyncErrs    int
+	TornWrites  int
+	BitRots     int
+	RenameErrs  int
+}
+
+// NewFaultyFS wraps inner (nil = the real filesystem) with the given
+// seed and no faults armed; arm individual fault classes with the
+// setters.
+func NewFaultyFS(inner durable.FS, seed uint64) *FaultyFS {
+	return &FaultyFS{Inner: durable.Or(inner), r: newRNG(seed)}
+}
+
+// SetNoSpace arms or clears disk-full mode. While armed, every write,
+// create, mkdir, and sync fails with ENOSPC; reads and removes still
+// work, matching how a full disk behaves.
+func (f *FaultyFS) SetNoSpace(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.noSpace = on
+}
+
+// SetWriteErrRate arms random EIO on a fraction of writes.
+func (f *FaultyFS) SetWriteErrRate(rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErrRate = rate
+}
+
+// SetSyncErrRate arms random EIO on a fraction of fsyncs.
+func (f *FaultyFS) SetSyncErrRate(rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErrRate = rate
+}
+
+// SetTornWriteRate arms torn writes: an affected write persists a
+// prefix of the buffer and fails with EIO.
+func (f *FaultyFS) SetTornWriteRate(rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornWriteRate = rate
+}
+
+// SetBitRotRate arms read-back bit rot: an affected ReadFile returns
+// the stored bytes with one bit flipped at a seeded offset.
+func (f *FaultyFS) SetBitRotRate(rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.bitRotRate = rate
+}
+
+// SetRenameErrRate arms random EIO on a fraction of renames.
+func (f *FaultyFS) SetRenameErrRate(rate float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renameErrRate = rate
+}
+
+func (f *FaultyFS) OpenFile(name string, flag int, perm os.FileMode) (durable.File, error) {
+	f.mu.Lock()
+	creating := flag&os.O_CREATE != 0
+	if f.noSpace && creating {
+		f.NoSpaceHits++
+		f.mu.Unlock()
+		return nil, &os.PathError{Op: "open", Path: name, Err: syscall.ENOSPC}
+	}
+	f.mu.Unlock()
+	inner, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultyFS) ReadFile(name string) ([]byte, error) {
+	data, err := f.Inner.ReadFile(name)
+	if err != nil {
+		return data, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(data) > 0 && f.r.hit(f.bitRotRate) {
+		f.BitRots++
+		rot := make([]byte, len(data))
+		copy(rot, data)
+		n := f.r.next()
+		rot[n%uint64(len(rot))] ^= 1 << (n >> 32 % 8)
+		return rot, nil
+	}
+	return data, nil
+}
+
+// RotFile flips one deterministic bit of the file's stored bytes in
+// place — the persistent flavor of bit rot, for tests that corrupt an
+// artifact and then restart the process that owns it. Returns the
+// byte offset flipped.
+func (f *FaultyFS) RotFile(name string) (int, error) {
+	data, err := f.Inner.ReadFile(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("rot %s: empty file", name)
+	}
+	f.mu.Lock()
+	n := f.r.next()
+	f.BitRots++
+	f.mu.Unlock()
+	off := int(n % uint64(len(data)))
+	data[off] ^= 1 << (n >> 32 % 8)
+	wf, err := f.Inner.OpenFile(name, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return off, err
+	}
+	_, err = wf.Write(data)
+	if cerr := wf.Close(); err == nil {
+		err = cerr
+	}
+	return off, err
+}
+
+func (f *FaultyFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	if f.r.hit(f.renameErrRate) {
+		f.RenameErrs++
+		f.mu.Unlock()
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: syscall.EIO}
+	}
+	f.mu.Unlock()
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultyFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+func (f *FaultyFS) MkdirAll(path string, perm os.FileMode) error {
+	f.mu.Lock()
+	if f.noSpace {
+		f.NoSpaceHits++
+		f.mu.Unlock()
+		return &os.PathError{Op: "mkdir", Path: path, Err: syscall.ENOSPC}
+	}
+	f.mu.Unlock()
+	return f.Inner.MkdirAll(path, perm)
+}
+
+func (f *FaultyFS) Stat(name string) (os.FileInfo, error)      { return f.Inner.Stat(name) }
+func (f *FaultyFS) ReadDir(name string) ([]fs.DirEntry, error) { return f.Inner.ReadDir(name) }
+func (f *FaultyFS) SyncDir(dir string) error                   { return f.Inner.SyncDir(dir) }
+
+// faultyFile applies write/sync faults to one open file.
+type faultyFile struct {
+	fs    *FaultyFS
+	inner durable.File
+}
+
+func (w *faultyFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	if w.fs.noSpace {
+		w.fs.NoSpaceHits++
+		w.fs.mu.Unlock()
+		return 0, &os.PathError{Op: "write", Path: w.inner.Name(), Err: syscall.ENOSPC}
+	}
+	if w.fs.r.hit(w.fs.tornWriteRate) && len(p) > 1 {
+		w.fs.TornWrites++
+		cut := 1 + int(w.fs.r.next()%uint64(len(p)-1))
+		w.fs.mu.Unlock()
+		n, err := w.inner.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		return n, &os.PathError{Op: "write", Path: w.inner.Name(), Err: syscall.EIO}
+	}
+	if w.fs.r.hit(w.fs.writeErrRate) {
+		w.fs.WriteErrs++
+		w.fs.mu.Unlock()
+		return 0, &os.PathError{Op: "write", Path: w.inner.Name(), Err: syscall.EIO}
+	}
+	w.fs.mu.Unlock()
+	return w.inner.Write(p)
+}
+
+func (w *faultyFile) Sync() error {
+	w.fs.mu.Lock()
+	if w.fs.noSpace {
+		w.fs.NoSpaceHits++
+		w.fs.mu.Unlock()
+		return &os.PathError{Op: "sync", Path: w.inner.Name(), Err: syscall.ENOSPC}
+	}
+	if w.fs.r.hit(w.fs.syncErrRate) {
+		w.fs.SyncErrs++
+		w.fs.mu.Unlock()
+		return &os.PathError{Op: "sync", Path: w.inner.Name(), Err: syscall.EIO}
+	}
+	w.fs.mu.Unlock()
+	return w.inner.Sync()
+}
+
+func (w *faultyFile) Close() error { return w.inner.Close() }
+func (w *faultyFile) Name() string { return w.inner.Name() }

@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"deesim/internal/durable"
+	"deesim/internal/runx"
+)
+
+func TestFaultyFSNoSpace(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(nil, 1)
+	ffs.SetNoSpace(true)
+
+	if err := durable.WriteFileAtomic(ffs, filepath.Join(dir, "a.json"), []byte("x")); err == nil {
+		t.Fatal("write under ENOSPC succeeded")
+	} else if !durable.IsNoSpace(err) {
+		t.Fatalf("ENOSPC write classified as %v", err)
+	}
+	if err := ffs.MkdirAll(filepath.Join(dir, "sub"), 0o755); !durable.IsNoSpace(err) {
+		t.Fatalf("mkdir under ENOSPC: %v", err)
+	}
+	if ffs.NoSpaceHits == 0 {
+		t.Error("no-space counter never fired")
+	}
+	// Reads still work on a full disk.
+	if err := os.WriteFile(filepath.Join(dir, "b.json"), []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ffs.ReadFile(filepath.Join(dir, "b.json")); err != nil || string(got) != "y" {
+		t.Errorf("read under ENOSPC: %q, %v", got, err)
+	}
+	// Clearing the fault heals the path.
+	ffs.SetNoSpace(false)
+	if err := durable.WriteFileAtomic(ffs, filepath.Join(dir, "a.json"), []byte("x")); err != nil {
+		t.Fatalf("write after clearing ENOSPC: %v", err)
+	}
+}
+
+func TestFaultyFSTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(nil, 42)
+	ffs.SetTornWriteRate(1)
+	path := filepath.Join(dir, "torn.bin")
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	n, werr := f.Write(payload)
+	f.Close()
+	if werr == nil {
+		t.Fatal("torn write reported success")
+	}
+	if !errors.Is(werr, syscall.EIO) {
+		t.Fatalf("torn write error %v, want EIO", werr)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("torn write persisted %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != string(payload[:n]) {
+		t.Errorf("on-disk %q, want prefix %q", got, payload[:n])
+	}
+	if ffs.TornWrites != 1 {
+		t.Errorf("TornWrites = %d", ffs.TornWrites)
+	}
+}
+
+func TestFaultyFSWriteAndSyncErrors(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(nil, 7)
+	ffs.SetWriteErrRate(1)
+	f, err := ffs.OpenFile(filepath.Join(dir, "w.bin"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Errorf("write fault: %v", err)
+	}
+	f.Close()
+	ffs.SetWriteErrRate(0)
+	ffs.SetSyncErrRate(1)
+	f, err = ffs.OpenFile(filepath.Join(dir, "s.bin"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Errorf("sync fault: %v", err)
+	}
+	f.Close()
+	if ffs.WriteErrs != 1 || ffs.SyncErrs != 1 {
+		t.Errorf("counters: writes=%d syncs=%d", ffs.WriteErrs, ffs.SyncErrs)
+	}
+}
+
+func TestFaultyFSBitRotCaughtByVerifiedRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	if err := durable.WriteFileAtomic(nil, path, []byte(`{"v":"payload"}`)); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultyFS(nil, 99)
+	ffs.SetBitRotRate(1)
+	// Every read comes back rotted — either in the artifact or in its
+	// sidecar — and the verified read must refuse it either way.
+	if _, err := durable.ReadFileVerified(ffs, path); !runx.IsKind(err, runx.KindCorrupt) {
+		t.Fatalf("rotted read returned %v, want KindCorrupt", err)
+	}
+	if ffs.BitRots == 0 {
+		t.Error("bit-rot counter never fired")
+	}
+	// The rot is read-back only: the stored bytes are intact, so the
+	// real filesystem still verifies.
+	if _, err := durable.ReadFileVerified(nil, path); err != nil {
+		t.Errorf("stored bytes damaged: %v", err)
+	}
+}
+
+func TestFaultyFSRotFilePersistsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	if err := durable.WriteFileAtomic(nil, path, []byte(`{"v":"payload"}`)); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultyFS(nil, 5)
+	if _, err := ffs.RotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := durable.ReadFileVerified(nil, path); !runx.IsKind(err, runx.KindCorrupt) {
+		t.Fatalf("persisted rot returned %v, want KindCorrupt", err)
+	}
+}
+
+func TestFaultyFSRenameError(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "a")
+	if err := os.WriteFile(old, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultyFS(nil, 3)
+	ffs.SetRenameErrRate(1)
+	if err := ffs.Rename(old, filepath.Join(dir, "b")); !errors.Is(err, syscall.EIO) {
+		t.Errorf("rename fault: %v", err)
+	}
+	if _, err := os.Stat(old); err != nil {
+		t.Errorf("failed rename moved the file anyway: %v", err)
+	}
+}
+
+// TestFaultyFSDeterministic: two instances with the same seed inject
+// the same faults at the same operations.
+func TestFaultyFSDeterministic(t *testing.T) {
+	run := func(seed uint64) []bool {
+		dir := t.TempDir()
+		ffs := NewFaultyFS(nil, seed)
+		ffs.SetWriteErrRate(0.5)
+		var hits []bool
+		for i := 0; i < 32; i++ {
+			f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, werr := f.Write([]byte("x"))
+			f.Close()
+			hits = append(hits, werr != nil)
+		}
+		return hits
+	}
+	a, b := run(1234), run(1234)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+}

@@ -56,7 +56,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, runx.Newf(runx.KindInvalidInput, stageServer, "decode cell request: %v", err))
 		return
 	}
-	if s.Draining() {
+	if s.Draining() || s.Degraded() {
 		s.met.cellSheds.Inc()
 		s.writeError(w, runx.Newf(runx.KindUnavailable, stageServer, "draining: not accepting cells"))
 		return
@@ -136,7 +136,9 @@ func (s *Server) CellSlots() int { return cap(s.cellSlots) }
 // with every cell slot occupied, otherwise "ready".
 func (s *Server) WorkerState() string {
 	switch {
-	case s.Draining():
+	case s.Draining(), s.Degraded():
+		// Low-disk degraded mode reads as draining to the fleet: the
+		// coordinator stops leasing here without needing a new state.
 		return WorkerDraining
 	case s.CellsActive() >= s.CellSlots():
 		return WorkerBusy

@@ -7,10 +7,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"strconv"
 	"time"
 
+	"deesim/internal/durable"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 )
@@ -199,12 +199,34 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, runx.Newf(runx.KindUnavailable, stageServer, "job %s is %s (%d/%d cells)", id, st.State, st.CellsDone, st.CellsTotal))
 		return
 	}
-	data, err := os.ReadFile(s.ResultPath(id))
+	data, err := durable.ReadFileVerified(s.cfg.FS, s.ResultPath(id))
 	if err != nil {
+		if runx.IsKind(err, runx.KindCorrupt) {
+			// The stored result no longer matches its recorded digest:
+			// quarantine the damage and send the job back through the run
+			// path. The sweep is deterministic, so the re-run serves
+			// byte-identical results; the client's Wait loop just sees a
+			// retry-later in the meantime.
+			if qp, qerr := durable.Quarantine(s.cfg.FS, s.ResultPath(id)); qerr == nil {
+				s.met.quarantined.Inc()
+				s.cfg.Logf("deesimd: job %s: result failed integrity check, quarantined to %s: %v", id, qp, err)
+				if s.requeueForHeal(id) {
+					s.met.healed.Inc()
+					durable.NoteHealed()
+				}
+			}
+			s.writeError(w, runx.Newf(runx.KindUnavailable, stageServer,
+				"job %s result failed integrity check; quarantined and re-queued for re-run", id))
+			return
+		}
 		s.writeError(w, runx.Newf(runx.KindCorrupt, stageServer, "job %s result unreadable: %v", id, err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// The body was verified against its stored digest above; stamping
+	// that digest on the response lets the client extend the integrity
+	// check across the wire.
+	w.Header().Set(durable.DigestHeader, durable.Digest(data))
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
 }
@@ -217,15 +239,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // "ready", "busy" (every cell slot occupied; still 200, the process
 // serves), or "draining" (503) — reported distinctly so a coordinator
 // stops leasing to draining workers instead of burning a lease to find
-// out.
+// out. Degraded marks low-disk mode: the worker reports draining (and
+// sheds) until a durable probe write succeeds again, but the flag
+// tells operators it is disk pressure, not shutdown.
 type ReadyStatus struct {
 	Status        string `json:"status"`
 	CellsInflight int    `json:"cells_inflight"`
 	CellSlots     int    `json:"cell_slots"`
+	Degraded      bool   `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	st := ReadyStatus{Status: s.WorkerState(), CellsInflight: s.CellsActive(), CellSlots: s.CellSlots()}
+	st := ReadyStatus{Status: s.WorkerState(), CellsInflight: s.CellsActive(), CellSlots: s.CellSlots(), Degraded: s.Degraded()}
 	code := http.StatusOK
 	if st.Status == WorkerDraining {
 		code = http.StatusServiceUnavailable

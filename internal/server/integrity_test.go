@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"deesim/internal/faultinject"
+	"deesim/internal/runx"
+)
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+}
+
+// TestCorruptResultQuarantinedAndHealedOnRestart is the seeded-
+// corruption end-to-end: complete a job, flip one stored byte in its
+// result.json AND one in its run.journal, restart the daemon on the
+// same state directory, and require that recovery quarantines both
+// damaged artifacts (never deletes them), re-runs the job from its
+// spec, and serves a result byte-identical to the original — the
+// heal-by-rerun guarantee.
+func TestCorruptResultQuarantinedAndHealedOnRestart(t *testing.T) {
+	state := t.TempDir()
+	_, hs := newTestServer(t, Config{StateDir: state, CellJobs: 2})
+	resp, body := postJSON(t, hs.URL+"/v1/jobs", smokeSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	mustUnmarshal(t, body, &st)
+	waitState(t, hs.URL, st.ID, StateDone, 30*time.Second)
+	resp, orig := getJSON(t, hs.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != 200 {
+		t.Fatalf("result: HTTP %d", resp.StatusCode)
+	}
+
+	// Stop the daemon, then rot one byte in two durable artifacts.
+	hs.Close()
+	jobDir := filepath.Join(state, "jobs", st.ID)
+	ffs := faultinject.NewFaultyFS(nil, 1)
+	if _, err := ffs.RotFile(filepath.Join(jobDir, "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.RotFile(filepath.Join(jobDir, "run.journal")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, hs2 := newTestServer(t, Config{StateDir: state, CellJobs: 2})
+	// Recovery saw the digest mismatch: the job is queued again, not done.
+	waitState(t, hs2.URL, st.ID, StateDone, 30*time.Second)
+	resp, healed := getJSON(t, hs2.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != 200 {
+		t.Fatalf("healed result: HTTP %d: %s", resp.StatusCode, healed)
+	}
+	if !bytes.Equal(orig, healed) {
+		t.Errorf("healed result differs from original (%d vs %d bytes)", len(orig), len(healed))
+	}
+	// The damaged bytes were preserved in quarantine, not deleted.
+	qents, err := os.ReadDir(filepath.Join(jobDir, ".quarantine"))
+	if err != nil {
+		t.Fatalf("no quarantine directory: %v", err)
+	}
+	var names []string
+	for _, e := range qents {
+		names = append(names, e.Name())
+	}
+	if len(names) < 2 {
+		t.Errorf("quarantine holds %v, want the rotted result.json and run.journal", names)
+	}
+	_ = s2
+}
+
+// TestCorruptResultAtReadTimeRequeues covers the read-time detection
+// path: damage the stored result while the daemon is live. The fetch
+// must refuse to serve the poisoned bytes (retryable 503, not a wrong
+// document), quarantine them, and re-queue the job so a later fetch
+// serves the healed, byte-identical result.
+func TestCorruptResultAtReadTimeRequeues(t *testing.T) {
+	state := t.TempDir()
+	_, hs := newTestServer(t, Config{StateDir: state, CellJobs: 2})
+	resp, body := postJSON(t, hs.URL+"/v1/jobs", smokeSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	mustUnmarshal(t, body, &st)
+	waitState(t, hs.URL, st.ID, StateDone, 30*time.Second)
+	resp, orig := getJSON(t, hs.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != 200 {
+		t.Fatalf("result: HTTP %d", resp.StatusCode)
+	}
+
+	ffs := faultinject.NewFaultyFS(nil, 2)
+	if _, err := ffs.RotFile(filepath.Join(state, "jobs", st.ID, "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = getJSON(t, hs.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("poisoned fetch: HTTP %d body %s, want 503", resp.StatusCode, body)
+	}
+	waitState(t, hs.URL, st.ID, StateDone, 30*time.Second)
+	resp, healed := getJSON(t, hs.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != 200 || !bytes.Equal(orig, healed) {
+		t.Fatalf("healed fetch: HTTP %d, byte-identical=%v", resp.StatusCode, bytes.Equal(orig, healed))
+	}
+}
+
+// TestNoSpaceShedsWithoutCorruptingAckedState: a disk-full daemon must
+// degrade, not corrupt. With ENOSPC armed, submissions shed with 503
+// and /readyz reports draining+degraded; state acked before the
+// pressure stays intact and servable; clearing the fault self-heals
+// admission via the probe write.
+func TestNoSpaceShedsWithoutCorruptingAckedState(t *testing.T) {
+	ffs := faultinject.NewFaultyFS(nil, 3)
+	s, hs := newTestServer(t, Config{FS: ffs, CellJobs: 2})
+
+	// Ack a job on a healthy disk.
+	resp, body := postJSON(t, hs.URL+"/v1/jobs", smokeSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	mustUnmarshal(t, body, &st)
+	waitState(t, hs.URL, st.ID, StateDone, 30*time.Second)
+	resp, orig := getJSON(t, hs.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != 200 {
+		t.Fatalf("result: HTTP %d", resp.StatusCode)
+	}
+
+	// The disk fills.
+	ffs.SetNoSpace(true)
+	resp, body = postJSON(t, hs.URL+"/v1/jobs", smokeSpec())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit under ENOSPC: HTTP %d body %s, want 503 shed", resp.StatusCode, body)
+	}
+	var eb struct {
+		Kind string `json:"kind"`
+	}
+	mustUnmarshal(t, body, &eb)
+	if runx.KindFromString(eb.Kind) != runx.KindUnavailable {
+		t.Errorf("shed kind %q, want unavailable", eb.Kind)
+	}
+	resp, body = getJSON(t, hs.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz under ENOSPC: HTTP %d %s, want 503", resp.StatusCode, body)
+	}
+	var rs ReadyStatus
+	mustUnmarshal(t, body, &rs)
+	if rs.Status != WorkerDraining || !rs.Degraded {
+		t.Errorf("readyz = %+v, want draining+degraded", rs)
+	}
+
+	// Previously-acked state is untouched: the done job still serves its
+	// exact bytes (reads work on a full disk).
+	resp, again := getJSON(t, hs.URL+"/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != 200 || !bytes.Equal(orig, again) {
+		t.Errorf("acked result damaged under ENOSPC: HTTP %d, identical=%v", resp.StatusCode, bytes.Equal(orig, again))
+	}
+
+	// Space frees: the probe write heals admission without a restart.
+	ffs.SetNoSpace(false)
+	if s.Degraded() {
+		t.Error("degraded after space freed")
+	}
+	resp, body = postJSON(t, hs.URL+"/v1/jobs", smokeSpec())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after heal: HTTP %d: %s", resp.StatusCode, body)
+	}
+	mustUnmarshal(t, body, &st)
+	waitState(t, hs.URL, st.ID, StateDone, 30*time.Second)
+}
+
+// TestNoSpaceMidJobParksInterrupted: ENOSPC striking while a job is
+// running must park it interrupted (it resumes on restart), never
+// failed and never silently wrong.
+func TestNoSpaceMidJobParksInterrupted(t *testing.T) {
+	state := t.TempDir()
+	ffs := faultinject.NewFaultyFS(nil, 4)
+	_, hs := newTestServer(t, Config{StateDir: state, FS: ffs, CellJobs: 1})
+	sp := smokeSpec()
+	sp.CellDelay = "750ms" // pace the cells: ENOSPC must land mid-run
+	resp, body := postJSON(t, hs.URL+"/v1/jobs", sp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	mustUnmarshal(t, body, &st)
+	waitState(t, hs.URL, st.ID, StateRunning, 30*time.Second)
+	ffs.SetNoSpace(true)
+	st = waitState(t, hs.URL, st.ID, StateInterrupted, 30*time.Second)
+	if st.State != StateInterrupted {
+		t.Fatalf("job state %s", st.State)
+	}
+
+	// Space returns; a restarted daemon resumes the journaled job and
+	// completes it.
+	hs.Close()
+	ffs.SetNoSpace(false)
+	_, hs2 := newTestServer(t, Config{StateDir: state, CellJobs: 2})
+	waitState(t, hs2.URL, st.ID, StateDone, 60*time.Second)
+}

@@ -29,6 +29,10 @@ type serverMetrics struct {
 	cellsInflight *obs.Gauge   // leased distributed-sweep cells executing
 	cellsServed   *obs.Counter // leased cells completed and returned
 	cellSheds     *obs.Counter // leased cells shed (busy or draining)
+
+	lowDisk     *obs.Gauge   // 1 while shedding because durable writes hit ENOSPC
+	quarantined *obs.Counter // artifacts this server moved to .quarantine/
+	healed      *obs.Counter // quarantined jobs re-entered into the run path
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -50,6 +54,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		cellsInflight: reg.GetOrCreateGauge("deesim_server_cells_inflight"),
 		cellsServed:   reg.GetOrCreateCounter("deesim_server_cells_served_total"),
 		cellSheds:     reg.GetOrCreateCounter("deesim_server_cell_sheds_total"),
+
+		lowDisk:     reg.GetOrCreateGauge("deesim_server_low_disk"),
+		quarantined: reg.GetOrCreateCounter("deesim_server_quarantined_total"),
+		healed:      reg.GetOrCreateCounter("deesim_server_healed_total"),
 	}
 }
 

@@ -35,8 +35,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"deesim/internal/durable"
 	"deesim/internal/experiments"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
@@ -98,6 +100,10 @@ type Config struct {
 	// Pprof enables the net/http/pprof handlers under /debug/pprof/.
 	// Off by default: profiling endpoints are debug surface, not API.
 	Pprof bool
+	// FS is the filesystem every durable write goes through; nil means
+	// the real one. Tests inject faultinject.FaultyFS here to drive the
+	// disk-fault matrix hermetically.
+	FS durable.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +143,7 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = obs.Discard
 	}
+	c.FS = durable.Or(c.FS)
 	return c
 }
 
@@ -177,6 +184,11 @@ type Server struct {
 	cellSlots   chan struct{} // leased-cell admission (capacity CellSlots)
 	cellsActive int64         // leased cells executing right now (atomic)
 
+	// degraded is set when a durable write hits ENOSPC: the server
+	// sheds new work (503, /readyz "degraded") until a probe write
+	// succeeds again, so disk pressure never corrupts accepted state.
+	degraded atomic.Bool
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	order       []string // submission/recovery order
@@ -201,9 +213,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.StateDir == "" {
 		return nil, runx.Newf(runx.KindInvalidInput, stageServer, "empty state directory")
 	}
-	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
 		return nil, runx.Newf(runx.KindInvalidInput, stageServer, "state dir: %w", err)
 	}
+	cfg.FS.SyncDir(cfg.StateDir)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -233,15 +246,23 @@ func New(cfg Config) (*Server, error) {
 
 // recover scans the jobs directory and rebuilds the registry. Returns
 // the jobs that must be re-queued (no result, no permanent failure).
+// Every artifact recovery trusts is digest-verified first: a corrupt
+// result.json or failed.json is quarantined and its job re-queued (the
+// sweep re-runs deterministically — heal by re-execution), a corrupt
+// spec.json is quarantined and the job skipped (the spec was the
+// input; there is nothing to re-run from). Stale temp files from
+// crashed writers are swept while no writer can be mid-flight.
 func (s *Server) recover() ([]*job, error) {
+	fsys := s.cfg.FS
 	dir := filepath.Join(s.cfg.StateDir, "jobs")
-	entries, err := os.ReadDir(dir)
+	durable.SweepStale(fsys, dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, runx.Newf(runx.KindInvalidInput, stageServer, "scan %s: %w", dir, err)
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if e.IsDir() {
+		if e.IsDir() && e.Name() != durable.QuarantineDir {
 			names = append(names, e.Name())
 		}
 	}
@@ -251,9 +272,17 @@ func (s *Server) recover() ([]*job, error) {
 		if n, err := strconv.Atoi(strings.TrimPrefix(id, "j")); err == nil && n > s.seq {
 			s.seq = n
 		}
-		specData, err := os.ReadFile(filepath.Join(dir, id, "spec.json"))
+		jdir := filepath.Join(dir, id)
+		durable.SweepStale(fsys, jdir)
+		specData, err := durable.ReadFileVerified(fsys, filepath.Join(jdir, "spec.json"))
 		if err != nil {
-			s.cfg.Logf("deesimd: recovery: job %s has no readable spec, skipping: %v", id, err)
+			if runx.IsKind(err, runx.KindCorrupt) {
+				qp, _ := durable.Quarantine(fsys, filepath.Join(jdir, "spec.json"))
+				s.met.quarantined.Inc()
+				s.cfg.Logf("deesimd: recovery: job %s spec corrupt, quarantined to %s: %v", id, qp, err)
+			} else {
+				s.cfg.Logf("deesimd: recovery: job %s has no readable spec, skipping: %v", id, err)
+			}
 			continue
 		}
 		var sp Spec
@@ -262,14 +291,16 @@ func (s *Server) recover() ([]*job, error) {
 			continue
 		}
 		jb := &job{id: id, spec: sp, cellsTotal: sp.CellsTotal()}
+		resultOK := s.verifyOrQuarantine(jb, filepath.Join(jdir, "result.json"))
+		failedOK := s.verifyOrQuarantine(jb, filepath.Join(jdir, "failed.json"))
 		switch {
-		case fileExists(filepath.Join(dir, id, "result.json")):
+		case resultOK:
 			jb.state = StateDone
 			jb.cellsDone = jb.cellsTotal
-		case fileExists(filepath.Join(dir, id, "failed.json")):
+		case failedOK:
 			jb.state = StateFailed
 			var f struct{ Error, Kind string }
-			if data, err := os.ReadFile(filepath.Join(dir, id, "failed.json")); err == nil {
+			if data, err := fsys.ReadFile(filepath.Join(jdir, "failed.json")); err == nil {
 				if json.Unmarshal(data, &f) == nil {
 					jb.errText, jb.errKind = f.Error, f.Kind
 				}
@@ -286,6 +317,29 @@ func (s *Server) recover() ([]*job, error) {
 		s.cfg.Logf("deesimd: recovery: re-queued %d incomplete job(s)", len(pending))
 	}
 	return pending, nil
+}
+
+// verifyOrQuarantine reports whether a terminal-state artifact exists
+// and passes its digest check. A corrupt artifact is quarantined and
+// reported absent, which sends the job back through the run path —
+// the heal-by-rerun move the integrity layer is built around.
+func (s *Server) verifyOrQuarantine(jb *job, path string) bool {
+	if !s.fileExists(path) {
+		return false
+	}
+	if _, err := durable.ReadFileVerified(s.cfg.FS, path); err != nil {
+		qp, qerr := durable.Quarantine(s.cfg.FS, path)
+		if qerr != nil {
+			s.cfg.Logf("deesimd: job %s: %s corrupt and quarantine failed (%v); treating as absent: %v", jb.id, filepath.Base(path), qerr, err)
+			return false
+		}
+		s.met.quarantined.Inc()
+		s.met.healed.Inc()
+		durable.NoteHealed()
+		s.cfg.Logf("deesimd: job %s: %s failed integrity check, quarantined to %s; job will re-run: %v", jb.id, filepath.Base(path), qp, err)
+		return false
+	}
+	return true
 }
 
 // Start launches the worker pool. Idempotent per server (call once).
@@ -371,22 +425,30 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 		jr    *superv.Journal
 		prior *superv.State
 	)
-	if fileExists(jpath) {
-		jr, prior, err = superv.Resume(jpath, "deesimd", meta)
+	if s.fileExists(jpath) {
+		jr, prior, err = superv.ResumeFS(s.cfg.FS, jpath, "deesimd", meta)
 		if err != nil {
-			// An unusable journal (torn header, recorded under different
-			// settings) carries no trustworthy progress. The sweep is
-			// deterministic, so the safe self-healing move is to restart
-			// the job from scratch rather than refuse it forever.
-			s.cfg.Logf("deesimd: job %s: journal unusable (%v), restarting sweep from scratch", jb.id, err)
-			if rmErr := os.Remove(jpath); rmErr != nil {
-				return runx.Newf(runx.KindCorrupt, stageServer, "job %s: drop unusable journal: %v", jb.id, rmErr)
+			if runx.IsKind(err, runx.KindUnavailable) {
+				return err // disk full, not damage: park for resume, do not quarantine
 			}
+			// An unusable journal (corrupt record, torn header, recorded
+			// under different settings) carries no trustworthy progress.
+			// The sweep is deterministic, so the safe self-healing move is
+			// to quarantine the damaged journal — never delete evidence —
+			// and restart the job from scratch.
+			qp, qerr := durable.Quarantine(s.cfg.FS, jpath)
+			if qerr != nil {
+				return runx.Newf(runx.KindCorrupt, stageServer, "job %s: journal unusable (%v) and quarantine failed: %v", jb.id, err, qerr)
+			}
+			s.met.quarantined.Inc()
+			s.met.healed.Inc()
+			durable.NoteHealed()
+			s.cfg.Logf("deesimd: job %s: journal unusable (%v), quarantined to %s, restarting sweep from scratch", jb.id, err, qp)
 			jr, prior = nil, nil
 		}
 	}
 	if jr == nil {
-		if jr, err = superv.Create(jpath, "deesimd", meta); err != nil {
+		if jr, err = superv.CreateFS(s.cfg.FS, jpath, "deesimd", meta); err != nil {
 			return err
 		}
 	}
@@ -428,7 +490,10 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 	if err != nil {
 		return runx.Newf(runx.KindUnknown, stageServer, "job %s: marshal results: %w", jb.id, err)
 	}
-	if err := superv.WriteFileAtomic(filepath.Join(s.jobDir(jb.id), "result.json"), append(data, '\n')); err != nil {
+	if err := durable.WriteFileAtomic(s.cfg.FS, filepath.Join(s.jobDir(jb.id), "result.json"), append(data, '\n')); err != nil {
+		if durable.IsNoSpace(err) {
+			return runx.Newf(runx.KindUnavailable, stageServer, "job %s: write result: %w", jb.id, err)
+		}
 		return runx.Newf(runx.KindCorrupt, stageServer, "job %s: write result: %w", jb.id, err)
 	}
 	return nil
@@ -453,10 +518,17 @@ func (s *Server) finishJob(jb *job, err error) {
 	if e, ok := runx.As(err); ok {
 		jb.errKind = e.Kind.String()
 	}
-	if runx.IsKind(err, runx.KindCanceled) {
+	if runx.IsKind(err, runx.KindCanceled) || durable.IsNoSpace(err) {
+		// Canceled (drain/shutdown) and disk-full are both transient:
+		// the journal's durable prefix is intact, so the job parks as
+		// interrupted and resumes on the next start instead of burning
+		// a permanent failure marker.
 		jb.state = StateInterrupted
 		s.mu.Unlock()
 		s.met.jobsIntr.Inc()
+		if durable.IsNoSpace(err) {
+			s.setDegraded(true)
+		}
 		s.cfg.Logf("deesimd: job %s: interrupted, journaled for resume: %v", jb.id, err)
 		return
 	}
@@ -471,7 +543,10 @@ func (s *Server) finishJob(jb *job, err error) {
 		Error string `json:"error"`
 		Kind  string `json:"kind,omitempty"`
 	}{errText, kind})
-	if werr := superv.WriteFileAtomic(filepath.Join(s.jobDir(jb.id), "failed.json"), append(data, '\n')); werr != nil {
+	if werr := durable.WriteFileAtomic(s.cfg.FS, filepath.Join(s.jobDir(jb.id), "failed.json"), append(data, '\n')); werr != nil {
+		if durable.IsNoSpace(werr) {
+			s.setDegraded(true)
+		}
 		s.cfg.Logf("deesimd: job %s: could not record failure: %v", jb.id, werr)
 	}
 	s.mu.Lock()
@@ -487,6 +562,11 @@ func (s *Server) finishJob(jb *job, err error) {
 func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
+	}
+	if s.Degraded() {
+		s.met.drainSheds.Inc()
+		return nil, runx.Newf(runx.KindUnavailable, stageServer,
+			"low disk: shedding new jobs until durable writes succeed; retry after %s", s.cfg.RetryAfter)
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -514,8 +594,12 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	// survives any crash.
 	specData, err := json.MarshalIndent(sp, "", "  ")
 	if err == nil {
-		if err = os.MkdirAll(s.jobDir(id), 0o755); err == nil {
-			err = superv.WriteFileAtomic(filepath.Join(s.jobDir(id), "spec.json"), append(specData, '\n'))
+		if err = s.cfg.FS.MkdirAll(s.jobDir(id), 0o755); err == nil {
+			// Make the directory entry itself durable before the spec
+			// rename that depends on it — the fsync a bare MkdirAll
+			// forgets.
+			s.cfg.FS.SyncDir(filepath.Join(s.cfg.StateDir, "jobs"))
+			err = durable.WriteFileAtomic(s.cfg.FS, filepath.Join(s.jobDir(id), "spec.json"), append(specData, '\n'))
 		}
 	}
 	if err != nil {
@@ -525,6 +609,13 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 		s.waiting--
 		s.met.queueDepth.Set(float64(s.waiting))
 		s.mu.Unlock()
+		if durable.IsNoSpace(err) {
+			// Ack nothing we cannot persist: the submission is refused,
+			// previously-acked state is untouched, and the server sheds
+			// until a probe write clears the pressure.
+			s.setDegraded(true)
+			return nil, runx.Newf(runx.KindUnavailable, stageServer, "persist job %s: %w", id, err)
+		}
 		return nil, runx.Newf(runx.KindCorrupt, stageServer, "persist job %s: %w", id, err)
 	}
 
@@ -668,7 +759,88 @@ func (s *Server) jobDir(id string) string {
 	return filepath.Join(s.cfg.StateDir, "jobs", id)
 }
 
+func (s *Server) fileExists(path string) bool {
+	_, err := s.cfg.FS.Stat(path)
+	return err == nil
+}
+
 func fileExists(path string) bool {
 	_, err := os.Stat(path)
 	return err == nil
+}
+
+// requeueForHeal sends a job whose terminal artifact was quarantined
+// back through the run path. If the queue is closed or full the job
+// parks as interrupted instead and the next process heals it — either
+// way no state is lost. Reports whether an in-process re-run was
+// scheduled.
+func (s *Server) requeueForHeal(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	if s.queueClosed || s.draining {
+		jb.state = StateInterrupted
+		return false
+	}
+	select {
+	case s.queue <- jb:
+		jb.state = StateQueued
+		jb.resumed = true
+		jb.cellsDone = 0
+		jb.errText, jb.errKind = "", ""
+		s.waiting++
+		s.met.queueDepth.Set(float64(s.waiting))
+		return true
+	default:
+		jb.state = StateInterrupted
+		return false
+	}
+}
+
+// Degraded reports whether the server is in low-disk degraded mode.
+// While degraded it probes with a tiny durable write; the first probe
+// that succeeds clears the state, so recovery needs no operator action
+// beyond freeing space.
+func (s *Server) Degraded() bool {
+	if !s.degraded.Load() {
+		return false
+	}
+	if s.probeDisk() {
+		s.setDegraded(false)
+		return false
+	}
+	return true
+}
+
+func (s *Server) setDegraded(on bool) {
+	was := s.degraded.Swap(on)
+	if was == on {
+		return
+	}
+	if on {
+		s.met.lowDisk.Set(1)
+		durable.SetLowDisk(true)
+		s.cfg.Logf("deesimd: durable write hit ENOSPC; entering degraded mode (shedding new work, previously-acked state intact)")
+	} else {
+		s.met.lowDisk.Set(0)
+		durable.SetLowDisk(false)
+		s.cfg.Logf("deesimd: disk probe succeeded; leaving degraded mode")
+	}
+}
+
+// probeDisk attempts a tiny durable write in the state dir.
+func (s *Server) probeDisk() bool {
+	path := filepath.Join(s.cfg.StateDir, ".diskprobe")
+	f, err := s.cfg.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return false
+	}
+	_, werr := f.Write([]byte("ok\n"))
+	serr := f.Sync()
+	cerr := f.Close()
+	s.cfg.FS.Remove(path)
+	return werr == nil && serr == nil && cerr == nil
 }

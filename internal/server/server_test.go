@@ -282,7 +282,9 @@ func TestDrainJournalsInFlight(t *testing.T) {
 	specPath := filepath.Join(dir, "jobs", st.ID, "spec.json")
 	fast := smokeSpec()
 	fastData, _ := json.Marshal(fast)
-	if err := os.WriteFile(specPath, fastData, 0o644); err != nil {
+	// Atomic write keeps the digest sidecar in step — a bare
+	// os.WriteFile would (correctly) read as corruption on recovery.
+	if err := superv.WriteFileAtomic(specPath, fastData); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := New(Config{StateDir: dir, Workers: 1, CellJobs: 1})

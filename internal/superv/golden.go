@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"os"
 	"sort"
 
+	"deesim/internal/durable"
 	"deesim/internal/runx"
 )
 
@@ -38,10 +38,15 @@ type Golden struct {
 
 const stageGolden = "superv.CompareGolden"
 
-// LoadGolden reads and validates a golden snapshot.
+// LoadGolden reads and validates a golden snapshot, checking its
+// ".sha256" digest sidecar when one exists (Write records one; golden
+// files without a sidecar load unverified).
 func LoadGolden(path string) (*Golden, error) {
-	data, err := os.ReadFile(path)
+	data, err := durable.ReadFileVerified(nil, path)
 	if err != nil {
+		if runx.IsKind(err, runx.KindCorrupt) {
+			return nil, runx.Annotate(err, stageGolden)
+		}
 		return nil, runx.Newf(runx.KindInvalidInput, stageGolden, "read %s: %w", path, err)
 	}
 	var g Golden

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"deesim/internal/durable"
 	"deesim/internal/runx"
 )
 
@@ -61,6 +62,53 @@ type Record struct {
 	Error     string          `json:"error,omitempty"`
 	ErrKind   string          `json:"errkind,omitempty"`
 	Retryable bool            `json:"retryable,omitempty"`
+
+	// Sum is the record's own content digest (durable.Digest over the
+	// record marshaled with Sum empty), written by Append and verified
+	// on replay. It extends torn-tail recovery to arbitrary mid-file
+	// damage: without it a bit flip inside a Result payload replays as
+	// a silently wrong completion; with it the flip reads as
+	// KindCorrupt and the journal quarantines. Records without a sum
+	// (pre-integrity journals) replay unverified.
+	Sum string `json:"sum,omitempty"`
+}
+
+// encodeRecord marshals rec as one newline-terminated JSONL line with
+// its content digest in the Sum field. The digest covers the record
+// marshaled with Sum empty; verification re-marshals the decoded
+// record the same way, which reproduces the written bytes exactly
+// because encoding/json field order is fixed and RawMessage payloads
+// round-trip verbatim.
+func encodeRecord(rec Record) ([]byte, error) {
+	rec.Sum = ""
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	rec.Sum = durable.Digest(line)
+	line, err = json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// verifyRecordSum checks a decoded record against its recorded Sum.
+// Sum-less records are legacy and pass unverified.
+func verifyRecordSum(rec Record) error {
+	if rec.Sum == "" {
+		return nil
+	}
+	sum := rec.Sum
+	rec.Sum = ""
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := durable.Verify(line, sum); err != nil {
+		return fmt.Errorf("record sum: %w", err)
+	}
+	return nil
 }
 
 // State is the digest of a journal replay: which tasks completed (with
@@ -83,7 +131,8 @@ type State struct {
 // concurrent use.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	fsys durable.FS
+	f    durable.File
 	path string
 }
 
@@ -92,11 +141,20 @@ const stageJournal = "superv.Journal"
 // Create starts a fresh journal at path (truncating any existing file),
 // writing and fsync'ing the versioned header before returning.
 func Create(path, tool string, meta map[string]string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateFS(nil, path, tool, meta)
+}
+
+// CreateFS is Create on an injectable filesystem (nil = the real one).
+// Opening a journal first sweeps the directory's stale temp files —
+// debris a crashed writer left between CreateTemp and rename.
+func CreateFS(fsys durable.FS, path, tool string, meta map[string]string) (*Journal, error) {
+	fsys = durable.Or(fsys)
+	durable.SweepStale(fsys, filepath.Dir(path)) // counted in deesim_durable_stale_swept_total
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "create %s: %w", path, err)
+		return nil, runx.Newf(journalOpenKind(err), stageJournal, "create %s: %w", path, err)
 	}
-	j := &Journal{f: f, path: path}
+	j := &Journal{fsys: fsys, f: f, path: path}
 	if err := j.Append(Record{Kind: kindHeader, Version: JournalVersion, Tool: tool, Meta: meta}); err != nil {
 		f.Close()
 		return nil, err
@@ -104,10 +162,33 @@ func Create(path, tool string, meta map[string]string) (*Journal, error) {
 	return j, nil
 }
 
-// Append marshals rec as one JSONL line, writes it, and fsyncs before
-// returning — the durability contract every start/done/fail relies on.
+// journalOpenKind classifies a journal create/write failure: a full
+// disk is transient (free space and retry — callers park the run as
+// interrupted), anything else at open time is the caller's path being
+// wrong.
+func journalOpenKind(err error) runx.Kind {
+	if durable.IsNoSpace(err) {
+		return runx.KindUnavailable
+	}
+	return runx.KindInvalidInput
+}
+
+// journalWriteKind classifies a mid-run write/fsync failure: ENOSPC is
+// KindUnavailable (the journal's durable prefix is intact; the run can
+// resume once space frees), any other I/O error means the file's state
+// is no longer trustworthy — KindCorrupt.
+func journalWriteKind(err error) runx.Kind {
+	if durable.IsNoSpace(err) {
+		return runx.KindUnavailable
+	}
+	return runx.KindCorrupt
+}
+
+// Append marshals rec as one JSONL line with its content digest in the
+// sum field, writes it, and fsyncs before returning — the durability
+// contract every start/done/fail relies on.
 func (j *Journal) Append(rec Record) error {
-	line, err := json.Marshal(rec)
+	line, err := encodeRecord(rec)
 	if err != nil {
 		return runx.Newf(runx.KindInvalidInput, stageJournal, "marshal %s record: %w", rec.Kind, err)
 	}
@@ -116,11 +197,11 @@ func (j *Journal) Append(rec Record) error {
 	if j.f == nil {
 		return runx.Newf(runx.KindInvalidInput, stageJournal, "append to closed journal %s", j.path)
 	}
-	if _, err := j.f.Write(append(line, '\n')); err != nil {
-		return runx.Newf(runx.KindCorrupt, stageJournal, "write %s: %w", j.path, err)
+	if _, err := j.f.Write(line); err != nil {
+		return runx.Newf(journalWriteKind(err), stageJournal, "write %s: %w", j.path, err)
 	}
 	if err := j.f.Sync(); err != nil {
-		return runx.Newf(runx.KindCorrupt, stageJournal, "fsync %s: %w", j.path, err)
+		return runx.Newf(journalWriteKind(err), stageJournal, "fsync %s: %w", j.path, err)
 	}
 	mJournalRecords.Inc()
 	mJournalFsyncs.Inc()
@@ -154,7 +235,12 @@ func (j *Journal) Close() error {
 // of kind KindCorrupt. Load never panics on arbitrary bytes; the fuzz
 // harness holds it to that.
 func Load(path string) (*State, error) {
-	data, err := os.ReadFile(path)
+	return LoadFS(nil, path)
+}
+
+// LoadFS is Load on an injectable filesystem (nil = the real one).
+func LoadFS(fsys durable.FS, path string) (*State, error) {
+	data, err := durable.Or(fsys).ReadFile(path)
 	if err != nil {
 		return nil, runx.Newf(runx.KindInvalidInput, stageJournal, "read %s: %w", path, err)
 	}
@@ -200,6 +286,16 @@ func Decode(data []byte) (*State, error) {
 				st.Truncated = len(line) + 1
 				break
 			}
+			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
+		}
+		if err := verifyRecordSum(rec); err != nil {
+			if isLast {
+				// A damaged final record is recoverable the same way a
+				// torn one is: drop it and re-run the affected task.
+				st.Truncated = len(line) + 1
+				break
+			}
+			durable.NoteCorrupt()
 			return nil, runx.Newf(runx.KindCorrupt, stageJournal, "line %d: %w", lineNo, err)
 		}
 		if !sawHeader {
@@ -270,7 +366,14 @@ func (st *State) apply(rec Record) error {
 // guarantees the resumed file starts from a clean, fully-terminated
 // prefix. Returns the reopened journal and the replayed state.
 func Resume(path, tool string, meta map[string]string) (*Journal, *State, error) {
-	st, err := Load(path)
+	return ResumeFS(nil, path, tool, meta)
+}
+
+// ResumeFS is Resume on an injectable filesystem (nil = the real one).
+func ResumeFS(fsys durable.FS, path, tool string, meta map[string]string) (*Journal, *State, error) {
+	fsys = durable.Or(fsys)
+	durable.SweepStale(fsys, filepath.Dir(path))
+	st, err := LoadFS(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -284,18 +387,17 @@ func Resume(path, tool string, meta map[string]string) (*Journal, *State, error)
 				"journal %s was recorded with %s=%q, this run has %q (pass a fresh -journal instead)", path, k, v, want)
 		}
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".ckpt-*")
+	tmp, err := durable.TempFile(fsys, path, "ckpt")
 	if err != nil {
-		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "checkpoint temp: %w", err)
+		return nil, nil, runx.Newf(journalOpenKind(err), stageJournal, "checkpoint temp: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	w := bufio.NewWriter(tmp)
 	writeRec := func(rec Record) error {
-		line, err := json.Marshal(rec)
+		line, err := encodeRecord(rec)
 		if err != nil {
 			return err
 		}
-		line = append(line, '\n')
 		_, err = w.Write(line)
 		return err
 	}
@@ -321,49 +423,22 @@ func Resume(path, tool string, meta map[string]string) (*Journal, *State, error)
 		err = cerr
 	}
 	if err != nil {
-		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "write checkpoint: %w", err)
+		return nil, nil, runx.Newf(journalWriteKind(err), stageJournal, "write checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return nil, nil, runx.Newf(runx.KindCorrupt, stageJournal, "swap checkpoint: %w", err)
+	if err := durable.RenameAndSync(fsys, tmp.Name(), path); err != nil {
+		return nil, nil, runx.Newf(journalWriteKind(err), stageJournal, "swap checkpoint: %w", err)
 	}
-	syncDir(filepath.Dir(path))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, runx.Newf(runx.KindInvalidInput, stageJournal, "reopen %s: %w", path, err)
+		return nil, nil, runx.Newf(journalOpenKind(err), stageJournal, "reopen %s: %w", path, err)
 	}
-	return &Journal{f: f, path: path}, st, nil
-}
-
-// syncDir fsyncs a directory so a rename within it is durable.
-// Best-effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
+	return &Journal{fsys: fsys, f: f, path: path}, st, nil
 }
 
 // WriteFileAtomic writes data to path via a same-directory temp file,
-// fsync, and rename, so readers never observe a partial file.
+// fsync, rename, and parent fsync, recording a ".sha256" digest
+// sidecar alongside. Kept as a thin wrapper over durable for existing
+// callers; new code should call durable.WriteFileAtomic with its FS.
 func WriteFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	_, err = tmp.Write(data)
-	if err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	syncDir(filepath.Dir(path))
-	return nil
+	return durable.WriteFileAtomic(nil, path, data)
 }

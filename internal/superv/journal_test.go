@@ -93,6 +93,44 @@ func TestJournalTruncateEveryByte(t *testing.T) {
 	}
 }
 
+// TestJournalFlipEveryByte is the bit-rot simulation paired with the
+// truncation suite above: for every byte of a valid journal, flip one
+// bit and decode. Per-record content digests must make every flip
+// either a typed error or provably harmless — a recovered state whose
+// completions are a byte-identical subset of the original's (a damaged
+// final record may lawfully drop to the torn-tail path and re-run, but
+// no flip may ever surface a silently altered payload).
+func TestJournalFlipEveryByte(t *testing.T) {
+	path := writeSample(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := range data {
+		rot := append([]byte(nil), data...)
+		rot[off] ^= 1 << (off % 8)
+		st, err := Decode(rot)
+		if err != nil {
+			if _, ok := runx.As(err); !ok {
+				t.Fatalf("flip@%d: untyped error %v", off, err)
+			}
+			continue
+		}
+		if len(st.Done) > len(full.Done) {
+			t.Fatalf("flip@%d: recovered %d completions from a journal holding %d", off, len(st.Done), len(full.Done))
+		}
+		for k, v := range st.Done {
+			if string(full.Done[k]) != string(v) {
+				t.Fatalf("flip@%d: completion %s payload %s != original %s", off, k, v, full.Done[k])
+			}
+		}
+	}
+}
+
 // TestJournalTornTailRecovered: chopping bytes off the final record is
 // recovered (with Truncated > 0) and the surviving completions intact.
 func TestJournalTornTailRecovered(t *testing.T) {
