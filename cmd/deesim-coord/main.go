@@ -11,9 +11,17 @@
 //	deesim-coord [-addr 127.0.0.1:8525] [-addr-file path] [-state dir]
 //	             [-queue N] [-lease-ttl d] [-heartbeat-timeout d]
 //	             [-cell-retries N] [-backoff d] [-straggler-factor F]
+//	             [-retry-budget N] [-retry-budget-refill F]
 //	             [-cell-timeout d] [-request-timeout d] [-drain-grace d]
 //	             [-retry-after d] [-log-level info] [-log-json]
 //	             [-metrics-out path] [-version] [-fsck]
+//
+// Overload policy: sweeps carry the same priority/deadline spec fields
+// deesimd understands; a sweep past its absolute deadline is refused at
+// submission, cancelled mid-run, and never re-dispatched (typed
+// "deadline"). -retry-budget caps total cell re-dispatch amplification
+// across all sweeps (token bucket refilled at -retry-budget-refill
+// tokens/sec; 0 = unlimited, the historical behavior).
 //
 // Fault tolerance: every lease grant and cell completion is fsync'd to
 // a per-sweep journal before it takes effect, so a SIGKILL'd
@@ -40,6 +48,7 @@ import (
 	"os"
 	"time"
 
+	"deesim/internal/budget"
 	"deesim/internal/coord"
 	"deesim/internal/fsck"
 	"deesim/internal/obs"
@@ -64,6 +73,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		cellRetries  = fs.Int("cell-retries", 2, "re-dispatches per cell beyond the first attempt")
 		backoffFlag  = fs.Duration("backoff", 250*time.Millisecond, "base re-dispatch backoff per cell")
 		stragglerF   = fs.Float64("straggler-factor", 3, "speculate a lease running longer than this multiple of the median cell time (0 disables)")
+		retryBudget  = fs.Int("retry-budget", 0, "total cell re-dispatch tokens shared across all sweeps (0 = unlimited)")
+		budgetRefill = fs.Float64("retry-budget-refill", 0, "retry-budget refill rate in tokens/sec")
 		cellTimeout  = fs.Duration("cell-timeout", 0, "HTTP budget per cell dispatch (0 = lease-ttl + 10s)")
 		reqTimeout   = fs.Duration("request-timeout", 10*time.Second, "per-HTTP-request deadline")
 		drainGrace   = fs.Duration("drain-grace", 15*time.Second, "how long a drain lets the running sweep finish before canceling")
@@ -110,8 +121,13 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return runx.ExitOK
 	}
 
+	var bud *budget.Budget
+	if *retryBudget > 0 {
+		bud = budget.New(*retryBudget, *budgetRefill)
+	}
 	c, err := coord.New(coord.Config{
 		StateDir:         *stateFlag,
+		Budget:           bud,
 		QueueDepth:       *queueFlag,
 		LeaseTTL:         *leaseTTL,
 		HeartbeatTimeout: *hbTimeout,

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	deesimctl [-server http://127.0.0.1:8425] [-retries N] [-backoff d]
+//	          [-retry-budget N] [-priority class] [-deadline d]
 //	          [-timeout d] <command> [args]
 //
 // Commands:
@@ -34,7 +35,18 @@
 // wait polls adaptively: a healthy daemon is polled at -poll, but
 // consecutive failures back the cadence off exponentially — honoring
 // any Retry-After the server sends — capped so recovery is still
-// noticed promptly.
+// noticed promptly. A job that missed its absolute deadline exits with
+// the deadline code (4) and names the deadline, so scripts can tell an
+// SLO miss from a broken spec.
+//
+// SLO controls on submit: -priority stamps the spec's priority class
+// ("interactive" or "batch"; batch is shed first under brownout), and
+// -deadline converts a relative duration (e.g. 30s) to the absolute
+// RFC3339 deadline the whole pipeline — server admission, coordinator
+// leases, worker cells — enforces. -retry-budget caps the total number
+// of retries one deesimctl invocation may issue across all its
+// requests (0 = unlimited), so a flapping fleet cannot be hammered by
+// its own clients.
 //
 // Exit codes follow the runx kind contract (internal/runx/cli.go): 0
 // success, 2 usage, 10 shed by overload, 11 server unavailable, 4
@@ -50,6 +62,7 @@ import (
 	"os"
 	"time"
 
+	"deesim/internal/budget"
 	"deesim/internal/client"
 	"deesim/internal/fsck"
 	"deesim/internal/obs"
@@ -72,6 +85,9 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		timeoutFlag = fs.Duration("timeout", 0, "wall-clock limit for the whole command (0 = none)")
 		pollFlag    = fs.Duration("poll", 500*time.Millisecond, "status poll interval for wait")
 		waitFlag    = fs.Bool("wait", false, "with submit: wait for completion and print the result")
+		retryBudget = fs.Int("retry-budget", 0, "total retries this invocation may issue across all requests (0 = unlimited)")
+		prioFlag    = fs.String("priority", "", `with submit: stamp the spec's priority class ("interactive" or "batch")`)
+		deadlineRel = fs.Duration("deadline", 0, "with submit: absolute deadline this far from now (0 = none)")
 	)
 	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +121,9 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	c := client.New(*serverFlag)
 	c.Retry = superv.RetryPolicy{Attempts: *retriesFlag + 1, Backoff: *backoffFlag}
 	c.Logf = func(format string, args ...any) { fmt.Fprintf(stderr, format+"\n", args...) }
+	if *retryBudget > 0 {
+		c.Budget = budget.New(*retryBudget, 0)
+	}
 
 	ctx, stop := runx.MainContext(*timeoutFlag)
 	defer stop()
@@ -139,6 +158,15 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		var sp server.Spec
 		if err := json.Unmarshal(data, &sp); err != nil {
 			return fail(runx.Newf(runx.KindInvalidInput, "deesimctl", "parse spec %s: %v", path, err))
+		}
+		if *prioFlag != "" {
+			sp.Priority = *prioFlag
+		}
+		if *deadlineRel > 0 {
+			// The wire carries an absolute RFC3339 deadline so every hop
+			// (server, coordinator, worker cells) enforces the same instant
+			// regardless of queueing delay in between.
+			sp.Deadline = time.Now().Add(*deadlineRel).UTC().Format(time.RFC3339)
 		}
 		st, err := c.Submit(ctx, sp)
 		if err != nil {

@@ -7,13 +7,25 @@
 // Usage:
 //
 //	deesimd [-addr 127.0.0.1:8425] [-addr-file path] [-state dir]
-//	        [-queue N] [-workers N] [-cell-jobs N]
+//	        [-queue N] [-batch-queue N] [-brownout-watermark N]
+//	        [-workers N] [-cell-jobs N]
 //	        [-cell-slots N] [-cell-timeout d]
 //	        [-coord url] [-self-url url] [-heartbeat d]
 //	        [-job-timeout d] [-request-timeout d] [-drain-grace d]
 //	        [-retry-after d] [-retries N] [-backoff d]
+//	        [-retry-budget N] [-retry-budget-refill F]
 //	        [-log-level info] [-log-json] [-metrics-out path]
 //	        [-pprof] [-version] [-fsck]
+//
+// Overload policy: submissions carry a priority class ("interactive",
+// the default, or "batch") and admit against separate queues (-queue
+// for interactive, -batch-queue for batch). As interactive occupancy
+// climbs past -brownout-watermark the daemon browns out progressively
+// — shed batch first, then defer all new work, and under low-disk
+// degradation serve reads only — always with Retry-After on the shed.
+// -retry-budget caps total cell-retry amplification across the daemon
+// (token bucket refilled at -retry-budget-refill tokens/sec; 0 =
+// unlimited, the historical behavior).
 //
 // Fleet mode: with -coord the daemon also serves leased distributed-
 // sweep cells (POST /v1/cells, bounded by -cell-slots) and registers
@@ -58,6 +70,7 @@ import (
 	"os"
 	"time"
 
+	"deesim/internal/budget"
 	"deesim/internal/coord"
 	"deesim/internal/fsck"
 	"deesim/internal/obs"
@@ -77,7 +90,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		addrFlag     = fs.String("addr", "127.0.0.1:8425", "listen address (host:port; port 0 picks a free one)")
 		addrFileFlag = fs.String("addr-file", "", "write the bound listen address to this file once serving")
 		stateFlag    = fs.String("state", "deesimd.state", "durable state directory (job specs, journals, results)")
-		queueFlag    = fs.Int("queue", 8, "admission-queue depth; submissions beyond it are shed with 429")
+		queueFlag    = fs.Int("queue", 8, "interactive admission-queue depth; submissions beyond it are shed with 429")
+		batchQueue   = fs.Int("batch-queue", 0, "batch admission-queue depth (0 = half of -queue)")
+		brownoutWM   = fs.Int("brownout-watermark", 0, "interactive occupancy at which batch submissions shed (0 = half of -queue)")
 		workersFlag  = fs.Int("workers", 1, "jobs run concurrently")
 		cellJobsFlag = fs.Int("cell-jobs", 4, "worker-pool size inside each job's matrix sweep")
 		cellSlots    = fs.Int("cell-slots", 0, "concurrently-leased distributed-sweep cells served (0 = cell-jobs)")
@@ -91,6 +106,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 429/503")
 		retriesFlag  = fs.Int("retries", 2, "default per-cell retries for retryable failures")
 		backoffFlag  = fs.Duration("backoff", 250*time.Millisecond, "default base retry backoff per cell")
+		retryBudget  = fs.Int("retry-budget", 0, "total retry tokens shared across all sweeps (0 = unlimited)")
+		budgetRefill = fs.Float64("retry-budget-refill", 0, "retry-budget refill rate in tokens/sec")
 		pprofFlag    = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints (debug surface; off by default)")
 		fsckFlag     = fs.Bool("fsck", false, "integrity-check the -state directory and exit (do not serve)")
 	)
@@ -134,22 +151,29 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return runx.ExitOK
 	}
 
+	var bud *budget.Budget
+	if *retryBudget > 0 {
+		bud = budget.New(*retryBudget, *budgetRefill)
+	}
 	s, err := server.New(server.Config{
-		StateDir:       *stateFlag,
-		QueueDepth:     *queueFlag,
-		Workers:        *workersFlag,
-		CellJobs:       *cellJobsFlag,
-		CellSlots:      *cellSlots,
-		CellTimeout:    *cellTimeout,
-		JobTimeout:     *jobTimeout,
-		RequestTimeout: *reqTimeout,
-		DrainGrace:     *drainGrace,
-		RetryAfter:     *retryAfter,
-		Retries:        *retriesFlag,
-		Backoff:        *backoffFlag,
-		Logf:           logger.Printf,
-		Logger:         slogger,
-		Pprof:          *pprofFlag,
+		StateDir:          *stateFlag,
+		QueueDepth:        *queueFlag,
+		BatchQueueDepth:   *batchQueue,
+		BrownoutWatermark: *brownoutWM,
+		Budget:            bud,
+		Workers:           *workersFlag,
+		CellJobs:          *cellJobsFlag,
+		CellSlots:         *cellSlots,
+		CellTimeout:       *cellTimeout,
+		JobTimeout:        *jobTimeout,
+		RequestTimeout:    *reqTimeout,
+		DrainGrace:        *drainGrace,
+		RetryAfter:        *retryAfter,
+		Retries:           *retriesFlag,
+		Backoff:           *backoffFlag,
+		Logf:              logger.Printf,
+		Logger:            slogger,
+		Pprof:             *pprofFlag,
 	})
 	if err != nil {
 		return fail(err)

@@ -1,0 +1,144 @@
+// Package budget implements the shared retry budget that caps retry
+// amplification across the serving stack. Three layers retry
+// independently — the client's request loop, the coordinator's lease
+// re-dispatch, and the supervisor's per-cell attempts — and under a
+// correlated failure (a partition, a crashed fleet) each would happily
+// multiply the others' traffic. A Budget is a token bucket they all
+// draw from: every retry spends one token, tokens refill at a bounded
+// rate, and a layer whose withdrawal fails must give up instead of
+// backing off and trying again. The refill rate bounds steady-state
+// retry traffic; the capacity bounds the burst.
+//
+// The bucket is deliberately clock-driven rather than event-driven so
+// tests inject a fake clock and replay overload scenarios
+// deterministically; there is no randomness anywhere in the package.
+//
+// A nil *Budget allows everything — layers treat "no budget
+// configured" as the pre-existing unlimited behavior, so old
+// configurations keep working unchanged.
+package budget
+
+import (
+	"sync"
+	"time"
+
+	"deesim/internal/obs"
+)
+
+// Budget is a token-bucket retry budget safe for concurrent use by
+// every retry layer in one process. Construct with New; the zero value
+// is not usable (but a nil *Budget is: it allows everything).
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64 // current balance, <= capacity
+	last   time.Time
+
+	capacity float64
+	refill   float64 // tokens per second
+
+	now func() time.Time
+	reg *obs.Registry
+
+	tokensGauge *obs.Gauge
+	spent       map[string]*obs.Counter
+	exhausted   map[string]*obs.Counter
+}
+
+// New returns a budget holding capacity tokens that refills at
+// refillPerSec tokens per second (0 = no refill: a hard burst-only
+// budget). capacity < 1 is raised to 1 so a configured budget always
+// admits at least one retry. Metrics land on the obs default registry.
+func New(capacity int, refillPerSec float64) *Budget {
+	return NewWithClock(capacity, refillPerSec, time.Now, nil)
+}
+
+// NewWithClock is New with an injectable clock and registry — the test
+// seam. A nil now means time.Now; a nil reg means obs.Default.
+func NewWithClock(capacity int, refillPerSec float64, now func() time.Time, reg *obs.Registry) *Budget {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if refillPerSec < 0 {
+		refillPerSec = 0
+	}
+	if now == nil {
+		now = time.Now
+	}
+	if reg == nil {
+		reg = obs.Default
+	}
+	b := &Budget{
+		tokens:      float64(capacity),
+		capacity:    float64(capacity),
+		refill:      refillPerSec,
+		now:         now,
+		reg:         reg,
+		tokensGauge: reg.GetOrCreateGauge("deesim_retry_budget_tokens"),
+		spent:       make(map[string]*obs.Counter),
+		exhausted:   make(map[string]*obs.Counter),
+	}
+	b.last = now()
+	b.tokensGauge.Set(b.tokens)
+	return b
+}
+
+// Allow withdraws one retry token on behalf of the named layer
+// ("client", "coord", "superv" — a closed set, it becomes a metric
+// label). It reports whether the retry may proceed; a false return is
+// final for this attempt — the caller must fail rather than wait and
+// re-ask, or the budget would merely reshape the retry storm instead
+// of bounding it. Spent and exhausted withdrawals are counted per
+// layer. A nil budget always allows.
+func (b *Budget) Allow(layer string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.tokensGauge.Set(b.tokens)
+		b.counter(b.spent, "deesim_retry_budget_spent_total", layer).Inc()
+		return true
+	}
+	b.counter(b.exhausted, "deesim_retry_budget_exhausted_total", layer).Inc()
+	return false
+}
+
+// Remaining reports the whole tokens currently available. A nil budget
+// reports a very large number (it never refuses).
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return int(^uint(0) >> 1)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	return int(b.tokens)
+}
+
+// refillLocked credits tokens for the time elapsed since the last
+// withdrawal or refill, capped at capacity. Callers hold b.mu.
+func (b *Budget) refillLocked() {
+	now := b.now()
+	if elapsed := now.Sub(b.last); elapsed > 0 && b.refill > 0 {
+		b.tokens += elapsed.Seconds() * b.refill
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.tokensGauge.Set(b.tokens)
+	}
+	b.last = now
+}
+
+// counter lazily resolves the per-layer instrument. Layer names come
+// from a closed set fixed at the call sites, so cardinality is bounded.
+func (b *Budget) counter(cache map[string]*obs.Counter, name, layer string) *obs.Counter {
+	c, ok := cache[layer]
+	if !ok {
+		c = b.reg.GetOrCreateCounter(name + `{layer="` + layer + `"}`)
+		cache[layer] = c
+	}
+	return c
+}

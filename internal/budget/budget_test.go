@@ -1,0 +1,145 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"deesim/internal/obs"
+)
+
+// fakeClock is a mutable deterministic clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func counterValue(reg *obs.Registry, name string) float64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}
+
+func TestNilBudgetAllowsEverything(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 1000; i++ {
+		if !b.Allow("client") {
+			t.Fatal("nil budget refused a retry")
+		}
+	}
+	if b.Remaining() <= 0 {
+		t.Fatal("nil budget reports no remaining tokens")
+	}
+}
+
+func TestBudgetCapsWithdrawals(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	reg := obs.NewRegistry()
+	b := NewWithClock(3, 0, clk.now, reg)
+	for i := 0; i < 3; i++ {
+		if !b.Allow("superv") {
+			t.Fatalf("withdrawal %d refused with tokens remaining", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if b.Allow("superv") {
+			t.Fatal("withdrawal allowed past capacity with no refill")
+		}
+	}
+	if got := counterValue(reg, `deesim_retry_budget_spent_total{layer="superv"}`); got != 3 {
+		t.Errorf("spent counter = %v, want 3", got)
+	}
+	if got := counterValue(reg, `deesim_retry_budget_exhausted_total{layer="superv"}`); got != 5 {
+		t.Errorf("exhausted counter = %v, want 5", got)
+	}
+}
+
+func TestBudgetRefillsAtRate(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewWithClock(2, 1, clk.now, obs.NewRegistry()) // 1 token/s, burst 2
+	if !b.Allow("coord") || !b.Allow("coord") {
+		t.Fatal("initial burst refused")
+	}
+	if b.Allow("coord") {
+		t.Fatal("empty bucket allowed a retry")
+	}
+	clk.advance(1500 * time.Millisecond) // +1.5 tokens
+	if !b.Allow("coord") {
+		t.Fatal("refilled bucket refused a retry")
+	}
+	if b.Allow("coord") { // 0.5 tokens left: not a whole one
+		t.Fatal("fractional token honored")
+	}
+	clk.advance(time.Hour) // refill caps at capacity
+	if got := b.Remaining(); got != 2 {
+		t.Errorf("Remaining after long idle = %d, want capacity 2", got)
+	}
+}
+
+func TestBudgetPerLayerAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewWithClock(4, 0, clk.now, reg)
+	layers := []string{"client", "coord", "superv", "client"}
+	for _, l := range layers {
+		if !b.Allow(l) {
+			t.Fatalf("layer %s refused", l)
+		}
+	}
+	b.Allow("coord") // exhausted
+	want := map[string]float64{
+		`deesim_retry_budget_spent_total{layer="client"}`:     2,
+		`deesim_retry_budget_spent_total{layer="coord"}`:      1,
+		`deesim_retry_budget_spent_total{layer="superv"}`:     1,
+		`deesim_retry_budget_exhausted_total{layer="coord"}`:  1,
+		`deesim_retry_budget_exhausted_total{layer="client"}`: 0,
+	}
+	for name, v := range want {
+		if got := counterValue(reg, name); got != v {
+			t.Errorf("%s = %v, want %v", name, got, v)
+		}
+	}
+}
+
+func TestBudgetConcurrentWithdrawalsNeverOverspend(t *testing.T) {
+	const capacity = 64
+	b := NewWithClock(capacity, 0, nil, obs.NewRegistry())
+	var wg sync.WaitGroup
+	layers := []string{"client", "coord", "superv"}
+	results := make(chan bool, 8*capacity)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < capacity; i++ {
+				results <- b.Allow(layers[g%len(layers)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(results)
+	got := 0
+	for ok := range results {
+		if ok {
+			got++
+		}
+	}
+	if got != capacity {
+		t.Fatalf("concurrent withdrawals allowed %d, want exactly %d", got, capacity)
+	}
+}

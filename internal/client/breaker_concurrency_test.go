@@ -1,0 +1,137 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deesim/internal/budget"
+	"deesim/internal/runx"
+)
+
+// TestBreakerHalfOpenAdmitsExactlyOneProbe: when the cooldown lapses,
+// concurrent callers race into the half-open window — exactly one may
+// probe, everyone else must fail fast. Run with -race: the probing
+// flag is the only thing standing between N goroutines and N probes.
+func TestBreakerHalfOpenAdmitsExactlyOneProbe(t *testing.T) {
+	base := time.Unix(1000, 0)
+	var mu sync.Mutex
+	now := base
+	b := &Breaker{Threshold: 3, Cooldown: time.Second, now: func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}}
+
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after threshold failures = %q, want open", got)
+	}
+	if err := b.Allow(); err == nil {
+		t.Fatal("open breaker admitted a request")
+	}
+
+	// Cooldown lapses; 16 goroutines race into the half-open window.
+	mu.Lock()
+	now = base.Add(2 * time.Second)
+	mu.Unlock()
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state after cooldown = %q, want half-open", got)
+	}
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", got)
+	}
+
+	// A failed probe reopens for a full cooldown: still nobody gets in.
+	b.Record(false)
+	if err := b.Allow(); err == nil {
+		t.Fatal("breaker admitted a request right after a failed probe")
+	}
+
+	// The next window's probe succeeds and closes the circuit for all.
+	mu.Lock()
+	now = base.Add(4 * time.Second)
+	mu.Unlock()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second half-open window refused its probe: %v", err)
+	}
+	b.Record(true)
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after healthy probe = %q, want closed", got)
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused request %d: %v", i, err)
+		}
+	}
+}
+
+// TestBreakerOpenDrawsFromRetryBudget: breaker fast-fails are retryable
+// (KindUnavailable), so without a budget they would spin the retry
+// loop at full speed. With one, each retry — including retries
+// provoked by the open breaker — withdraws a token, and exhaustion
+// ends the request instead of hammering a server that is already down.
+func TestBreakerOpenDrawsFromRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": "boom", "kind": "unavailable"})
+	}))
+	defer srv.Close()
+
+	c, _ := quiet(srv.URL)
+	c.Retry.Attempts = 10
+	c.Breaker = &Breaker{Threshold: 3, Cooldown: time.Hour}
+	c.Budget = budget.New(4, 0)
+
+	// One request: 3 real attempts open the breaker, fast-fails burn the
+	// rest of the budget, and the call ends at 1 first attempt + 4
+	// budgeted retries — not at Attempts.
+	err := c.Healthy(context.Background())
+	if err == nil {
+		t.Fatal("Healthy succeeded against a dead server")
+	}
+	if !runx.IsKind(err, runx.KindUnavailable) {
+		t.Fatalf("error = %v, want KindUnavailable", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (breaker threshold)", got)
+	}
+	if got := c.Budget.Remaining(); got != 0 {
+		t.Fatalf("budget remaining = %d, want 0", got)
+	}
+
+	// Budget spent: the next request gets its one unbudgeted attempt
+	// (fast-failed by the open breaker) and stops — zero network calls,
+	// zero sleeps.
+	err = c.Healthy(context.Background())
+	if !runx.IsKind(err, runx.KindUnavailable) {
+		t.Fatalf("second request error = %v, want KindUnavailable", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls after budget exhaustion, want still 3", got)
+	}
+}

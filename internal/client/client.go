@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deesim/internal/budget"
 	"deesim/internal/durable"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -44,6 +45,11 @@ type Client struct {
 	Breaker *Breaker
 	// Logf, if non-nil, narrates retries and breaker transitions.
 	Logf func(format string, args ...any)
+	// Budget, if non-nil, is the shared retry budget: each retry —
+	// including one provoked by a breaker fast-fail — withdraws a token,
+	// and an exhausted budget ends the attempt loop with the last error
+	// instead of backing off. Nil means unlimited (the old behavior).
+	Budget *budget.Budget
 
 	sleep func(ctx context.Context, d time.Duration) error // test seam
 
@@ -185,7 +191,15 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (serve
 			case server.StateDone:
 				return st, nil
 			case server.StateFailed:
-				return st, runx.Newf(runx.KindFromString(st.Kind), stageClient, "job %s failed: %s", id, st.Error)
+				kind := runx.KindFromString(st.Kind)
+				if kind == runx.KindTimeout && st.Deadline != "" {
+					// Deadline-exceeded is its own outcome, not a generic
+					// failure: name the missed deadline and keep the timeout
+					// kind so the CLI exits with the deadline code.
+					return st, runx.Newf(runx.KindTimeout, stageClient,
+						"job %s missed its deadline %s: %s", id, st.Deadline, st.Error)
+				}
+				return st, runx.Newf(kind, stageClient, "job %s failed: %s", id, st.Error)
 			}
 		case runx.Retryable(err):
 			delay *= 2
@@ -243,6 +257,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 		}
 		last = err
 		if attempt >= attempts || !runx.Retryable(err) {
+			return last
+		}
+		if !c.Budget.Allow("client") {
+			mBudgetDenied.Inc()
+			c.logf("deesimctl: %s %s attempt %d/%d: retry budget exhausted, giving up: %v", method, path, attempt, attempts, err)
 			return last
 		}
 		delay := c.Retry.Delay(method+" "+path, attempt+1)

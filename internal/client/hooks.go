@@ -1,0 +1,13 @@
+package client
+
+import (
+	"context"
+	"time"
+)
+
+// SetSleepForTest replaces the client's backoff sleep. External test
+// packages (e.g. the overload e2e in internal/server) use it to record
+// delays instead of actually waiting; production code must not call it.
+func SetSleepForTest(c *Client, fn func(ctx context.Context, d time.Duration) error) {
+	c.sleep = fn
+}

@@ -12,4 +12,5 @@ var (
 	mFastFails    = obs.GetOrCreateCounter("deesim_client_breaker_fast_fails_total")
 	mBreakerOpen  = obs.GetOrCreateCounter("deesim_client_breaker_opens_total")
 	mBreakerClose = obs.GetOrCreateCounter("deesim_client_breaker_closes_total")
+	mBudgetDenied = obs.GetOrCreateCounter("deesim_client_budget_denied_total")
 )

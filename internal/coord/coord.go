@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"deesim/internal/bench"
+	"deesim/internal/budget"
 	"deesim/internal/client"
 	"deesim/internal/durable"
 	"deesim/internal/experiments"
@@ -85,6 +86,13 @@ type Config struct {
 	// URL. Nil means a client.Client with a single attempt and a
 	// per-worker breaker. Tests inject fakes here.
 	NewWorkerClient func(baseURL string) WorkerClient
+	// Budget is the shared retry budget cell re-dispatch draws from: each
+	// re-dispatch after an expiry or retryable worker failure withdraws
+	// one token under the "coord" layer label, and an exhausted budget
+	// fails the sweep instead of re-dispatching — bounding total retry
+	// amplification across the fleet no matter how many cells are
+	// flapping. Nil means unlimited (the pre-budget behavior).
+	Budget *budget.Budget
 	// FS is the filesystem every durable write goes through; nil means
 	// the real one. Tests inject faultinject.FaultyFS here.
 	FS durable.FS
@@ -394,6 +402,31 @@ func (c *Coordinator) runSweep(ctx context.Context, sw *sweep) (err error) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	deadline, err := sw.spec.ParseDeadline()
+	if err != nil {
+		return err
+	}
+	if !deadline.IsZero() {
+		if !c.cfg.now().Before(deadline) {
+			c.met.deadlineTimeouts.Inc()
+			return runx.Newf(runx.KindTimeout, stageCoord,
+				"sweep %s: deadline %s already passed before dispatch", sw.id, deadline.Format(time.RFC3339))
+		}
+		// The absolute SLO deadline rides the sweep context, so every
+		// outstanding lease RPC is cancelled the moment it passes; the
+		// re-label below makes the terminal error name the deadline rather
+		// than a bare context expiry.
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, deadline)
+		defer dcancel()
+		defer func() {
+			if err != nil && runx.IsKind(err, runx.KindTimeout) && !time.Now().Before(deadline) {
+				c.met.deadlineTimeouts.Inc()
+				err = runx.Newf(runx.KindTimeout, stageCoord,
+					"sweep %s exceeded its deadline %s: %w", sw.id, deadline.Format(time.RFC3339), err)
+			}
+		}()
+	}
 
 	tasks := experiments.MatrixTasks(ws, cfg)
 	meta := experiments.MatrixMeta(ws, cfg)
@@ -526,6 +559,13 @@ func (c *Coordinator) Submit(sp server.Spec) (*server.JobStatus, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
+	if dl, err := sp.ParseDeadline(); err == nil && !dl.IsZero() && !c.cfg.now().Before(dl) {
+		// A sweep whose deadline already passed is doomed: refuse it now,
+		// typed KindTimeout, instead of queueing work that can only fail.
+		c.met.deadlineTimeouts.Inc()
+		return nil, runx.Newf(runx.KindTimeout, stageCoord,
+			"deadline %s already passed at submission", dl.Format(time.RFC3339))
+	}
 	if c.Degraded() {
 		return nil, runx.Newf(runx.KindUnavailable, stageCoord,
 			"low disk: shedding new sweeps until durable writes succeed; retry after %s", c.cfg.RetryAfter)
@@ -603,7 +643,7 @@ func (c *Coordinator) List() []*server.JobStatus {
 }
 
 func sweepStatus(sw *sweep) *server.JobStatus {
-	return &server.JobStatus{
+	st := &server.JobStatus{
 		ID:         sw.id,
 		State:      sw.state,
 		CellsDone:  sw.cellsDone,
@@ -611,7 +651,12 @@ func sweepStatus(sw *sweep) *server.JobStatus {
 		Resumed:    sw.resumed,
 		Error:      sw.errText,
 		Kind:       sw.errKind,
+		Deadline:   sw.spec.Deadline,
 	}
+	if sw.spec.Priority != "" {
+		st.Priority = sw.spec.Class()
+	}
+	return st
 }
 
 // ResultPath returns the path of a done sweep's result file.

@@ -41,6 +41,9 @@ type coordMetrics struct {
 	healed         *obs.Counter // quarantined sweeps re-entered into the run path
 	lowDisk        *obs.Gauge   // 1 while shedding because durable writes hit ENOSPC
 	mergeChecks    *obs.Counter // merges verified against the journal set
+
+	budgetDenied     *obs.Counter // re-dispatches refused: shared retry budget exhausted
+	deadlineTimeouts *obs.Counter // sweeps failed KindTimeout against their absolute deadline
 }
 
 func newCoordMetrics(reg *obs.Registry) *coordMetrics {
@@ -71,6 +74,9 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 		healed:         reg.GetOrCreateCounter("deesim_coord_healed_total"),
 		lowDisk:        reg.GetOrCreateGauge("deesim_coord_low_disk"),
 		mergeChecks:    reg.GetOrCreateCounter("deesim_coord_merge_checks_total"),
+
+		budgetDenied:     reg.GetOrCreateCounter("deesim_coord_budget_denied_total"),
+		deadlineTimeouts: reg.GetOrCreateCounter("deesim_coord_deadline_timeouts_total"),
 	}
 }
 

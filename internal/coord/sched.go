@@ -57,11 +57,12 @@ type completion struct {
 // only the journal, the metrics, and the coordinator registry hops are
 // shared.
 type scheduler struct {
-	c     *Coordinator
-	sw    *sweep
-	jr    *Journal
-	retry superv.RetryPolicy
-	max   int // lease grants per cell before the sweep fails
+	c        *Coordinator
+	sw       *sweep
+	jr       *Journal
+	retry    superv.RetryPolicy
+	max      int       // lease grants per cell before the sweep fails
+	deadline time.Time // sweep's absolute SLO deadline; zero = none
 
 	tasks   []experiments.MatrixTask
 	pending []*cellState
@@ -97,6 +98,9 @@ func newScheduler(c *Coordinator, sw *sweep, tasks []experiments.MatrixTask, jr 
 		byKey:  make(map[string]int),
 		done:   make(map[string]json.RawMessage),
 		events: make(chan completion),
+	}
+	if dl, err := sw.spec.ParseDeadline(); err == nil {
+		s.deadline = dl
 	}
 	if prior != nil {
 		for k, v := range prior.Done {
@@ -322,9 +326,28 @@ func (s *scheduler) requeue(l *lease, cause error) {
 		return
 	}
 	if l.attempt >= s.max {
-		// Budget spent: park the error; the event loop surfaces it on the
-		// next dispatch pass via exhausted.
+		// Attempt budget spent: park the error; the event loop surfaces it
+		// on the next dispatch pass via exhausted.
 		s.exhausted = runx.Annotate(cause, fmt.Sprintf("cell %s failed after %d lease(s)", l.key, l.attempt))
+		return
+	}
+	if !s.deadline.IsZero() && !s.c.cfg.now().Before(s.deadline) {
+		// The sweep's absolute deadline passed: a re-dispatch could only
+		// deliver a result nobody is waiting for. Fail typed KindTimeout —
+		// never silently re-dispatch past the deadline.
+		s.c.met.deadlineTimeouts.Inc()
+		s.exhausted = runx.Newf(runx.KindTimeout, stageSched,
+			"sweep deadline %s passed; cell %s will not be re-dispatched: %v",
+			s.deadline.Format(time.RFC3339), l.key, cause)
+		return
+	}
+	if !s.c.cfg.Budget.Allow("coord") {
+		// The shared retry budget is exhausted: re-dispatching now would
+		// amplify an overload the budget exists to contain. Treated like
+		// attempt exhaustion — the sweep fails with a typed error.
+		s.c.met.budgetDenied.Inc()
+		s.exhausted = runx.Newf(runx.KindUnavailable, stageSched,
+			"retry budget exhausted; cell %s will not be re-dispatched: %v", l.key, cause)
 		return
 	}
 	delay := s.retry.Delay(l.key, l.attempt+1)

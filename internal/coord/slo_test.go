@@ -1,0 +1,127 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"deesim/internal/budget"
+	"deesim/internal/runx"
+	"deesim/internal/server"
+)
+
+// failUnavailable is a worker behavior that always fails retryably —
+// the coordinator-side equivalent of a 100%-faulty transport.
+func failUnavailable(_ context.Context, _ int, req server.CellRequest) (json.RawMessage, error) {
+	return nil, runx.Newf(runx.KindUnavailable, "fakeWorker", "cell %s: injected transport failure", req.Task.Key())
+}
+
+// TestSweepDeadlineRejectedAtSubmission: a sweep whose absolute
+// deadline already passed never reaches the queue.
+func TestSweepDeadlineRejectedAtSubmission(t *testing.T) {
+	c := newTestCoord(t, nil, nil)
+	sp := smokeSpec()
+	sp.Deadline = time.Now().Add(-time.Minute).UTC().Format(time.RFC3339)
+	_, err := c.Submit(sp)
+	if err == nil {
+		t.Fatal("Submit accepted a sweep with a passed deadline")
+	}
+	if !runx.IsKind(err, runx.KindTimeout) {
+		t.Fatalf("error = %v, want KindTimeout", err)
+	}
+	if !strings.Contains(err.Error(), "already passed") {
+		t.Errorf("error does not name the passed deadline: %v", err)
+	}
+	if got := counter(c, "deesim_coord_deadline_timeouts_total"); got != 1 {
+		t.Errorf("deadline_timeouts_total = %d, want 1", got)
+	}
+}
+
+// TestSweepDeadlineStopsRedispatch: once the sweep's deadline passes,
+// flapping cells are NOT re-dispatched — the sweep fails typed
+// KindTimeout and the worker sees no further calls.
+func TestSweepDeadlineStopsRedispatch(t *testing.T) {
+	fake := &fakeWorker{behavior: failUnavailable}
+	c := newTestCoord(t, map[string]*fakeWorker{"http://w1": fake}, func(cfg *Config) {
+		cfg.CellRetries = 1000 // the deadline, not the attempt budget, must stop it
+		cfg.Backoff = 20 * time.Millisecond
+	})
+	id := registerWorker(t, c, "http://w1", 2)
+	beatForever(t, c, id)
+	c.Start()
+
+	sp := smokeSpec()
+	sp.Deadline = time.Now().Add(400 * time.Millisecond).UTC().Format(time.RFC3339Nano)
+	st, err := c.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	final := waitSweep(t, c, st.ID, 15*time.Second)
+	if final.State != server.StateFailed {
+		t.Fatalf("sweep state = %q, want failed", final.State)
+	}
+	if runx.KindFromString(final.Kind) != runx.KindTimeout {
+		t.Fatalf("sweep kind = %q, want the timeout kind", final.Kind)
+	}
+	if !strings.Contains(final.Error, "deadline") {
+		t.Errorf("sweep error does not name the deadline: %s", final.Error)
+	}
+
+	// The failure is terminal: no re-dispatches trickle in afterwards.
+	calls := fake.callCount()
+	time.Sleep(300 * time.Millisecond)
+	if after := fake.callCount(); after != calls {
+		t.Errorf("worker saw %d calls after the deadline failure (was %d): sweep was silently re-dispatched", after, calls)
+	}
+	if got := counter(c, "deesim_coord_deadline_timeouts_total"); got < 1 {
+		t.Errorf("deadline_timeouts_total = %d, want >= 1", got)
+	}
+}
+
+// TestRetryBudgetBoundsRedispatch is the coordinator chaos e2e in
+// miniature: every dispatch fails retryably (a 100%-dead transport),
+// the per-cell attempt budget is huge, and only the shared retry
+// budget stands between the scheduler and unbounded re-dispatch. Total
+// worker calls must be exactly initial dispatches + budget capacity.
+func TestRetryBudgetBoundsRedispatch(t *testing.T) {
+	fake := &fakeWorker{behavior: failUnavailable}
+	bud := budget.New(2, 0) // two retry tokens, no refill: deterministic
+	c := newTestCoord(t, map[string]*fakeWorker{"http://w1": fake}, func(cfg *Config) {
+		cfg.CellRetries = 1000
+		cfg.Backoff = time.Millisecond
+		cfg.Budget = bud
+	})
+	id := registerWorker(t, c, "http://w1", 1) // one slot: dispatches serialize
+	beatForever(t, c, id)
+	c.Start()
+
+	// One cell keeps the arithmetic exact: 1 initial dispatch + 2
+	// budgeted re-dispatches = 3 calls, then the sweep fails.
+	sp := server.Spec{Workloads: []string{"xlisp"}, Models: []string{"SP"}, Resources: []int{8}, MaxInstrs: 3000}
+	st, err := c.Submit(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitSweep(t, c, st.ID, 15*time.Second)
+	if final.State != server.StateFailed {
+		t.Fatalf("sweep state = %q, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "retry budget exhausted") {
+		t.Errorf("sweep error = %q, want retry-budget exhaustion", final.Error)
+	}
+	if got := fake.callCount(); got != 3 {
+		t.Errorf("worker saw %d calls, want exactly 3 (1 dispatch + 2 budgeted retries)", got)
+	}
+	if got := counter(c, "deesim_coord_budget_denied_total"); got != 1 {
+		t.Errorf("budget_denied_total = %d, want 1", got)
+	}
+	if got := counter(c, "deesim_coord_redispatches_total"); got != 2 {
+		t.Errorf("redispatches_total = %d, want 2 (the budget's capacity)", got)
+	}
+	if got := bud.Remaining(); got != 0 {
+		t.Errorf("budget remaining = %d, want 0", got)
+	}
+}

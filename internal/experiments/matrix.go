@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"deesim/internal/bench"
+	"deesim/internal/budget"
 	"deesim/internal/ilpsim"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
@@ -78,6 +79,9 @@ type MatrixConfig struct {
 	// sweep but cannot lose results, because the journal record is
 	// already fsync'd when it fires.
 	OnCell func(key string, replayed bool)
+	// Budget, if non-nil, is the shared retry budget every cell retry
+	// draws from (see superv.Config.Budget).
+	Budget *budget.Budget
 
 	// testCellHook, when set by tests, observes each freshly-executed
 	// cell key — the seam kill-and-resume tests use to cancel mid-sweep.
@@ -349,6 +353,7 @@ func RunMatrixContext(ctx context.Context, ws []bench.Workload, cfg Config, mcfg
 		Journal: mcfg.Journal,
 		Prior:   mcfg.Prior,
 		OnDone:  onDone,
+		Budget:  mcfg.Budget,
 	}
 	if mcfg.OnRetry != nil {
 		scfg.OnRetry = func(key string, attempt int, delay time.Duration, err error) {

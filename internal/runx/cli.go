@@ -26,6 +26,10 @@ const (
 	ExitRegression   = 9
 	ExitOverload     = 10
 	ExitUnavailable  = 11
+
+	// ExitTimeout is the SLO-layer alias for ExitDeadline: deesimctl
+	// wait exits with it when a sweep exceeded its absolute deadline.
+	ExitTimeout = ExitDeadline
 )
 
 // ExitCode maps an error to the shared CLI exit-code contract above.

@@ -63,6 +63,14 @@ const (
 	KindUnavailable
 )
 
+// KindTimeout is the SLO-layer name for KindDeadline: a sweep that
+// blew past its absolute deadline is journaled, surfaced, and
+// exit-coded as this kind. It is an alias, not a distinct value, so
+// the wire format (Kind.String / KindFromString), retry
+// classification, and HTTP mapping all stay unchanged — an old client
+// sees the same "deadline exceeded" error body it always has.
+const KindTimeout = KindDeadline
+
 func (k Kind) String() string {
 	switch k {
 	case KindCanceled:

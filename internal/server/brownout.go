@@ -1,0 +1,100 @@
+package server
+
+import "fmt"
+
+// Brownout is deesimd's graceful-degradation ladder. Instead of one
+// cliff — queue full, everything sheds — admission walks down a
+// sequence of levels as pressure builds, shedding the least valuable
+// work first. The level is computed from signals the server already
+// tracks (per-class queue occupancy and the low-disk degraded flag),
+// so there is no separate controller to drift out of sync: every
+// admission decision re-derives the level from current state.
+//
+//	level 0  normal        both classes admit against their quotas
+//	level 1  shed batch    interactive occupancy crossed the watermark
+//	                       (or batch's own queue is full): new batch
+//	                       sweeps shed 429 + Retry-After, interactive
+//	                       unaffected
+//	level 2  defer all new interactive queue full too: new interactive
+//	                       sweeps defer 429 + Retry-After; everything
+//	                       already accepted keeps running
+//	level 3  reads only    durable writes are failing (ENOSPC): every
+//	                       write path sheds 503, but status, results,
+//	                       healthz, and metrics keep serving — the
+//	                       daemon stays observable and previously-acked
+//	                       state stays reachable
+//
+// Levels are strictly ordered: a higher level implies every lower
+// level's sheds. The current level is exported as the
+// deesim_server_brownout_level gauge, refreshed on every admission
+// decision and every degraded-flag transition.
+const (
+	BrownoutOff       = 0
+	BrownoutShedBatch = 1
+	BrownoutDeferAll  = 2
+	BrownoutReadsOnly = 3
+)
+
+// brownoutLocked computes levels 0–2 from queue occupancy. Level 3
+// (reads only) is owned by the degraded flag and checked before the
+// lock is taken — see Submit. Caller holds s.mu.
+func (s *Server) brownoutLocked() int {
+	switch {
+	case s.waitingInt >= s.cfg.QueueDepth:
+		return BrownoutDeferAll
+	case s.waitingInt >= s.cfg.BrownoutWatermark:
+		return BrownoutShedBatch
+	default:
+		return BrownoutOff
+	}
+}
+
+// noteBrownoutLocked publishes the current level on the gauge and logs
+// transitions. Caller holds s.mu.
+func (s *Server) noteBrownoutLocked(level int) {
+	if level == s.brownout {
+		return
+	}
+	s.cfg.Logf("deesimd: brownout level %d -> %d (%s)", s.brownout, level, brownoutName(level))
+	s.brownout = level
+	s.met.brownoutLevel.Set(float64(level))
+}
+
+// noteReadsOnly publishes the level-3 transition from the degraded
+// flag's side (it flips outside s.mu).
+func (s *Server) noteReadsOnly(on bool) {
+	s.mu.Lock()
+	if on {
+		s.noteBrownoutLocked(BrownoutReadsOnly)
+	} else if s.brownout == BrownoutReadsOnly {
+		s.noteBrownoutLocked(s.brownoutLocked())
+	}
+	s.mu.Unlock()
+}
+
+// BrownoutLevel reports the current brownout level for /readyz and
+// diagnostics.
+func (s *Server) BrownoutLevel() int {
+	if s.Degraded() {
+		return BrownoutReadsOnly
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	level := s.brownoutLocked()
+	s.noteBrownoutLocked(level)
+	return level
+}
+
+func brownoutName(level int) string {
+	switch level {
+	case BrownoutOff:
+		return "normal"
+	case BrownoutShedBatch:
+		return "shedding batch"
+	case BrownoutDeferAll:
+		return "deferring all new work"
+	case BrownoutReadsOnly:
+		return "reads only"
+	}
+	return fmt.Sprintf("level %d", level)
+}

@@ -61,6 +61,21 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, runx.Newf(runx.KindUnavailable, stageServer, "draining: not accepting cells"))
 		return
 	}
+	cellDeadline, err := cr.Spec.ParseDeadline()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !cellDeadline.IsZero() && !time.Now().Before(cellDeadline) {
+		// The sweep's absolute deadline already passed: refuse before
+		// burning a slot, typed KindTimeout so the coordinator retires
+		// the sweep instead of re-dispatching the cell.
+		s.met.cellSheds.Inc()
+		s.met.deadlineTimeouts.Inc()
+		s.writeError(w, runx.Newf(runx.KindTimeout, stageServer,
+			"cell %s past its sweep deadline %s", cr.Task.Key(), cellDeadline.Format(time.RFC3339)))
+		return
+	}
 	select {
 	case s.cellSlots <- struct{}{}:
 		defer func() { <-s.cellSlots }()
@@ -89,6 +104,14 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CellTimeout)
 	defer cancel()
+	if !cellDeadline.IsZero() {
+		// The sweep deadline rides the cell context too, so a cell that
+		// straddles the deadline is cancelled mid-run, not just refused
+		// up front.
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, cellDeadline)
+		defer dcancel()
+	}
 	ctx = obs.WithCellKey(ctx, cr.Task.Key())
 	res, err := s.runCell(ctx, ws, cfg, cr.Task)
 	if err != nil {

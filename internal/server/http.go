@@ -247,10 +247,20 @@ type ReadyStatus struct {
 	CellsInflight int    `json:"cells_inflight"`
 	CellSlots     int    `json:"cell_slots"`
 	Degraded      bool   `json:"degraded,omitempty"`
+	// Brownout is the current brownout level (0 normal … 3 reads only;
+	// see brownout.go), so operators and load balancers can see graceful
+	// degradation coming before hard sheds start.
+	Brownout int `json:"brownout_level"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	st := ReadyStatus{Status: s.WorkerState(), CellsInflight: s.CellsActive(), CellSlots: s.CellSlots(), Degraded: s.Degraded()}
+	st := ReadyStatus{
+		Status:        s.WorkerState(),
+		CellsInflight: s.CellsActive(),
+		CellSlots:     s.CellSlots(),
+		Degraded:      s.Degraded(),
+		Brownout:      s.BrownoutLevel(),
+	}
 	code := http.StatusOK
 	if st.Status == WorkerDraining {
 		code = http.StatusServiceUnavailable

@@ -33,6 +33,15 @@ type serverMetrics struct {
 	lowDisk     *obs.Gauge   // 1 while shedding because durable writes hit ENOSPC
 	quarantined *obs.Counter // artifacts this server moved to .quarantine/
 	healed      *obs.Counter // quarantined jobs re-entered into the run path
+
+	brownoutLevel    *obs.Gauge   // 0 normal … 3 reads-only (see brownout.go)
+	brownoutSheds    *obs.Counter // submissions shed by brownout policy (not plain quota)
+	deadlineTimeouts *obs.Counter // jobs failed KindTimeout against their absolute deadline
+
+	queueDepthInt   *obs.Gauge // waiting interactive jobs
+	queueDepthBatch *obs.Gauge // waiting batch jobs
+	shedsInt        *obs.Counter
+	shedsBatch      *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -58,6 +67,24 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		lowDisk:     reg.GetOrCreateGauge("deesim_server_low_disk"),
 		quarantined: reg.GetOrCreateCounter("deesim_server_quarantined_total"),
 		healed:      reg.GetOrCreateCounter("deesim_server_healed_total"),
+
+		brownoutLevel:    reg.GetOrCreateGauge("deesim_server_brownout_level"),
+		brownoutSheds:    reg.GetOrCreateCounter("deesim_server_brownout_sheds_total"),
+		deadlineTimeouts: reg.GetOrCreateCounter("deesim_server_deadline_timeouts_total"),
+
+		queueDepthInt:   reg.GetOrCreateGauge(`deesim_server_class_queue_depth{class="interactive"}`),
+		queueDepthBatch: reg.GetOrCreateGauge(`deesim_server_class_queue_depth{class="batch"}`),
+		shedsInt:        reg.GetOrCreateCounter(`deesim_server_class_sheds_total{class="interactive"}`),
+		shedsBatch:      reg.GetOrCreateCounter(`deesim_server_class_sheds_total{class="batch"}`),
+	}
+}
+
+// classShed bumps the per-class shed counter.
+func (m *serverMetrics) classShed(class string) {
+	if class == PriorityBatch {
+		m.shedsBatch.Inc()
+	} else {
+		m.shedsInt.Inc()
 	}
 }
 

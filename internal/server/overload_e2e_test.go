@@ -1,0 +1,217 @@
+// Overload/chaos end-to-end: mixed interactive+batch load at roughly
+// twice the daemon's capacity, driven through the real client over a
+// seeded faulty transport. The SLO contract under test:
+//
+//   - every ACCEPTED job completes and every interactive result is
+//     byte-identical to a quiet single-node run (overload degrades
+//     admission, never results);
+//   - batch is shed first, with Retry-After the client's backoff
+//     honors;
+//   - total client retry amplification stays inside the shared retry
+//     budget.
+//
+// External test package: the driver is internal/client, which imports
+// internal/server — an in-package test would be an import cycle.
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deesim/internal/budget"
+	"deesim/internal/client"
+	"deesim/internal/experiments"
+	"deesim/internal/faultinject"
+	"deesim/internal/obs"
+	"deesim/internal/runx"
+	"deesim/internal/server"
+	"deesim/internal/superv"
+)
+
+// countingTransport counts round trips that actually leave the client,
+// so the test can bound retry amplification from the wire's side.
+type countingTransport struct {
+	inner http.RoundTripper
+	n     atomic.Int64
+}
+
+func (c *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	c.n.Add(1)
+	return c.inner.RoundTrip(r)
+}
+
+func e2eSpec() server.Spec {
+	return server.Spec{
+		Workloads: []string{"xlisp"},
+		Models:    []string{"SP"},
+		Resources: []int{8},
+		MaxInstrs: 3000,
+	}
+}
+
+// goldenBytes computes the single-node result encoding for a spec —
+// the exact JSON value client.Result must hand back. (The client
+// decodes the body as a json.RawMessage, so the server's trailing
+// newline is not part of the comparison.)
+func goldenBytes(t *testing.T, sp server.Spec) []byte {
+	t.Helper()
+	ws, cfg, err := sp.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := experiments.RunMatrixContext(context.Background(), ws, cfg, experiments.MatrixConfig{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestOverloadChaosMixedPriorityE2E(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := server.New(server.Config{
+		StateDir:          t.TempDir(),
+		QueueDepth:        2,
+		BatchQueueDepth:   2,
+		BrownoutWatermark: 1,
+		Workers:           1,
+		CellJobs:          1,
+		RetryAfter:        time.Second,
+		Metrics:           reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+
+	// The client rides a seeded faulty transport (latency spikes,
+	// connection resets, 503 bursts) with a bounded retry budget. The
+	// sleep seam records backoff delays instead of sleeping, so the
+	// submission burst lands while the queue is still full — that IS the
+	// overload — and the test stays fast.
+	ct := &countingTransport{inner: faultinject.NewFaultyTransport(hs.Client().Transport, 0.1, 5*time.Millisecond, 0.1, 0.1, 2, 424242)}
+	bud := budget.New(64, 0)
+	c := client.New(hs.URL)
+	c.HTTP = &http.Client{Transport: ct}
+	c.Retry = superv.RetryPolicy{Attempts: 6, Backoff: 5 * time.Millisecond, Seed: 11}
+	c.Budget = bud
+	c.Breaker = nil // chaos 503s are health-shaped; the breaker is tested on its own
+	var delays []time.Duration
+	client.SetSleepForTest(c, func(ctx context.Context, d time.Duration) error {
+		delays = append(delays, d)
+		return runx.CtxErr(ctx, "test")
+	})
+
+	// 12 submissions against capacity ~6 (1 running + 2 interactive + 2
+	// batch queued), alternating classes with a paced cell so the queue
+	// cannot drain mid-burst.
+	ctx := context.Background()
+	golden := goldenBytes(t, e2eSpec())
+	type outcome struct {
+		id    string
+		class string
+	}
+	var accepted []outcome
+	shedByClass := map[string]int{}
+	chaosFailed := 0
+	for i := 0; i < 12; i++ {
+		sp := e2eSpec()
+		sp.CellDelay = "250ms"
+		if i%2 == 1 {
+			sp.Priority = server.PriorityBatch
+		}
+		st, err := c.Submit(ctx, sp)
+		switch {
+		case err == nil:
+			accepted = append(accepted, outcome{st.ID, sp.Class()})
+		case runx.IsKind(err, runx.KindOverload):
+			shedByClass[sp.Class()]++
+		case runx.IsKind(err, runx.KindUnavailable):
+			// The faulty transport exhausted this submission's retries
+			// before the request was ever acked. Nothing was lost — the
+			// SLO contract covers ACKED work — but it must stay rare, or
+			// the test degenerates into testing the fault injector.
+			chaosFailed++
+		default:
+			t.Fatalf("submission %d (%s) failed unexpectedly: %v", i, sp.Class(), err)
+		}
+	}
+	if chaosFailed > 4 {
+		t.Fatalf("transport chaos swallowed %d of 12 submissions; the overload path is untested", chaosFailed)
+	}
+	if len(accepted) == 0 {
+		t.Fatal("overload shed everything; the test drove no load")
+	}
+	if shedByClass[server.PriorityBatch] == 0 {
+		t.Fatalf("no batch submissions shed at 2x capacity (accepted %d, sheds %v)", len(accepted), shedByClass)
+	}
+
+	// Retry amplification stayed inside the budget: the wire saw at most
+	// one unbudgeted attempt per logical request plus the budget.
+	spent := 64 - bud.Remaining()
+	if spent > 64 {
+		t.Fatalf("budget over-spent: %d tokens", spent)
+	}
+	if wire := ct.n.Load(); wire > int64(12+64) {
+		t.Fatalf("wire saw %d requests for 12 submissions with a 64-token budget", wire)
+	}
+
+	// The client's backoff honored the server's Retry-After hint: once a
+	// shed response carried "Retry-After: 1", every subsequent recorded
+	// delay for that request is raised to >= 1s.
+	if len(shedByClass) > 0 {
+		raised := false
+		for _, d := range delays {
+			if d >= time.Second {
+				raised = true
+				break
+			}
+		}
+		if !raised {
+			t.Errorf("sheds occurred but no backoff delay was raised to the 1s Retry-After hint: %v", delays)
+		}
+	}
+
+	// Nothing acked was lost, and interactive results are byte-identical
+	// to the quiet run — chaos degraded admission, not answers. (The
+	// remaining faulty transport makes Status/Result flaky; poll through
+	// a clean client so verification itself is deterministic.)
+	verify := client.New(hs.URL)
+	verify.Retry = superv.RetryPolicy{Attempts: 3, Backoff: 10 * time.Millisecond}
+	for _, oc := range accepted {
+		if _, err := verify.Wait(ctx, oc.id, 20*time.Millisecond); err != nil {
+			t.Fatalf("accepted %s job %s never completed: %v", oc.class, oc.id, err)
+		}
+		raw, err := verify.Result(ctx, oc.id)
+		if err != nil {
+			t.Fatalf("result %s: %v", oc.id, err)
+		}
+		if string(raw) != string(golden) {
+			t.Errorf("%s job %s result diverged from the quiet run (%d vs %d bytes)", oc.class, oc.id, len(raw), len(golden))
+		}
+	}
+
+	// The brownout machinery actually engaged and recorded itself.
+	var brownoutSheds float64
+	for _, sm := range reg.Snapshot() {
+		if sm.Name == "deesim_server_brownout_sheds_total" {
+			brownoutSheds = sm.Value
+		}
+	}
+	if brownoutSheds == 0 {
+		t.Error("brownout_sheds_total = 0 after a 2x-capacity mixed burst")
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"deesim/internal/budget"
 	"deesim/internal/durable"
 	"deesim/internal/experiments"
 	"deesim/internal/obs"
@@ -59,9 +60,19 @@ type Config struct {
 	// StateDir is the durable root: jobs/<id>/{spec.json, run.journal,
 	// result.json, failed.json}.
 	StateDir string
-	// QueueDepth bounds the admission queue — jobs accepted but not yet
-	// running. Submissions beyond it are shed with 429 (default 8).
+	// QueueDepth bounds the interactive admission queue — interactive
+	// jobs accepted but not yet running. Submissions beyond it are shed
+	// with 429 (default 8).
 	QueueDepth int
+	// BatchQueueDepth bounds the batch lane's own queue; batch
+	// submissions beyond it shed with 429 without touching interactive
+	// capacity (default QueueDepth/2, minimum 1).
+	BatchQueueDepth int
+	// BrownoutWatermark is the interactive queue occupancy at which the
+	// server enters brownout level 1 and sheds all new batch work, even
+	// under the batch quota (default QueueDepth/2, minimum 1). See
+	// brownout.go for the full ladder.
+	BrownoutWatermark int
 	// Workers is the number of jobs run concurrently (default 1).
 	Workers int
 	// CellJobs is the superv worker-pool size inside each job's matrix
@@ -104,11 +115,27 @@ type Config struct {
 	// the real one. Tests inject faultinject.FaultyFS here to drive the
 	// disk-fault matrix hermetically.
 	FS durable.FS
+	// Budget, if non-nil, is the process-wide retry budget the job
+	// sweeps' cell retries draw from. Nil means unlimited retries — the
+	// pre-budget behavior.
+	Budget *budget.Budget
 }
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
+	}
+	if c.BatchQueueDepth <= 0 {
+		c.BatchQueueDepth = c.QueueDepth / 2
+		if c.BatchQueueDepth < 1 {
+			c.BatchQueueDepth = 1
+		}
+	}
+	if c.BrownoutWatermark <= 0 {
+		c.BrownoutWatermark = c.QueueDepth / 2
+		if c.BrownoutWatermark < 1 {
+			c.BrownoutWatermark = 1
+		}
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
@@ -152,6 +179,8 @@ func (c Config) withDefaults() Config {
 type job struct {
 	id         string
 	spec       Spec
+	class      string    // normalized priority class (spec.Class())
+	deadline   time.Time // absolute SLO deadline; zero = none
 	state      string
 	cellsDone  int
 	cellsTotal int
@@ -160,7 +189,11 @@ type job struct {
 	errKind    string
 }
 
-// JobStatus is the status API's JSON rendering of a job.
+// JobStatus is the status API's JSON rendering of a job. Priority and
+// Deadline surface the SLO fields so a waiting client can tell a
+// deadline-expired sweep from a generic failure; both are omitted for
+// sweeps that never set them, keeping the wire shape old clients see
+// unchanged.
 type JobStatus struct {
 	ID         string `json:"id"`
 	State      string `json:"state"`
@@ -169,6 +202,8 @@ type JobStatus struct {
 	Resumed    bool   `json:"resumed,omitempty"`
 	Error      string `json:"error,omitempty"`
 	Kind       string `json:"kind,omitempty"`
+	Priority   string `json:"priority,omitempty"`
+	Deadline   string `json:"deadline,omitempty"`
 }
 
 // Server is the deesimd core: admission queue, worker pool, job
@@ -189,15 +224,19 @@ type Server struct {
 	// succeeds again, so disk pressure never corrupts accepted state.
 	degraded atomic.Bool
 
-	mu          sync.Mutex
-	jobs        map[string]*job
-	order       []string // submission/recovery order
-	waiting     int      // queued jobs counted against QueueDepth
-	seq         int
-	queue       chan *job
-	queueClosed bool
-	draining    bool
-	running     map[string]context.CancelFunc
+	mu           sync.Mutex
+	jobs         map[string]*job
+	order        []string // submission/recovery order
+	waitingInt   int      // queued interactive jobs, against QueueDepth
+	waitingBatch int      // queued batch jobs, against BatchQueueDepth
+	seq          int
+	pendInt      []*job // interactive lane, FIFO
+	pendBatch    []*job // batch lane, FIFO; drained only when pendInt is empty
+	wake         chan struct{}
+	wakeClosed   bool
+	draining     bool
+	brownout     int // last published brownout level (gauge shadow)
+	running      map[string]context.CancelFunc
 
 	wg sync.WaitGroup
 }
@@ -232,16 +271,60 @@ func New(cfg Config) (*Server, error) {
 		cancel()
 		return nil, err
 	}
-	// Capacity covers the admission bound plus everything recovery may
-	// enqueue, so sends made while holding s.mu can never block.
-	s.queue = make(chan *job, cfg.QueueDepth+len(pending)+cfg.Workers)
+	// Capacity covers both lanes' admission bounds plus everything
+	// recovery may enqueue, so wake-token sends made while holding s.mu
+	// can never block.
+	s.wake = make(chan struct{}, cfg.QueueDepth+cfg.BatchQueueDepth+len(pending)+cfg.Workers)
 	for _, jb := range pending {
-		s.waiting++
+		s.pushLocked(jb)
 		s.met.jobsResumed.Inc()
-		s.queue <- jb
+		s.wake <- struct{}{}
 	}
-	s.met.queueDepth.Set(float64(s.waiting))
+	s.updateQueueGaugesLocked()
 	return s, nil
+}
+
+// pushLocked appends a job to its class's lane and bumps that lane's
+// waiting count. Callers that already reserved the waiting slot at
+// admission (Submit) must decrement first — the counter is owned here.
+// Caller holds s.mu (or, in New, owns the server exclusively).
+func (s *Server) pushLocked(jb *job) {
+	if jb.class == "" {
+		jb.class = jb.spec.Class()
+		jb.deadline, _ = jb.spec.ParseDeadline()
+	}
+	if jb.class == PriorityBatch {
+		s.pendBatch = append(s.pendBatch, jb)
+		s.waitingBatch++
+	} else {
+		s.pendInt = append(s.pendInt, jb)
+		s.waitingInt++
+	}
+}
+
+// popLocked removes and returns the next job to run — interactive
+// strictly before batch — or nil when both lanes are empty. Caller
+// holds s.mu.
+func (s *Server) popLocked() *job {
+	if len(s.pendInt) > 0 {
+		jb := s.pendInt[0]
+		s.pendInt = s.pendInt[1:]
+		s.waitingInt--
+		return jb
+	}
+	if len(s.pendBatch) > 0 {
+		jb := s.pendBatch[0]
+		s.pendBatch = s.pendBatch[1:]
+		s.waitingBatch--
+		return jb
+	}
+	return nil
+}
+
+func (s *Server) updateQueueGaugesLocked() {
+	s.met.queueDepth.Set(float64(s.waitingInt + s.waitingBatch))
+	s.met.queueDepthInt.Set(float64(s.waitingInt))
+	s.met.queueDepthBatch.Set(float64(s.waitingBatch))
 }
 
 // recover scans the jobs directory and rebuilds the registry. Returns
@@ -352,20 +435,35 @@ func (s *Server) Start() {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for jb := range s.queue {
+	for range s.wake {
 		s.mu.Lock()
 		if s.draining {
-			// The job's spec (and any journal) is durable; leave it
-			// queued on disk for the next process to resume.
+			// Lane contents (specs and any journals) are durable; leave
+			// them queued on disk for the next process to resume.
 			s.mu.Unlock()
 			continue
 		}
-		s.waiting--
+		jb := s.popLocked()
+		if jb == nil {
+			s.mu.Unlock()
+			continue
+		}
+		s.updateQueueGaugesLocked()
+		if !jb.deadline.IsZero() && !time.Now().Before(jb.deadline) {
+			// The deadline passed while the job sat queued. Fail it
+			// terminally — failed.json records kind "deadline exceeded",
+			// so no restart ever silently re-dispatches it — without
+			// spending a worker on a sweep nobody is waiting for.
+			s.mu.Unlock()
+			s.met.deadlineTimeouts.Inc()
+			s.finishJob(jb, runx.Newf(runx.KindTimeout, stageServer,
+				"job %s missed its deadline %s before starting", jb.id, jb.deadline.Format(time.RFC3339)))
+			continue
+		}
 		jb.state = StateRunning
 		jb.cellsDone = 0
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		s.running[jb.id] = cancel
-		s.met.queueDepth.Set(float64(s.waiting))
 		s.met.inflight.Set(float64(len(s.running)))
 		s.mu.Unlock()
 
@@ -402,6 +500,23 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+	// The absolute SLO deadline rides the same context the relative
+	// timeout does — whichever expires first cancels the sweep — but a
+	// deadline failure is re-labeled below with the deadline timestamp,
+	// so a waiting client learns *which* instant the sweep missed.
+	deadline := jb.deadline
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+		defer func() {
+			if err != nil && runx.IsKind(err, runx.KindTimeout) && !time.Now().Before(deadline) {
+				s.met.deadlineTimeouts.Inc()
+				err = runx.Newf(runx.KindTimeout, stageServer,
+					"job %s exceeded its deadline %s: %w", jb.id, deadline.Format(time.RFC3339), err)
+			}
+		}()
 	}
 	backoff, err := parseDuration("backoff", jb.spec.Backoff)
 	if err != nil {
@@ -461,6 +576,7 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 		Jobs:    s.cfg.CellJobs,
 		Journal: jr,
 		Prior:   prior,
+		Budget:  s.cfg.Budget,
 		Retry: superv.RetryPolicy{
 			Attempts: retries + 1,
 			Backoff:  backoff,
@@ -556,15 +672,28 @@ func (s *Server) finishJob(jb *job, err error) {
 	s.cfg.Logf("deesimd: job %s: failed permanently: %v", jb.id, err)
 }
 
-// Submit admits a job: sheds with KindOverload when the queue is full
-// (or KindUnavailable when draining), persists the spec durably, then
-// enqueues. Used by the HTTP handler and directly by tests.
+// Submit admits a job under the class-aware SLO policy: an expired
+// deadline is refused outright (KindTimeout), brownout and quota
+// pressure shed with KindOverload (batch first — see brownout.go),
+// draining and low-disk shed with KindUnavailable. Admitted specs are
+// persisted durably before the caller learns the id. Used by the HTTP
+// handler and directly by tests.
 func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
+	class := sp.Class()
+	deadline, _ := sp.ParseDeadline() // syntax vetted by Validate
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		s.met.deadlineTimeouts.Inc()
+		return nil, runx.Newf(runx.KindTimeout, stageServer,
+			"deadline %s already passed at submission", deadline.Format(time.RFC3339))
+	}
 	if s.Degraded() {
+		// Brownout level 3: reads only. Status, results, and metrics
+		// keep serving; every write sheds until a probe write succeeds.
 		s.met.drainSheds.Inc()
+		s.met.classShed(class)
 		return nil, runx.Newf(runx.KindUnavailable, stageServer,
 			"low disk: shedding new jobs until durable writes succeed; retry after %s", s.cfg.RetryAfter)
 	}
@@ -572,21 +701,48 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.met.drainSheds.Inc()
+		s.met.classShed(class)
 		return nil, runx.Newf(runx.KindUnavailable, stageServer, "draining: not accepting new jobs")
 	}
-	if s.waiting >= s.cfg.QueueDepth {
+	level := s.brownoutLocked()
+	s.noteBrownoutLocked(level)
+	if class == PriorityBatch {
+		if level >= BrownoutShedBatch {
+			s.mu.Unlock()
+			s.met.sheds.Inc()
+			s.met.brownoutSheds.Inc()
+			s.met.classShed(class)
+			return nil, runx.Newf(runx.KindOverload, stageServer,
+				"brownout level %d: shedding batch work (interactive queue %d/%d); retry after %s",
+				level, s.waitingInt, s.cfg.QueueDepth, s.cfg.RetryAfter)
+		}
+		if s.waitingBatch >= s.cfg.BatchQueueDepth {
+			s.mu.Unlock()
+			s.met.sheds.Inc()
+			s.met.classShed(class)
+			return nil, runx.Newf(runx.KindOverload, stageServer,
+				"batch queue full (%d waiting); retry after %s", s.cfg.BatchQueueDepth, s.cfg.RetryAfter)
+		}
+	} else if s.waitingInt >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.met.sheds.Inc()
+		s.met.brownoutSheds.Inc()
+		s.met.classShed(class)
 		return nil, runx.Newf(runx.KindOverload, stageServer,
-			"admission queue full (%d waiting); retry after %s", s.cfg.QueueDepth, s.cfg.RetryAfter)
+			"brownout level %d: interactive queue full (%d waiting), deferring new work; retry after %s",
+			BrownoutDeferAll, s.cfg.QueueDepth, s.cfg.RetryAfter)
 	}
 	s.seq++
 	id := fmt.Sprintf("j%06d", s.seq)
-	jb := &job{id: id, spec: sp, state: StateQueued, cellsTotal: sp.CellsTotal()}
+	jb := &job{id: id, spec: sp, class: class, deadline: deadline, state: StateQueued, cellsTotal: sp.CellsTotal()}
 	s.jobs[id] = jb
 	s.order = append(s.order, id)
-	s.waiting++
-	s.met.queueDepth.Set(float64(s.waiting))
+	if class == PriorityBatch {
+		s.waitingBatch++
+	} else {
+		s.waitingInt++
+	}
+	s.updateQueueGaugesLocked()
 	s.mu.Unlock()
 
 	// Durability before acknowledgment: the spec reaches disk (fsync +
@@ -606,8 +762,12 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.order = s.order[:len(s.order)-1]
-		s.waiting--
-		s.met.queueDepth.Set(float64(s.waiting))
+		if class == PriorityBatch {
+			s.waitingBatch--
+		} else {
+			s.waitingInt--
+		}
+		s.updateQueueGaugesLocked()
 		s.mu.Unlock()
 		if durable.IsNoSpace(err) {
 			// Ack nothing we cannot persist: the submission is refused,
@@ -620,10 +780,18 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 	}
 
 	s.mu.Lock()
-	if !s.queueClosed {
-		s.queue <- jb // capacity reserved above; never blocks
+	if !s.wakeClosed {
+		// The waiting slot was reserved at admission; only the lane
+		// append happens here. Wake capacity was reserved too, so the
+		// token send never blocks.
+		if class == PriorityBatch {
+			s.pendBatch = append(s.pendBatch, jb)
+		} else {
+			s.pendInt = append(s.pendInt, jb)
+		}
+		s.wake <- struct{}{}
 	}
-	// If the queue closed between reserve and here, the job stays on
+	// If admission closed between reserve and here, the job stays on
 	// disk and the next process resumes it — accepted is accepted.
 	st := statusLocked(jb)
 	s.mu.Unlock()
@@ -655,7 +823,7 @@ func (s *Server) List() []*JobStatus {
 }
 
 func statusLocked(jb *job) *JobStatus {
-	return &JobStatus{
+	st := &JobStatus{
 		ID:         jb.id,
 		State:      jb.state,
 		CellsDone:  jb.cellsDone,
@@ -664,6 +832,11 @@ func statusLocked(jb *job) *JobStatus {
 		Error:      jb.errText,
 		Kind:       jb.errKind,
 	}
+	if jb.spec.Priority != "" {
+		st.Priority = jb.spec.Class()
+	}
+	st.Deadline = jb.spec.Deadline
+	return st
 }
 
 // ResultPath returns the path of a done job's result file.
@@ -687,9 +860,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		if !s.queueClosed {
-			close(s.queue)
-			s.queueClosed = true
+		if !s.wakeClosed {
+			close(s.wake)
+			s.wakeClosed = true
 		}
 	}
 	s.mu.Unlock()
@@ -746,9 +919,9 @@ func (s *Server) logDrainSummary() {
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.draining = true
-	if !s.queueClosed {
-		close(s.queue)
-		s.queueClosed = true
+	if !s.wakeClosed {
+		close(s.wake)
+		s.wakeClosed = true
 	}
 	s.mu.Unlock()
 	s.baseCancel()
@@ -781,18 +954,18 @@ func (s *Server) requeueForHeal(id string) bool {
 	if !ok {
 		return false
 	}
-	if s.queueClosed || s.draining {
+	if s.wakeClosed || s.draining {
 		jb.state = StateInterrupted
 		return false
 	}
 	select {
-	case s.queue <- jb:
+	case s.wake <- struct{}{}:
 		jb.state = StateQueued
 		jb.resumed = true
 		jb.cellsDone = 0
 		jb.errText, jb.errKind = "", ""
-		s.waiting++
-		s.met.queueDepth.Set(float64(s.waiting))
+		s.pushLocked(jb)
+		s.updateQueueGaugesLocked()
 		return true
 	default:
 		jb.state = StateInterrupted
@@ -829,6 +1002,8 @@ func (s *Server) setDegraded(on bool) {
 		durable.SetLowDisk(false)
 		s.cfg.Logf("deesimd: disk probe succeeded; leaving degraded mode")
 	}
+	// Degraded is brownout level 3 (reads only); publish the transition.
+	s.noteReadsOnly(on)
 }
 
 // probeDisk attempts a tiny durable write in the state dir.

@@ -40,6 +40,51 @@ type Spec struct {
 	// pause sits after the cell's journal record is durable, so it
 	// widens the crash window without ever losing work.
 	CellDelay string `json:"cell_delay,omitempty"`
+
+	// Priority is the sweep's admission class: "interactive" (the
+	// default — an absent field keeps old clients on the pre-SLO
+	// behavior) or "batch". Batch sweeps admit against their own, smaller
+	// queue quota and are the first work shed under brownout; interactive
+	// sweeps are shed only once their own queue is full.
+	Priority string `json:"priority,omitempty"`
+	// Deadline is the sweep's absolute SLO deadline in RFC 3339 form
+	// (e.g. "2026-08-08T17:30:00Z"). Unlike Timeout — a per-run relative
+	// budget that restarts from zero on every resume — the deadline
+	// travels with the sweep through every hop (client, coordinator
+	// lease dispatch, worker cell contexts): once it passes, the sweep
+	// is cancelled everywhere, fails with kind "deadline exceeded"
+	// (KindTimeout), and is never silently re-dispatched.
+	Deadline string `json:"deadline,omitempty"`
+}
+
+// Priority classes a Spec may carry.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+// Class normalizes the spec's priority: "batch" if declared, otherwise
+// interactive — so sweeps from old clients (no priority field) keep
+// their old first-class treatment.
+func (sp Spec) Class() string {
+	if strings.ToLower(strings.TrimSpace(sp.Priority)) == PriorityBatch {
+		return PriorityBatch
+	}
+	return PriorityInteractive
+}
+
+// ParseDeadline returns the spec's absolute deadline, or the zero time
+// when none is set.
+func (sp Spec) ParseDeadline() (time.Time, error) {
+	if sp.Deadline == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339, sp.Deadline)
+	if err != nil {
+		return time.Time{}, runx.Newf(runx.KindInvalidInput, stageSpec,
+			"bad deadline %q (want RFC 3339, e.g. %q)", sp.Deadline, "2026-08-08T17:30:00Z")
+	}
+	return t, nil
 }
 
 const stageSpec = "server.Spec"
@@ -103,6 +148,15 @@ func (sp Spec) Validate() error {
 	}
 	if sp.Retries < 0 {
 		return runx.Newf(runx.KindInvalidInput, stageSpec, "negative retries %d", sp.Retries)
+	}
+	switch strings.ToLower(strings.TrimSpace(sp.Priority)) {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return runx.Newf(runx.KindInvalidInput, stageSpec,
+			"unknown priority %q (want %q or %q)", sp.Priority, PriorityInteractive, PriorityBatch)
+	}
+	if _, err := sp.ParseDeadline(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -15,4 +15,5 @@ var (
 	mBackoffMs      = obs.GetOrCreateCounter("deesim_superv_backoff_sleep_ms_total")
 	mJournalFsyncs  = obs.GetOrCreateCounter("deesim_superv_journal_fsyncs_total")
 	mJournalRecords = obs.GetOrCreateCounter("deesim_superv_journal_records_total")
+	mBudgetDenied   = obs.GetOrCreateCounter("deesim_superv_budget_denied_total")
 )

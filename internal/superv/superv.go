@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"deesim/internal/budget"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 )
@@ -103,6 +104,11 @@ type Config struct {
 	OnDone func(key string, result json.RawMessage, replayed bool)
 	// OnRetry, if non-nil, observes each retry decision (serialized).
 	OnRetry func(key string, attempt int, delay time.Duration, err error)
+	// Budget, if non-nil, is the process-wide retry budget: every cell
+	// retry withdraws one token, and an exhausted budget turns the
+	// retryable failure terminal instead of sleeping and re-attempting.
+	// Nil preserves the historical unlimited-retry behavior.
+	Budget *budget.Budget
 	// sleep is a test seam; nil means a context-aware real sleep.
 	sleep func(ctx context.Context, d time.Duration) error
 }
@@ -263,6 +269,11 @@ func runTask(ctx context.Context, t Task, cfg Config, emitMu *sync.Mutex, lane i
 		}
 		if !retryable || attempt >= cfg.Retry.Attempts {
 			return err
+		}
+		if !cfg.Budget.Allow("superv") {
+			mBudgetDenied.Inc()
+			return runx.Annotate(runx.Newf(runx.KindUnavailable, stageRun,
+				"retry budget exhausted after attempt %d: %w", attempt, err), t.Key)
 		}
 		delay := cfg.Retry.Delay(t.Key, attempt+1)
 		mRetries.Inc()
