@@ -26,6 +26,7 @@
 //	[-timeout 30s] [-deadlock-limit N]
 //	[-journal run.journal | -resume run.journal] [-jobs N]
 //	[-retries N] [-backoff 500ms]
+//	[-memo-dir path] [-memo-mem bytes]
 //
 // Studies run under a cancellable context: SIGINT/SIGTERM or an expired
 // -timeout stops the current simulation at the next checkpoint, the
@@ -53,7 +54,9 @@ import (
 	"deesim/internal/bench"
 	"deesim/internal/cache"
 	"deesim/internal/dee"
+	"deesim/internal/experiments"
 	"deesim/internal/ilpsim"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/predictor"
 	"deesim/internal/runx"
@@ -93,6 +96,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		jobsFlag    = fs.Int("jobs", 1, "worker-pool size for the journaled run (studies are independent)")
 		retriesFlag = fs.Int("retries", 2, "retries per study after the first attempt (retryable failures only)")
 		backoffFlag = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (exponential, deterministic jitter)")
+		memoDir     = fs.String("memo-dir", "", "content-addressed result-cache directory: repeated runs replay cached studies (empty = caching off)")
+		memoMem     = fs.Int64("memo-mem", 0, "in-memory result-cache budget in bytes (0 = 64 MiB; effective with -memo-dir)")
 	)
 	obsFlags := obs.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -171,9 +176,49 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("unknown study %q", *study))
 	}
 
+	var mm *memo.Memo
+	if *memoDir != "" {
+		if mm, err = memo.New(memo.Config{Dir: *memoDir, MemBytes: *memoMem}); err != nil {
+			return fail(err)
+		}
+	}
+	// Ablation studies do not decompose into matrix cells, so the memo
+	// keys them whole: a study's rendered text is a pure function of
+	// (study, workload, ET list, instruction cap, deadlock limit) under
+	// the same sim-version salt cell keys use.
+	etParts := make([]string, len(ets))
+	for i, et := range ets {
+		etParts[i] = strconv.Itoa(et)
+	}
+	runStudy := func(ctx context.Context, name string, run func(context.Context, io.Writer, *trace.Trace, []int) error, out io.Writer) error {
+		if mm == nil {
+			return run(ctx, out, tr, ets)
+		}
+		key := strings.Join([]string{
+			"ablate", experiments.MemoSalt,
+			"study=" + name,
+			"bench=" + w.Name,
+			"et=" + strings.Join(etParts, ","),
+			"max=" + strconv.FormatUint(*max, 10),
+			"deadlock=" + strconv.Itoa(*dlFlag),
+		}, "|")
+		data, err := mm.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+			var b strings.Builder
+			if err := run(ctx, &b, tr, ets); err != nil {
+				return nil, err
+			}
+			return []byte(b.String()), nil
+		})
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(data)
+		return err
+	}
+
 	if *journalFlag == "" && *resumeFlag == "" {
 		for _, i := range selected {
-			if err := studies[i].run(ctx, stdout, tr, ets); err != nil {
+			if err := runStudy(ctx, studies[i].name, studies[i].run, stdout); err != nil {
 				return fail(err)
 			}
 		}
@@ -211,7 +256,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			Key: "study/" + st.name,
 			Run: func(ctx context.Context) (any, error) {
 				var b strings.Builder
-				if err := st.run(ctx, &b, tr, ets); err != nil {
+				if err := runStudy(ctx, st.name, st.run, &b); err != nil {
 					return nil, err
 				}
 				return studyOutput{Study: st.name, Output: b.String()}, nil

@@ -51,6 +51,7 @@ import (
 	"deesim/internal/budget"
 	"deesim/internal/coord"
 	"deesim/internal/fsck"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
@@ -79,6 +80,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		reqTimeout   = fs.Duration("request-timeout", 10*time.Second, "per-HTTP-request deadline")
 		drainGrace   = fs.Duration("drain-grace", 15*time.Second, "how long a drain lets the running sweep finish before canceling")
 		retryAfter   = fs.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 429/503")
+		memoDir      = fs.String("memo-dir", "", "content-addressed result-cache directory (empty = caching off)")
+		memoMem      = fs.Int64("memo-mem", 0, "in-memory result-cache budget in bytes (0 = 64 MiB; effective with -memo-dir)")
 		fsckFlag     = fs.Bool("fsck", false, "integrity-check the -state directory and exit (do not serve)")
 	)
 	obsFlags := obs.RegisterCLIFlags(fs)
@@ -125,9 +128,16 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *retryBudget > 0 {
 		bud = budget.New(*retryBudget, *budgetRefill)
 	}
+	var mm *memo.Memo
+	if *memoDir != "" {
+		if mm, err = memo.New(memo.Config{Dir: *memoDir, MemBytes: *memoMem}); err != nil {
+			return fail(err)
+		}
+	}
 	c, err := coord.New(coord.Config{
 		StateDir:         *stateFlag,
 		Budget:           bud,
+		Memo:             mm,
 		QueueDepth:       *queueFlag,
 		LeaseTTL:         *leaseTTL,
 		HeartbeatTimeout: *hbTimeout,

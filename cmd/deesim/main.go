@@ -11,6 +11,7 @@
 //	       [-timeout 30s] [-deadlock-limit N]
 //	       [-journal run.journal | -resume run.journal] [-jobs N]
 //	       [-retries N] [-backoff 500ms]
+//	       [-memo-dir path] [-memo-mem bytes]
 //	       [-golden results/golden/figure5.json] [-write-golden out.json]
 //	       [-figure name]
 //	       [-bench-out BENCH_core.json] [-bench-baseline BENCH_core.json]
@@ -65,6 +66,7 @@ import (
 	"deesim/internal/experiments"
 	"deesim/internal/fsck"
 	"deesim/internal/ilpsim"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/perf"
 	"deesim/internal/runx"
@@ -103,6 +105,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		jobsFlag    = fs.Int("jobs", 4, "worker-pool size for the journaled sweep")
 		retriesFlag = fs.Int("retries", 2, "retries per cell after the first attempt (retryable failures only)")
 		backoffFlag = fs.Duration("backoff", 500*time.Millisecond, "base retry backoff (exponential, deterministic jitter)")
+		memoDir     = fs.String("memo-dir", "", "content-addressed result-cache directory: repeated sweeps reuse cached cells (empty = caching off)")
+		memoMem     = fs.Int64("memo-mem", 0, "in-memory result-cache budget in bytes (0 = 64 MiB; effective with -memo-dir)")
 		goldenFlag  = fs.String("golden", "", "compare the finished sweep against this golden baseline snapshot")
 		writeGolden = fs.String("write-golden", "", "write a golden baseline snapshot of the finished sweep to this path")
 		figureFlag  = fs.String("figure", "figure5", "figure name recorded in a written golden snapshot")
@@ -211,6 +215,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *journalFlag != "" && *resumeFlag != "" {
 		return fail(fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the journal it is given)"))
 	}
+	var mm *memo.Memo
+	if *memoDir != "" {
+		if mm, err = memo.New(memo.Config{Dir: *memoDir, MemBytes: *memoMem}); err != nil {
+			return fail(err)
+		}
+	}
 
 	printed := make(map[string]bool)
 	emit := func(r *experiments.WorkloadResult) {
@@ -240,10 +250,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var results []*experiments.WorkloadResult
-	if *journalFlag != "" || *resumeFlag != "" {
+	if *journalFlag != "" || *resumeFlag != "" || mm != nil {
+		// -memo-dir alone also routes through the supervised matrix path:
+		// that is the decomposition whose cells carry canonical memo keys,
+		// and its merged tables are byte-identical to the streaming path's.
 		results, err = runJournaled(ctx, ws, cfg, journaledOpts{
 			journal: *journalFlag, resume: *resumeFlag,
 			jobs: *jobsFlag, retries: *retriesFlag, backoff: *backoffFlag,
+			memo: mm,
 		}, stderr)
 		// The supervised path emits nothing until the merge; print every
 		// completed panel (canonical order) whether or not the run failed.
@@ -339,10 +353,13 @@ type journaledOpts struct {
 	journal, resume string
 	jobs, retries   int
 	backoff         time.Duration
+	memo            *memo.Memo
 }
 
 // runJournaled runs the sweep under the crash-safe supervisor,
-// creating or resuming the run journal.
+// creating or resuming the run journal. With no journal path (the
+// -memo-dir-only case) the supervisor runs unjournaled: the memo store
+// is the durability layer instead.
 func runJournaled(ctx context.Context, ws []bench.Workload, cfg experiments.Config, o journaledOpts, stderr io.Writer) ([]*experiments.WorkloadResult, error) {
 	meta := experiments.MatrixMeta(ws, cfg)
 	total := experiments.MatrixTaskCount(ws, cfg)
@@ -359,16 +376,19 @@ func runJournaled(ctx context.Context, ws []bench.Workload, cfg experiments.Conf
 			return nil, err
 		}
 		fmt.Fprintf(stderr, "deesim: resuming %s: %s\n", path, prior.Summary(total))
-	} else {
+	} else if path != "" {
 		if j, err = superv.Create(path, "deesim", meta); err != nil {
 			return nil, err
 		}
 	}
-	defer j.Close()
+	if j != nil {
+		defer j.Close()
+	}
 	mcfg := experiments.MatrixConfig{
 		Jobs:    o.jobs,
 		Journal: j,
 		Prior:   prior,
+		Memo:    o.memo,
 		Retry: superv.RetryPolicy{
 			Attempts: o.retries + 1,
 			Backoff:  o.backoff,
@@ -380,9 +400,11 @@ func runJournaled(ctx context.Context, ws []bench.Workload, cfg experiments.Conf
 	results, err := experiments.RunMatrixContext(ctx, ws, cfg, mcfg)
 	if err != nil {
 		// The journal knows exactly what a resumed run will skip.
-		if st, lerr := superv.Load(path); lerr == nil {
-			fmt.Fprintf(stderr, "deesim: journal %s: %s — resume with: deesim -resume %s\n",
-				path, st.Summary(total), path)
+		if path != "" {
+			if st, lerr := superv.Load(path); lerr == nil {
+				fmt.Fprintf(stderr, "deesim: journal %s: %s — resume with: deesim -resume %s\n",
+					path, st.Summary(total), path)
+			}
 		}
 		return results, err
 	}

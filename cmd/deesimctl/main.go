@@ -31,6 +31,13 @@
 //	                       quarantined and stale files; any corrupt or
 //	                       quarantined artifact exits with the
 //	                       corrupt-kind code
+//	memo stats <memo-dir>  print a result-cache store's contents (entry
+//	                       count, bytes, quarantined artifacts) as JSON;
+//	                       offline, like fsck
+//	memo purge <memo-dir>  remove every cache entry and sidecar from a
+//	                       result-cache store (quarantined artifacts are
+//	                       preserved — purge empties the cache, it never
+//	                       destroys corruption evidence)
 //
 // wait polls adaptively: a healthy daemon is polled at -poll, but
 // consecutive failures back the cadence off exponentially — honoring
@@ -65,6 +72,7 @@ import (
 	"deesim/internal/budget"
 	"deesim/internal/client"
 	"deesim/internal/fsck"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -109,7 +117,7 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	})
 	defer stopFlush()
 	if fs.NArg() < 1 {
-		fmt.Fprintln(stderr, "deesimctl: missing command (submit, submit-distributed, status, list, result, wait, health, fleet, fsck)")
+		fmt.Fprintln(stderr, "deesimctl: missing command (submit, submit-distributed, status, list, result, wait, health, fleet, fsck, memo)")
 		fs.Usage()
 		return runx.ExitUsage
 	}
@@ -259,6 +267,32 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		return runx.ExitOK
+
+	case "memo":
+		// Offline like fsck: operates on the store directory directly,
+		// so it works against a stopped daemon's -memo-dir.
+		if fs.NArg() < 3 {
+			return fail(runx.Newf(runx.KindInvalidInput, "deesimctl", "usage: deesimctl memo stats|purge <memo-dir>"))
+		}
+		sub, dir := fs.Arg(1), fs.Arg(2)
+		switch sub {
+		case "stats":
+			st, err := memo.DirStats(nil, dir)
+			if err != nil {
+				return fail(err)
+			}
+			emit(st)
+			return runx.ExitOK
+		case "purge":
+			n, err := memo.PurgeDir(nil, dir)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "purged %d cache entries from %s\n", n, dir)
+			return runx.ExitOK
+		default:
+			return fail(runx.Newf(runx.KindInvalidInput, "deesimctl", "unknown memo subcommand %q (stats, purge)", sub))
+		}
 
 	case "health":
 		if err := c.Healthy(ctx); err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"deesim/internal/durable"
 	"deesim/internal/faultinject"
+	"deesim/internal/memo"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 )
@@ -179,5 +180,62 @@ func TestCtlExitCodes(t *testing.T) {
 	}
 	if code := run("result", st.ID); code != runx.ExitUnavailable {
 		t.Fatalf("early result exited %d, want %d", code, runx.ExitUnavailable)
+	}
+}
+
+func TestCtlMemoStatsAndPurge(t *testing.T) {
+	dir := t.TempDir()
+	m, err := memo.New(memo.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("cell|a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("cell|b", []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) (int, string, string) {
+		var out, errb bytes.Buffer
+		code := realMain(args, strings.NewReader(""), &out, &errb)
+		return code, out.String(), errb.String()
+	}
+
+	code, out, errb := run("memo", "stats", dir)
+	if code != runx.ExitOK {
+		t.Fatalf("memo stats exited %d: %s", code, errb)
+	}
+	var st memo.Stats
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("memo stats output not JSON: %v\n%s", err, out)
+	}
+	if st.Entries != 2 || st.Bytes != 6 {
+		t.Fatalf("memo stats = %+v; want 2 entries, 6 bytes", st)
+	}
+
+	code, out, errb = run("memo", "purge", dir)
+	if code != runx.ExitOK {
+		t.Fatalf("memo purge exited %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "purged 2 cache entries") {
+		t.Fatalf("purge output %q missing count", out)
+	}
+	if code, out, _ = run("memo", "stats", dir); code != runx.ExitOK {
+		t.Fatal("stats after purge failed")
+	}
+	if err := json.Unmarshal([]byte(out), &st); err != nil || st.Entries != 0 {
+		t.Fatalf("post-purge stats = %+v, %v; want empty", st, err)
+	}
+
+	// Usage errors: missing args and unknown subcommand are invalid input.
+	if code, _, _ := run("memo"); code != runx.ExitInvalidInput {
+		t.Fatalf("bare memo exited %d, want %d", code, runx.ExitInvalidInput)
+	}
+	if code, _, _ := run("memo", "defrag", dir); code != runx.ExitInvalidInput {
+		t.Fatalf("unknown subcommand exited %d, want %d", code, runx.ExitInvalidInput)
+	}
+	if code, _, _ := run("memo", "stats", filepath.Join(dir, "missing")); code != runx.ExitInvalidInput {
+		t.Fatalf("missing dir exited %d, want %d", code, runx.ExitInvalidInput)
 	}
 }

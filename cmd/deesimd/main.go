@@ -14,6 +14,7 @@
 //	        [-job-timeout d] [-request-timeout d] [-drain-grace d]
 //	        [-retry-after d] [-retries N] [-backoff d]
 //	        [-retry-budget N] [-retry-budget-refill F]
+//	        [-memo-dir path] [-memo-mem bytes]
 //	        [-log-level info] [-log-json] [-metrics-out path]
 //	        [-pprof] [-version] [-fsck]
 //
@@ -73,6 +74,7 @@ import (
 	"deesim/internal/budget"
 	"deesim/internal/coord"
 	"deesim/internal/fsck"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -108,6 +110,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		backoffFlag  = fs.Duration("backoff", 250*time.Millisecond, "default base retry backoff per cell")
 		retryBudget  = fs.Int("retry-budget", 0, "total retry tokens shared across all sweeps (0 = unlimited)")
 		budgetRefill = fs.Float64("retry-budget-refill", 0, "retry-budget refill rate in tokens/sec")
+		memoDir      = fs.String("memo-dir", "", "content-addressed result-cache directory (empty = caching off)")
+		memoMem      = fs.Int64("memo-mem", 0, "in-memory result-cache budget in bytes (0 = 64 MiB; effective with -memo-dir)")
 		pprofFlag    = fs.Bool("pprof", false, "expose /debug/pprof/ profiling endpoints (debug surface; off by default)")
 		fsckFlag     = fs.Bool("fsck", false, "integrity-check the -state directory and exit (do not serve)")
 	)
@@ -155,6 +159,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *retryBudget > 0 {
 		bud = budget.New(*retryBudget, *budgetRefill)
 	}
+	var mm *memo.Memo
+	if *memoDir != "" {
+		if mm, err = memo.New(memo.Config{Dir: *memoDir, MemBytes: *memoMem}); err != nil {
+			return fail(err)
+		}
+	}
 	s, err := server.New(server.Config{
 		StateDir:          *stateFlag,
 		QueueDepth:        *queueFlag,
@@ -174,6 +184,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Logf:              logger.Printf,
 		Logger:            slogger,
 		Pprof:             *pprofFlag,
+		Memo:              mm,
 	})
 	if err != nil {
 		return fail(err)

@@ -20,6 +20,7 @@ import (
 	"deesim/internal/client"
 	"deesim/internal/durable"
 	"deesim/internal/experiments"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
@@ -93,6 +94,13 @@ type Config struct {
 	// amplification across the fleet no matter how many cells are
 	// flapping. Nil means unlimited (the pre-budget behavior).
 	Budget *budget.Budget
+	// Memo, if non-nil, is the content-addressed cell-result cache: a
+	// sweep consults it before leasing any cell to the fleet (hits are
+	// journaled as done by the pseudo-worker "memo" without a dispatch),
+	// and every fleet-computed result is recorded back into it, so the
+	// next sweep over overlapping cells skips them. Nil — the default —
+	// dispatches every cell, which byte-identity proofs rely on.
+	Memo *memo.Memo
 	// FS is the filesystem every durable write goes through; nil means
 	// the real one. Tests inject faultinject.FaultyFS here.
 	FS durable.FS
@@ -466,7 +474,34 @@ func (c *Coordinator) runSweep(ctx context.Context, sw *sweep) (err error) {
 	}
 	defer jr.Close()
 
+	// Memo prefill: cells the cache already holds become durable done
+	// records from the pseudo-worker "memo" before any lease is granted,
+	// so the fleet only computes what no prior sweep has. The journal
+	// record makes the hit crash-safe the same way a real completion is.
+	memoKeys := make(map[string]string)
+	if c.cfg.Memo != nil {
+		if prior == nil {
+			prior = &State{Done: make(map[string]json.RawMessage)}
+		}
+		for _, t := range tasks {
+			key := t.Key()
+			memoKeys[key] = experiments.CellMemoKey(cfg, t)
+			if _, ok := prior.Done[key]; ok {
+				continue
+			}
+			data, ok := c.cfg.Memo.Get(memoKeys[key])
+			if !ok {
+				continue
+			}
+			if err := jr.Append(Record{Kind: KindDone, Key: key, Worker: "memo", Result: data}); err != nil {
+				return err
+			}
+			prior.Done[key] = data
+		}
+	}
+
 	sched := newScheduler(c, sw, tasks, jr, prior)
+	sched.memo, sched.memoKeys = c.cfg.Memo, memoKeys
 	done, err := sched.run(ctx)
 	if err != nil {
 		return err

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"deesim/internal/experiments"
+	"deesim/internal/memo"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 	"deesim/internal/superv"
@@ -76,6 +77,12 @@ type scheduler struct {
 	leaseSeq  int
 	durations []time.Duration // completed-cell latencies, for stragglers
 	exhausted error           // a cell spent its lease budget; sweep fails
+
+	// memo/memoKeys, when the coordinator has a result cache, record
+	// every fleet-computed payload back into it (keyed by the cell's
+	// canonical memo key) so later sweeps skip the cell entirely.
+	memo     *memo.Memo
+	memoKeys map[string]string
 }
 
 func newScheduler(c *Coordinator, sw *sweep, tasks []experiments.MatrixTask, jr *Journal, prior *State) *scheduler {
@@ -422,6 +429,13 @@ func (s *scheduler) completeOK(ev completion, l *lease, active bool) error {
 		return err
 	}
 	s.done[ev.key] = ev.payload
+	if s.memo != nil {
+		if mk, ok := s.memoKeys[ev.key]; ok {
+			// Best-effort: a failed cache write costs future sweeps a
+			// recompute, never this sweep its result.
+			_ = s.memo.Put(mk, ev.payload)
+		}
+	}
 	s.c.met.cellsDone.Inc()
 	s.c.noteCellDone(s.sw)
 	s.durations = append(s.durations, ev.took)

@@ -3,7 +3,6 @@ package experiments
 import (
 	"context"
 	"encoding/json"
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -13,6 +12,7 @@ import (
 	"deesim/internal/bench"
 	"deesim/internal/budget"
 	"deesim/internal/ilpsim"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
@@ -82,6 +82,13 @@ type MatrixConfig struct {
 	// Budget, if non-nil, is the shared retry budget every cell retry
 	// draws from (see superv.Config.Budget).
 	Budget *budget.Budget
+	// Memo, if non-nil, is the content-addressed cell-result cache:
+	// each cell consults it (keyed by CellMemoKey) before building its
+	// input, so repeated sweeps skip already-computed cells entirely and
+	// identical concurrent cells collapse onto one execution. Nil keeps
+	// the historical behavior — every cell simulates — which is what
+	// byte-identity-sensitive golden jobs run with.
+	Memo *memo.Memo
 
 	// testCellHook, when set by tests, observes each freshly-executed
 	// cell key — the seam kill-and-resume tests use to cancel mid-sweep.
@@ -105,7 +112,6 @@ func MatrixMeta(ws []bench.Workload, cfg Config) map[string]string {
 	for i, et := range cfg.Resources {
 		ets[i] = strconv.Itoa(et)
 	}
-	o := cfg.Opts
 	return map[string]string{
 		"workloads": strings.Join(names, ","),
 		"models":    strings.Join(models, ","),
@@ -113,8 +119,7 @@ func MatrixMeta(ws []bench.Workload, cfg Config) map[string]string {
 		"predictor": cfg.Predictor,
 		"scale":     strconv.Itoa(cfg.Scale),
 		"max":       strconv.FormatUint(cfg.MaxInstrs, 10),
-		"opts": fmt.Sprintf("designp=%g,penalty=%d,strictmem=%t,deadlock=%d,pes=%d,lat=%v,cache=%t,mem=%t",
-			o.DesignP, o.Penalty, o.StrictMemory, o.DeadlockLimit, o.PEs, o.Lat, o.Cache != nil, o.Mem != nil),
+		"opts":      canonOpts(cfg.Opts),
 	}
 }
 
@@ -175,6 +180,7 @@ func (e *inputSim) drop(sim *ilpsim.Sim) {
 
 // run executes one cell on the shared simulator.
 func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*CellResult, error) {
+	mCellsStarted.Inc()
 	tr, sim, err := e.get(ctx, cfg)
 	if err != nil {
 		return nil, err
@@ -278,6 +284,11 @@ func RunMatrixContext(ctx context.Context, ws []bench.Workload, cfg Config, mcfg
 					tasks = append(tasks, superv.Task{
 						Key: mt.Key(),
 						Run: func(ctx context.Context) (any, error) {
+							if mcfg.Memo != nil {
+								return memoizedCell(ctx, mcfg.Memo, mt, cfg, func(ctx context.Context) (*CellResult, error) {
+									return ent.run(ctx, mt, cfg)
+								})
+							}
 							cell, err := ent.run(ctx, mt, cfg)
 							if err != nil {
 								return nil, err
@@ -448,4 +459,40 @@ func RunCell(ctx context.Context, ws []bench.Workload, cfg Config, t MatrixTask)
 		return nil, runx.Newf(runx.KindInvalidInput, stage, "workload %q has no input %q", t.Workload, t.Input)
 	}
 	return nil, runx.Newf(runx.KindInvalidInput, stage, "unknown workload %q", t.Workload)
+}
+
+// RunCellMemo is RunCell behind the content-addressed cache: a hit
+// (or a collapse onto an identical in-flight cell) skips the trace
+// build and simulation entirely; a miss computes through RunCell and
+// stores the result. A nil memo is exactly RunCell.
+func RunCellMemo(ctx context.Context, m *memo.Memo, ws []bench.Workload, cfg Config, t MatrixTask) (*CellResult, error) {
+	if m == nil {
+		return RunCell(ctx, ws, cfg, t)
+	}
+	return memoizedCell(ctx, m, t, cfg, func(ctx context.Context) (*CellResult, error) {
+		return RunCell(ctx, ws, cfg, t)
+	})
+}
+
+// memoizedCell runs one cell through the memo's singleflight: compute
+// on miss, share the in-flight result with identical concurrent
+// cells, and decode whatever bytes the cache settles on. The decoded
+// struct re-marshals to the same JSON a fresh run would journal, so
+// memoized and fresh sweeps stay byte-identical.
+func memoizedCell(ctx context.Context, m *memo.Memo, t MatrixTask, cfg Config, run func(ctx context.Context) (*CellResult, error)) (*CellResult, error) {
+	data, err := m.Do(ctx, CellMemoKey(cfg, t), func(ctx context.Context) ([]byte, error) {
+		cell, err := run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cell)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cell CellResult
+	if err := json.Unmarshal(data, &cell); err != nil {
+		return nil, runx.Newf(runx.KindCorrupt, "experiments.RunCell", "memo payload for %s: %w", t.Key(), err)
+	}
+	return &cell, nil
 }

@@ -1,0 +1,10 @@
+package experiments
+
+import "deesim/internal/obs"
+
+// mCellsStarted counts matrix-cell simulation attempts that actually
+// reached the simulator — journal replays and memo hits never
+// increment it, which is exactly what makes it the thundering-herd
+// assertion series: N identical concurrent submissions done right
+// raise it by one sweep's worth of cells, not N.
+var mCellsStarted = obs.GetOrCreateCounter("deesim_cells_started_total")

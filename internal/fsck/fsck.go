@@ -25,6 +25,7 @@ import (
 
 	"deesim/internal/coord"
 	"deesim/internal/durable"
+	"deesim/internal/memo"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
 )
@@ -146,6 +147,8 @@ func walk(fsys durable.FS, dir string, quarantined bool, r *Report) error {
 			// Paired sidecars are covered by their artifact's verdict.
 		case strings.HasSuffix(ent.Name(), ".journal"):
 			r.Verdicts = append(r.Verdicts, Journal(fsys, path))
+		case strings.HasSuffix(ent.Name(), memo.EntrySuffix):
+			r.Verdicts = append(r.Verdicts, MemoEntry(fsys, path))
 		default:
 			r.Verdicts = append(r.Verdicts, File(fsys, path))
 		}
@@ -213,6 +216,23 @@ func Journal(fsys durable.FS, path string) Verdict {
 	default:
 		return Verdict{Path: path, Status: StatusOK, Detail: fmt.Sprintf("%d done record(s)", res.done)}
 	}
+}
+
+// MemoEntry checks one content-addressed result-cache entry. The check
+// is the whole-file sidecar verification every artifact gets; the
+// verdict is annotated so a report over a -memo-dir reads as what it
+// is. A corrupt entry is only a lost cache hit — the store heals it by
+// rerunning — but it still fails fsck with the corrupt exit code,
+// because rotted cache entries and rotted results come from the same
+// disk.
+func MemoEntry(fsys durable.FS, path string) Verdict {
+	v := File(fsys, path)
+	if v.Detail == "" {
+		v.Detail = "result-cache entry"
+	} else {
+		v.Detail = "result-cache entry: " + v.Detail
+	}
+	return v
 }
 
 // JournalReport wraps a single-journal check in a Report, for the

@@ -1,0 +1,138 @@
+package fsck
+
+import (
+	"strings"
+	"testing"
+
+	"deesim/internal/faultinject"
+	"deesim/internal/memo"
+	"deesim/internal/runx"
+)
+
+// The memo-store satellite: fsck walks a -memo-dir like any durable
+// tree — entries verify against their sidecars, rot is corrupt (exit
+// code unchanged), orphan sidecars are flagged — with verdicts
+// annotated as result-cache entries.
+
+func TestMemoStoreVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	m, err := memo.New(memo.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("cell|good", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("cell|rotted", []byte("soon-bad")); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Dir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(StatusOK); got != 2 {
+		t.Fatalf("clean store: %d ok verdicts, want 2", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("clean store failed fsck: %v", err)
+	}
+	for _, v := range r.Verdicts {
+		if !strings.Contains(v.Detail, "result-cache entry") {
+			t.Errorf("verdict %s (%s) not annotated as a result-cache entry", v.Path, v.Detail)
+		}
+	}
+
+	// Rot one entry: corrupt verdict, corrupt exit code — same contract
+	// as any other artifact.
+	ffs := faultinject.NewFaultyFS(nil, 9)
+	var rotted string
+	ents, err := ffs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.HasSuffix(ent.Name(), memo.EntrySuffix) {
+			rotted = dir + "/" + ent.Name()
+			break
+		}
+	}
+	if _, err := ffs.RotFile(rotted); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Dir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(StatusCorrupt); got != 1 {
+		t.Fatalf("rotted store: %d corrupt verdicts, want 1", got)
+	}
+	if err := r.Err(); !runx.IsKind(err, runx.KindCorrupt) {
+		t.Fatalf("Err() = %v, want KindCorrupt", err)
+	}
+	v, ok := find(r, strings.TrimPrefix(rotted, dir+"/"))
+	if !ok {
+		t.Fatalf("no verdict for rotted entry %s", rotted)
+	}
+	if !strings.Contains(v.Detail, "result-cache entry") {
+		t.Errorf("corrupt verdict detail %q lost the result-cache annotation", v.Detail)
+	}
+
+	// After the memo heals (quarantine + rerun), fsck still reports the
+	// quarantined copy — healing never destroys evidence.
+	mm, err := memo.New(memo.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm.Get("cell|rotted") // trips the quarantine
+	if err := mm.Put("cell|rotted", []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Dir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(StatusQuarantined); got == 0 {
+		t.Error("healed store shows no quarantined artifact; evidence was destroyed")
+	}
+	if got := r.Count(StatusCorrupt); got != 0 {
+		t.Errorf("healed store still has %d corrupt entries", got)
+	}
+	if got := r.Count(StatusOK); got != 2 {
+		t.Errorf("healed store: %d ok entries, want 2", got)
+	}
+}
+
+func TestMemoOrphanSidecar(t *testing.T) {
+	dir := t.TempDir()
+	m, err := memo.New(memo.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put("cell|k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the entry but leave its sidecar: orphan verdict, clean exit
+	// (an orphan is debris, not corruption).
+	ents, err := faultinject.NewFaultyFS(nil, 1).ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if strings.HasSuffix(ent.Name(), memo.EntrySuffix) {
+			if err := faultinject.NewFaultyFS(nil, 1).Remove(dir + "/" + ent.Name()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	r, err := Dir(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(StatusOrphan); got != 1 {
+		t.Fatalf("%d orphan verdicts, want 1", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("orphan sidecar failed fsck: %v", err)
+	}
+}

@@ -1,0 +1,17 @@
+package memo
+
+import "deesim/internal/obs"
+
+// Memo telemetry, on the obs default registry. hits+misses count
+// lookups that resolved alone; collapsed counts callers that shared
+// another caller's in-flight computation instead of looking up or
+// computing themselves — so for a thundering herd of N identical
+// submissions the series read 1 miss, N-1 collapsed (or hits, for the
+// stragglers that arrive after the winner finished).
+var (
+	mHits      = obs.GetOrCreateCounter("deesim_memo_hits_total")
+	mMisses    = obs.GetOrCreateCounter("deesim_memo_misses_total")
+	mCollapsed = obs.GetOrCreateCounter("deesim_memo_collapsed_total")
+	mEvictions = obs.GetOrCreateCounter("deesim_memo_evictions_total")
+	mBytes     = obs.GetOrCreateCounter("deesim_memo_bytes_total")
+)

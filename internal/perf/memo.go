@@ -1,0 +1,144 @@
+package perf
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"deesim/internal/bench"
+	"deesim/internal/experiments"
+	"deesim/internal/ilpsim"
+	"deesim/internal/memo"
+)
+
+// MemoSchema identifies the MemoSuite JSON layout (BENCH_memo.json).
+const MemoSchema = "deesim-memo-perf/v1"
+
+// MemoSuite records one cold/warm repeated-sweep measurement: the same
+// matrix run twice through a content-addressed memo, first against an
+// empty store (every cell simulates) and then against the populated
+// one (every cell hits). WarmSpeedup — cold ns over warm ns — is the
+// perf claim the memo exists for; the acceptance floor is 5×. The cold
+// path itself is gated separately by BENCH_core.json's existing
+// speedup_vs_legacy comparison, which a memo (off or cold) must not
+// disturb.
+type MemoSuite struct {
+	Schema  string `json:"schema"`
+	Created string `json:"created,omitempty"`
+	Go      string `json:"go,omitempty"`
+	// Cells is the matrix size of the measured sweep.
+	Cells int `json:"cells"`
+	// ColdNs / WarmNs are the mean wall-clock ns per whole sweep.
+	ColdNs float64 `json:"cold_ns"`
+	WarmNs float64 `json:"warm_ns"`
+	// WarmSpeedup = ColdNs / WarmNs.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// Iters is the number of timed warm sweeps behind WarmNs (the cold
+	// sweep necessarily runs once: a second run would be warm).
+	Iters int `json:"iters"`
+}
+
+// WriteFile writes the suite as indented JSON.
+func (s *MemoSuite) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// MemoConfig parameterizes RunMemo.
+type MemoConfig struct {
+	// Workloads to sweep (nil = xlisp, a single-input workload).
+	Workloads []string
+	// Config is the sweep matrix (zero value = the 4-cell smoke matrix:
+	// SP and DEE-CD-MF at ET 8 and 64, 10k instructions).
+	Config experiments.Config
+	// MemoDir is the store directory ("" = a temp dir, removed after).
+	MemoDir string
+	// WarmIters is the number of timed warm sweeps (0 = 3; the mean
+	// smooths scheduler jitter on the all-hit path).
+	WarmIters int
+}
+
+// RunMemo measures one cold sweep and WarmIters warm sweeps over the
+// same memo store and reports the ratio.
+func RunMemo(ctx context.Context, cfg MemoConfig) (*MemoSuite, error) {
+	if cfg.Workloads == nil {
+		cfg.Workloads = []string{"xlisp"}
+	}
+	if cfg.Config.Resources == nil && cfg.Config.Models == nil && cfg.Config.MaxInstrs == 0 {
+		cfg.Config = experiments.Config{
+			MaxInstrs: 10_000,
+			Resources: []int{8, 64},
+			Models:    []ilpsim.Model{ilpsim.ModelSP, ilpsim.ModelDEECDMF},
+		}
+	}
+	if cfg.WarmIters <= 0 {
+		cfg.WarmIters = 3
+	}
+	dir := cfg.MemoDir
+	if dir == "" {
+		td, err := os.MkdirTemp("", "deesim-memo-perf-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(td)
+		dir = td
+	}
+	m, err := memo.New(memo.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	var ws []bench.Workload
+	for _, name := range cfg.Workloads {
+		w, err := bench.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	sweep := func() error {
+		_, err := experiments.RunMatrixContext(ctx, ws, cfg.Config, experiments.MatrixConfig{Jobs: 4, Memo: m})
+		return err
+	}
+
+	start := time.Now()
+	if err := sweep(); err != nil {
+		return nil, fmt.Errorf("perf: cold sweep: %w", err)
+	}
+	coldNs := float64(time.Since(start).Nanoseconds())
+
+	var warm time.Duration
+	for i := 0; i < cfg.WarmIters; i++ {
+		start = time.Now()
+		if err := sweep(); err != nil {
+			return nil, fmt.Errorf("perf: warm sweep %d: %w", i, err)
+		}
+		warm += time.Since(start)
+	}
+	warmNs := float64(warm.Nanoseconds()) / float64(cfg.WarmIters)
+
+	s := &MemoSuite{
+		Schema:  MemoSchema,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		Cells:   experiments.MatrixTaskCount(ws, cfg.Config),
+		ColdNs:  coldNs,
+		WarmNs:  warmNs,
+		Iters:   cfg.WarmIters,
+	}
+	if warmNs > 0 {
+		s.WarmSpeedup = coldNs / warmNs
+	}
+	return s, nil
+}

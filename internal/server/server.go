@@ -41,6 +41,7 @@ import (
 	"deesim/internal/budget"
 	"deesim/internal/durable"
 	"deesim/internal/experiments"
+	"deesim/internal/memo"
 	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/superv"
@@ -119,6 +120,13 @@ type Config struct {
 	// sweeps' cell retries draw from. Nil means unlimited retries — the
 	// pre-budget behavior.
 	Budget *budget.Budget
+	// Memo, if non-nil, is the content-addressed result cache: repeated
+	// sweeps replay cached cells, identical concurrent submissions
+	// (whole specs and leased cells alike) collapse onto one in-flight
+	// computation, and every caller receives byte-identical results.
+	// Nil — the default — keeps every submission simulating from
+	// scratch, which byte-identity-sensitive golden jobs rely on.
+	Memo *memo.Memo
 }
 
 func (c Config) withDefaults() Config {
@@ -577,6 +585,7 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 		Journal: jr,
 		Prior:   prior,
 		Budget:  s.cfg.Budget,
+		Memo:    s.cfg.Memo,
 		Retry: superv.RetryPolicy{
 			Attempts: retries + 1,
 			Backoff:  backoff,
@@ -598,15 +607,36 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 			}
 		},
 	}
-	results, err := experiments.RunMatrixContext(ctx, ws, cfg, mcfg)
+	compute := func(ctx context.Context) ([]byte, error) {
+		results, err := experiments.RunMatrixContext(ctx, ws, cfg, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return nil, runx.Newf(runx.KindUnknown, stageServer, "job %s: marshal results: %w", jb.id, err)
+		}
+		return append(data, '\n'), nil
+	}
+	var data []byte
+	if s.cfg.Memo != nil {
+		// Whole-spec singleflight: a thundering herd of identical
+		// submissions blocks on the first one's sweep and shares its
+		// bytes — each job still writes (and acks) its own result.json,
+		// so the per-job durability contract is unchanged.
+		data, err = s.cfg.Memo.Do(ctx, experiments.SweepMemoKey(ws, cfg), compute)
+		if err == nil {
+			s.mu.Lock()
+			jb.cellsDone = jb.cellsTotal // shared or replayed cells count as done
+			s.mu.Unlock()
+		}
+	} else {
+		data, err = compute(ctx)
+	}
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(results, "", "  ")
-	if err != nil {
-		return runx.Newf(runx.KindUnknown, stageServer, "job %s: marshal results: %w", jb.id, err)
-	}
-	if err := durable.WriteFileAtomic(s.cfg.FS, filepath.Join(s.jobDir(jb.id), "result.json"), append(data, '\n')); err != nil {
+	if err := durable.WriteFileAtomic(s.cfg.FS, filepath.Join(s.jobDir(jb.id), "result.json"), data); err != nil {
 		if durable.IsNoSpace(err) {
 			return runx.Newf(runx.KindUnavailable, stageServer, "job %s: write result: %w", jb.id, err)
 		}
