@@ -105,7 +105,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "ablate:", err)
-		return runx.ExitCode(err)
+		code := runx.ExitCode(err)
+		obsFlags.DumpFlightOnExit("ablate", code)
+		return code
 	}
 	if done, err := obsFlags.Handle("ablate", stdout, stderr); done {
 		return 0
@@ -121,6 +123,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ablate: "+format+"\n", args...)
 	})
 	defer stopFlush()
+	defer obsFlags.DumpFlightOnPanic("ablate")
+	stopQuit := obsFlags.WatchQuit("ablate", func(format string, args ...any) {
+		fmt.Fprintf(stderr, "ablate: "+format+"\n", args...)
+	})
+	defer stopQuit()
 	deadlockLimit = *dlFlag
 	if *journalFlag != "" && *resumeFlag != "" {
 		return fail(fmt.Errorf("-journal and -resume are mutually exclusive (resume appends to the journal it is given)"))

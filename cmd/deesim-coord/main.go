@@ -14,7 +14,7 @@
 //	             [-retry-budget N] [-retry-budget-refill F]
 //	             [-cell-timeout d] [-request-timeout d] [-drain-grace d]
 //	             [-retry-after d] [-log-level info] [-log-json]
-//	             [-metrics-out path] [-version] [-fsck]
+//	             [-metrics-out path] [-flight-out path] [-version] [-fsck]
 //
 // Overload policy: sweeps carry the same priority/deadline spec fields
 // deesimd understands; a sweep past its absolute deadline is refused at
@@ -32,6 +32,14 @@
 // durable completion wins. SIGINT/SIGTERM drains gracefully and
 // flushes -metrics-out immediately.
 //
+// Tracing: GET /v1/trace/<sweep> gathers the sweep's span fragments
+// from the coordinator's own log and every registered worker, corrects
+// per-worker clock skew against the lease-dispatch timestamps, and
+// returns one Perfetto-loadable timeline (deesimctl trace fetch, with
+// -server pointed here). The flight recorder defaults into -state and
+// is dumped on panic, SIGQUIT, nonzero exit, and continuously, as on
+// deesimd.
+//
 // With -fsck the coordinator does not serve: it integrity-checks the
 // -state directory and exits, corrupt-kind code if anything is corrupt
 // or quarantined.
@@ -46,6 +54,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"deesim/internal/budget"
@@ -97,7 +106,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	logger := log.New(stderr, "", log.LstdFlags|log.Lmicroseconds)
 	fail := func(err error) int {
 		logger.Printf("deesim-coord: %v", err)
-		return runx.ExitCode(err)
+		code := runx.ExitCode(err)
+		obsFlags.DumpFlightOnExit("deesim-coord", code)
+		return code
 	}
 	defer func() {
 		if err := obsFlags.WriteMetrics(); err != nil {
@@ -123,6 +134,24 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return runx.ExitOK
 	}
+
+	// Flight recorder and span fragments, exactly as on deesimd: the
+	// black box defaults into -state and survives SIGKILL via the
+	// periodic snapshot; the fragment log holds the coordinator's half
+	// of every sweep trace (root, lease-dispatch, and merge spans).
+	obsFlags.DefaultFlightOut(filepath.Join(*stateFlag, "flight.json"))
+	defer obsFlags.DumpFlightOnPanic("deesim-coord")
+	stopQuit := obsFlags.WatchQuit("deesim-coord", logger.Printf)
+	defer stopQuit()
+	frCtx, frStop := context.WithCancel(context.Background())
+	defer frStop()
+	go obs.Flight.Persist(frCtx, obsFlags.FlightOut, "deesim-coord", 0)
+
+	frags, err := obs.OpenFragmentLog(filepath.Join(*stateFlag, "fragments.jsonl"), "deesim-coord")
+	if err != nil {
+		return fail(runx.Newf(runx.KindUnknown, "deesim-coord", "open fragment log: %v", err))
+	}
+	defer frags.Close()
 
 	var bud *budget.Budget
 	if *retryBudget > 0 {
@@ -150,6 +179,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		RetryAfter:       *retryAfter,
 		Logf:             logger.Printf,
 		Logger:           slogger,
+		Frags:            frags,
 	})
 	if err != nil {
 		return fail(err)

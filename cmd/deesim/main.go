@@ -124,7 +124,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "deesim:", err)
-		return runx.ExitCode(err)
+		code := runx.ExitCode(err)
+		obsFlags.DumpFlightOnExit("deesim", code)
+		return code
 	}
 	if done, err := obsFlags.Handle("deesim", stdout, stderr); done {
 		return 0
@@ -151,6 +153,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		return nil
 	})
 	defer stopFlush()
+	defer obsFlags.DumpFlightOnPanic("deesim")
+	stopQuit := obsFlags.WatchQuit("deesim", func(format string, args ...any) {
+		fmt.Fprintf(stderr, "deesim: "+format+"\n", args...)
+	})
+	defer stopQuit()
 
 	if *fsckFlag {
 		if *journalFlag == "" {

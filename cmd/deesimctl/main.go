@@ -38,6 +38,16 @@
 //	                       result-cache store (quarantined artifacts are
 //	                       preserved — purge empties the cache, it never
 //	                       destroys corruption evidence)
+//	trace fetch <id>       fetch a sweep's merged fleet timeline from a
+//	                       coordinator (-server at deesim-coord) as
+//	                       Chrome-trace-event JSON on stdout — load it
+//	                       in Perfetto (ui.perfetto.dev); validates that
+//	                       every span has a nonnegative duration and
+//	                       prints a span/lane summary to stderr
+//
+// Every submit mints a W3C traceparent and sends it with the spec; the
+// trace id is echoed on stderr so the sweep's timeline can be fetched
+// (trace fetch) or grepped out of fleet logs later.
 //
 // wait polls adaptively: a healthy daemon is polled at -poll, but
 // consecutive failures back the cadence off exponentially — honoring
@@ -67,6 +77,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"deesim/internal/budget"
@@ -116,14 +127,23 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "deesimctl: "+format+"\n", args...)
 	})
 	defer stopFlush()
+	defer obsFlags.DumpFlightOnPanic("deesimctl")
+	stopQuit := obsFlags.WatchQuit("deesimctl", func(format string, args ...any) {
+		fmt.Fprintf(stderr, "deesimctl: "+format+"\n", args...)
+	})
+	defer stopQuit()
 	if fs.NArg() < 1 {
-		fmt.Fprintln(stderr, "deesimctl: missing command (submit, submit-distributed, status, list, result, wait, health, fleet, fsck, memo)")
+		fmt.Fprintln(stderr, "deesimctl: missing command (submit, submit-distributed, status, list, result, wait, health, fleet, fsck, memo, trace)")
 		fs.Usage()
 		return runx.ExitUsage
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "deesimctl:", err)
-		return runx.ExitCode(err)
+		code := runx.ExitCode(err)
+		// Nonzero typed exits leave a flight-recorder dump when the user
+		// asked for one (-flight-out); silently nothing otherwise.
+		obsFlags.DumpFlightOnExit("deesimctl", code)
+		return code
 	}
 
 	c := client.New(*serverFlag)
@@ -176,7 +196,11 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			// regardless of queueing delay in between.
 			sp.Deadline = time.Now().Add(*deadlineRel).UTC().Format(time.RFC3339)
 		}
-		st, err := c.Submit(ctx, sp)
+		// Mint the trace here, at the true root of the request: the
+		// client injects it as a traceparent header, the daemon persists
+		// it into the spec, and every hop downstream joins it.
+		tc := obs.NewTrace()
+		st, err := c.Submit(obs.WithTraceContext(ctx, tc), sp)
 		if err != nil {
 			return fail(err)
 		}
@@ -184,7 +208,7 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if cmd == "submit-distributed" {
 			noun = "distributed sweep"
 		}
-		fmt.Fprintf(stderr, "deesimctl: %s %s accepted (%d cells)\n", noun, st.ID, st.CellsTotal)
+		fmt.Fprintf(stderr, "deesimctl: %s %s accepted (%d cells, trace %s)\n", noun, st.ID, st.CellsTotal, tc.TraceID)
 		if !*waitFlag {
 			fmt.Fprintln(stdout, st.ID)
 			return runx.ExitOK
@@ -294,6 +318,23 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return fail(runx.Newf(runx.KindInvalidInput, "deesimctl", "unknown memo subcommand %q (stats, purge)", sub))
 		}
 
+	case "trace":
+		if fs.NArg() < 3 || fs.Arg(1) != "fetch" {
+			return fail(runx.Newf(runx.KindInvalidInput, "deesimctl", "usage: deesimctl trace fetch <sweep-id>"))
+		}
+		id := fs.Arg(2)
+		raw, err := c.TraceFetch(ctx, id)
+		if err != nil {
+			return fail(err)
+		}
+		summary, err := checkTimeline(raw)
+		if err != nil {
+			return fail(runx.Newf(runx.KindCorrupt, "deesimctl", "trace %s: %v", id, err))
+		}
+		fmt.Fprintf(stderr, "deesimctl: trace %s: %s\n", id, summary)
+		stdout.Write(append(raw, '\n'))
+		return runx.ExitOK
+
 	case "health":
 		if err := c.Healthy(ctx); err != nil {
 			return fail(err)
@@ -308,4 +349,54 @@ func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "deesimctl: unknown command %q\n", cmd)
 		return runx.ExitUsage
 	}
+}
+
+// checkTimeline validates a fetched Chrome-trace document before
+// re-emitting it: every complete ("X") span must have a nonnegative
+// duration, and event timestamps within each lane must be monotone
+// nondecreasing — the merge sorts them, so a violation means a torn or
+// mis-merged fetch, not clock skew. Returns a one-line summary for the
+// stderr narration (and for CI to assert against).
+func checkTimeline(raw []byte) (string, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return "", fmt.Errorf("parse timeline: %v", err)
+	}
+	lastTS := map[int]float64{}
+	lanes := map[int]bool{}
+	spans, cells := 0, 0
+	for _, ev := range doc.TraceEvents {
+		lanes[ev.PID] = true
+		if ev.Ph == "M" { // metadata (lane names) carries no timestamp
+			continue
+		}
+		if ev.TS < 0 {
+			return "", fmt.Errorf("span %q: negative timestamp %v", ev.Name, ev.TS)
+		}
+		if last, ok := lastTS[ev.PID]; ok && ev.TS < last {
+			return "", fmt.Errorf("span %q: timestamp %v precedes %v in lane %d", ev.Name, ev.TS, last, ev.PID)
+		}
+		lastTS[ev.PID] = ev.TS
+		if ev.Ph == "X" {
+			if ev.Dur < 0 {
+				return "", fmt.Errorf("span %q: negative duration %v", ev.Name, ev.Dur)
+			}
+			spans++
+			if strings.HasPrefix(ev.Name, "cell ") {
+				cells++
+			}
+		}
+	}
+	if spans == 0 {
+		return "", fmt.Errorf("timeline has no complete spans")
+	}
+	return fmt.Sprintf("%d spans (%d cell) across %d lanes, timestamps monotone", spans, cells, len(lanes)), nil
 }

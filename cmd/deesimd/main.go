@@ -16,7 +16,7 @@
 //	        [-retry-budget N] [-retry-budget-refill F]
 //	        [-memo-dir path] [-memo-mem bytes]
 //	        [-log-level info] [-log-json] [-metrics-out path]
-//	        [-pprof] [-version] [-fsck]
+//	        [-flight-out path] [-pprof] [-version] [-fsck]
 //
 // Overload policy: submissions carry a priority class ("interactive",
 // the default, or "batch") and admit against separate queues (-queue
@@ -42,6 +42,14 @@
 // -metrics-out snapshots the registry to a file — written immediately
 // when SIGINT/SIGTERM arrives, not only on clean exit, so a drain cut
 // short still leaves telemetry behind.
+//
+// Tracing and the black box: every traced request's span fragments are
+// appended to <state>/fragments.jsonl and served back over GET
+// /v1/tracefrag, so a coordinator can merge the fleet's fragments into
+// one timeline (deesimctl trace fetch). The always-on flight recorder
+// is dumped to -flight-out (default <state>/flight.json) on panic,
+// SIGQUIT, and nonzero exit, and a snapshot is persisted continuously
+// — even a SIGKILL leaves a dump naming the cells that were in flight.
 //
 // SIGINT/SIGTERM drains gracefully: admission closes (submissions get
 // 503, /readyz reports "draining"), running jobs get -drain-grace to
@@ -69,6 +77,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"deesim/internal/budget"
@@ -128,7 +137,11 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	logger := log.New(stderr, "", log.LstdFlags|log.Lmicroseconds)
 	fail := func(err error) int {
 		logger.Printf("deesimd: %v", err)
-		return runx.ExitCode(err)
+		code := runx.ExitCode(err)
+		// Every typed failure leaves the black box behind (no-op
+		// without -flight-out, which serving mode defaults into -state).
+		obsFlags.DumpFlightOnExit("deesimd", code)
+		return code
 	}
 	defer func() {
 		if err := obsFlags.WriteMetrics(); err != nil {
@@ -154,6 +167,25 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return runx.ExitOK
 	}
+
+	// Flight recorder: default the black box into the state directory,
+	// dump it on panic and SIGQUIT, and persist a periodic snapshot so
+	// even SIGKILL leaves a dump naming the in-flight cells.
+	obsFlags.DefaultFlightOut(filepath.Join(*stateFlag, "flight.json"))
+	defer obsFlags.DumpFlightOnPanic("deesimd")
+	stopQuit := obsFlags.WatchQuit("deesimd", logger.Printf)
+	defer stopQuit()
+	frCtx, frStop := context.WithCancel(context.Background())
+	defer frStop()
+	go obs.Flight.Persist(frCtx, obsFlags.FlightOut, "deesimd", 0)
+
+	// Span fragments: this process's half of every distributed trace,
+	// served back to the coordinator over GET /v1/tracefrag.
+	frags, err := obs.OpenFragmentLog(filepath.Join(*stateFlag, "fragments.jsonl"), "deesimd")
+	if err != nil {
+		return fail(runx.Newf(runx.KindUnknown, "deesimd", "open fragment log: %v", err))
+	}
+	defer frags.Close()
 
 	var bud *budget.Budget
 	if *retryBudget > 0 {
@@ -185,6 +217,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		Logger:            slogger,
 		Pprof:             *pprofFlag,
 		Memo:              mm,
+		Frags:             frags,
 	})
 	if err != nil {
 		return fail(err)

@@ -42,7 +42,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
 		dlFlag    = flag.Int("deadlock-limit", 0, "abort a simulation after this many cycles without progress (0 = default 2^22)")
 	)
-	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
+	obsFlags = obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	if done, err := obsFlags.Handle("levosim", os.Stdout, os.Stderr); done {
 		return
@@ -58,6 +58,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "levosim: "+format+"\n", args...)
 	})
 	defer stopFlush()
+	defer obsFlags.DumpFlightOnPanic("levosim")
+	stopQuit := obsFlags.WatchQuit("levosim", func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "levosim: "+format+"\n", args...)
+	})
+	defer stopQuit()
 
 	cfg := levo.Config{
 		Rows: *rows, Cols: *cols, DEEPaths: *deePaths,
@@ -161,7 +166,14 @@ func partial(t *stats.Table, ipcs []float64) {
 	fmt.Println(t.Render())
 }
 
+// obsFlags is package-level so fatal (which bypasses main's defers via
+// os.Exit) can still leave a flight-recorder dump behind.
+var obsFlags *obs.CLIFlags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "levosim:", err)
+	if obsFlags != nil {
+		obsFlags.DumpFlightOnExit("levosim", 1)
+	}
 	os.Exit(1)
 }

@@ -42,7 +42,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the whole run, e.g. 30s (0 = none)")
 		_         = flag.Int("deadlock-limit", 0, "accepted for CLI uniformity; capture is bounded by -max and -timeout")
 	)
-	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
+	obsFlags = obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 	if done, err := obsFlags.Handle("tracegen", os.Stdout, os.Stderr); done {
 		return
@@ -58,6 +58,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
 	})
 	defer stopFlush()
+	defer obsFlags.DumpFlightOnPanic("tracegen")
+	stopQuit := obsFlags.WatchQuit("tracegen", func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	})
+	defer stopQuit()
 
 	ctx, stop := runx.MainContext(*timeout)
 	defer stop()
@@ -148,7 +153,14 @@ func main() {
 	}
 }
 
+// obsFlags is package-level so fatal (which bypasses main's defers via
+// os.Exit) can still leave a flight-recorder dump behind.
+var obsFlags *obs.CLIFlags
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	if obsFlags != nil {
+		obsFlags.DumpFlightOnExit("tracegen", 1)
+	}
 	os.Exit(1)
 }

@@ -55,6 +55,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "treeviz: "+format+"\n", args...)
 	})
 	defer stopFlush()
+	defer obsFlags.DumpFlightOnPanic("treeviz")
+	stopQuit := obsFlags.WatchQuit("treeviz", func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "treeviz: "+format+"\n", args...)
+	})
+	defer stopQuit()
 
 	ctx, stop := runx.MainContext(*timeout)
 	defer stop()
@@ -85,10 +90,12 @@ func main() {
 	case err := <-done:
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "treeviz:", err)
+			obsFlags.DumpFlightOnExit("treeviz", 1)
 			os.Exit(1)
 		}
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "treeviz:", runx.CtxErr(ctx, "treeviz"))
+		obsFlags.DumpFlightOnExit("treeviz", 1)
 		os.Exit(1)
 	}
 }

@@ -1,9 +1,11 @@
 package client
 
 import (
+	"strconv"
 	"sync"
 	"time"
 
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 )
 
@@ -87,6 +89,7 @@ func (b *Breaker) Record(healthy bool) {
 	if healthy {
 		if !b.openUntil.IsZero() {
 			mBreakerClose.Inc()
+			obs.RecordFlight("breaker", "circuit closed", nil)
 		}
 		b.fails = 0
 		b.openUntil = time.Time{}
@@ -102,6 +105,7 @@ func (b *Breaker) Record(healthy bool) {
 		// already in flight when the circuit opened.
 		if b.openUntil.IsZero() || !now.Before(b.openUntil) {
 			mBreakerOpen.Inc()
+			obs.RecordFlight("breaker", "circuit opened", map[string]string{"fails": strconv.Itoa(b.fails)})
 		}
 		b.openUntil = now.Add(cd)
 	}

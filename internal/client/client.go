@@ -19,6 +19,7 @@ import (
 
 	"deesim/internal/budget"
 	"deesim/internal/durable"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 	"deesim/internal/superv"
@@ -133,6 +134,17 @@ func (c *Client) RunCell(ctx context.Context, req server.CellRequest) (json.RawM
 	}
 	var raw json.RawMessage
 	if _, err := c.once(ctx, http.MethodPost, "/v1/cells", body, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// TraceFetch fetches a sweep's merged fleet timeline from a
+// coordinator (GET /v1/trace/<id>): Chrome-trace-event JSON, verbatim,
+// ready for Perfetto. Raw bytes for the same layering reason as Fleet.
+func (c *Client) TraceFetch(ctx context.Context, id string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/trace/"+id, nil, &raw); err != nil {
 		return nil, err
 	}
 	return raw, nil
@@ -269,6 +281,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 			delay = retryAfter
 		}
 		mRetries.Inc()
+		obs.RecordFlight("retry", method+" "+path, map[string]string{
+			"attempt": strconv.Itoa(attempt + 1), "error": err.Error(),
+		})
 		c.logf("deesimctl: %s %s attempt %d/%d: %v (retrying in %s)", method, path, attempt, attempts, err, delay)
 		if serr := c.snooze(ctx, delay); serr != nil {
 			return last
@@ -296,6 +311,20 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Trace propagation: every attempt of a traced request gets its own
+	// child span (same trace ID, fresh span ID) injected as the
+	// traceparent header — so retries and breaker half-open probes stay
+	// distinguishable in the merged timeline while joining one trace.
+	endSpan := func() {}
+	if tc, ok := obs.TraceContextFrom(ctx); ok {
+		if tc.Sampled {
+			var sctx context.Context
+			sctx, endSpan = obs.StartSpan(ctx, "http "+method+" "+path, nil)
+			tc, _ = obs.TraceContextFrom(sctx)
+		}
+		req.Header.Set(obs.TraceparentHeader, tc.Traceparent())
+	}
+	defer endSpan()
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		c.Breaker.Record(false)

@@ -1,0 +1,180 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"deesim/internal/obs"
+	"deesim/internal/server"
+	"deesim/internal/superv"
+)
+
+// tracedCtx returns a context carrying a fresh sampled trace and a
+// fragment log in dir, plus the trace and the log for assertions.
+func tracedCtx(t *testing.T, dir string) (context.Context, obs.TraceContext, *obs.FragmentLog) {
+	t.Helper()
+	fl, err := obs.OpenFragmentLog(filepath.Join(dir, "frags.jsonl"), "test")
+	if err != nil {
+		t.Fatalf("OpenFragmentLog: %v", err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	tc := obs.NewTrace()
+	ctx := obs.WithFragments(obs.WithTraceContext(context.Background(), tc), fl)
+	return ctx, tc, fl
+}
+
+// Every attempt of a retried request must carry the same trace ID but
+// a fresh span ID — retries are distinguishable in the timeline yet
+// join one trace — and each attempt must leave exactly one span
+// fragment.
+func TestTracePropagatesAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var parents []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		parents = append(parents, r.Header.Get(obs.TraceparentHeader))
+		n := len(parents)
+		mu.Unlock()
+		if n < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j000001", State: server.StateDone})
+	}))
+	defer srv.Close()
+
+	c, _ := quiet(srv.URL)
+	ctx, tc, fl := tracedCtx(t, t.TempDir())
+	if _, err := c.Status(ctx, "j000001"); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+
+	if len(parents) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(parents))
+	}
+	spans := map[string]bool{}
+	for i, p := range parents {
+		got, ok := obs.ParseTraceparent(p)
+		if !ok {
+			t.Fatalf("attempt %d: unparseable traceparent %q", i+1, p)
+		}
+		if got.TraceID != tc.TraceID {
+			t.Fatalf("attempt %d: trace ID %s, want %s", i+1, got.TraceID, tc.TraceID)
+		}
+		if !got.Sampled {
+			t.Fatalf("attempt %d: sampled bit lost", i+1)
+		}
+		if spans[got.SpanID] {
+			t.Fatalf("attempt %d: span ID %s reused across attempts", i+1, got.SpanID)
+		}
+		spans[got.SpanID] = true
+	}
+
+	frags, err := obs.ReadFragments(fl.Path(), tc.TraceID)
+	if err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	var http3 int
+	for _, fr := range frags {
+		if strings.HasPrefix(fr.Name, "http GET ") {
+			http3++
+			if !spans[fr.Span] {
+				t.Fatalf("fragment span %s was never sent as a traceparent", fr.Span)
+			}
+			if fr.Parent != tc.SpanID {
+				t.Fatalf("fragment parent = %s, want the caller's span %s", fr.Parent, tc.SpanID)
+			}
+		}
+	}
+	if http3 != 3 {
+		t.Fatalf("recorded %d http spans, want 3 (one per attempt): %+v", http3, frags)
+	}
+}
+
+// A breaker half-open probe is an attempt like any other: it must
+// carry the original trace with its own span, so the timeline shows
+// the probe that closed the circuit.
+func TestTracePropagatesThroughBreakerProbe(t *testing.T) {
+	var mu sync.Mutex
+	var parents []string
+	var failing = true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		parents = append(parents, r.Header.Get(obs.TraceparentHeader))
+		bad := failing
+		mu.Unlock()
+		if bad {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": "boom", "kind": "unknown"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j000001", State: server.StateDone})
+	}))
+	defer srv.Close()
+
+	c, _ := quiet(srv.URL)
+	c.Retry = superv.RetryPolicy{Attempts: 1}
+	now := time.Now()
+	c.Breaker = &Breaker{Threshold: 1, Cooldown: time.Second, now: func() time.Time { return now }}
+
+	ctx, tc, fl := tracedCtx(t, t.TempDir())
+	if _, err := c.Status(ctx, "j000001"); err == nil {
+		t.Fatal("Status succeeded against a 500 server")
+	}
+	if st := c.Breaker.State(); st != "open" {
+		t.Fatalf("breaker state = %q, want open", st)
+	}
+	// While open: fail fast, no attempt, no span.
+	if _, err := c.Status(ctx, "j000001"); err == nil {
+		t.Fatal("Status succeeded through an open breaker")
+	}
+	// Past the cooldown the half-open probe goes through and closes the
+	// circuit.
+	now = now.Add(2 * time.Second)
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	if _, err := c.Status(ctx, "j000001"); err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if st := c.Breaker.State(); st != "closed" {
+		t.Fatalf("breaker state = %q, want closed", st)
+	}
+
+	if len(parents) != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (the open circuit must not reach the network)", len(parents))
+	}
+	first, ok1 := obs.ParseTraceparent(parents[0])
+	probe, ok2 := obs.ParseTraceparent(parents[1])
+	if !ok1 || !ok2 {
+		t.Fatalf("unparseable traceparents %q", parents)
+	}
+	if first.TraceID != tc.TraceID || probe.TraceID != tc.TraceID {
+		t.Fatalf("trace IDs %s/%s, want both %s", first.TraceID, probe.TraceID, tc.TraceID)
+	}
+	if first.SpanID == probe.SpanID {
+		t.Fatalf("probe reused span ID %s", probe.SpanID)
+	}
+
+	frags, err := obs.ReadFragments(fl.Path(), tc.TraceID)
+	if err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	var spans int
+	for _, fr := range frags {
+		if strings.HasPrefix(fr.Name, "http GET ") {
+			spans++
+		}
+	}
+	if spans != 2 {
+		t.Fatalf("recorded %d http spans, want 2 (one per network attempt)", spans)
+	}
+}

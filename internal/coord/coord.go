@@ -104,6 +104,12 @@ type Config struct {
 	// FS is the filesystem every durable write goes through; nil means
 	// the real one. Tests inject faultinject.FaultyFS here.
 	FS durable.FS
+	// Frags, if non-nil, is the coordinator's own durable span-fragment
+	// log: sweep roots, queue waits, lease dispatches, and merges record
+	// here. The lease-dispatch spans double as the clock-skew reference
+	// the trace merge aligns worker fragments against. Nil records
+	// nothing (and GET /v1/trace serves worker fragments unadjusted).
+	Frags *obs.FragmentLog
 	// now is the clock seam for tests.
 	now func() time.Time
 }
@@ -189,11 +195,17 @@ type sweep struct {
 	id         string
 	spec       server.Spec
 	state      string
+	enqueued   time.Time // when the sweep entered the queue (queue-wait span)
 	cellsDone  int
 	cellsTotal int
 	resumed    bool
 	errText    string
 	errKind    string
+}
+
+// traceCtx parses the trace context persisted with the sweep's spec.
+func (sw *sweep) traceCtx() (obs.TraceContext, bool) {
+	return obs.ParseTraceparent(sw.spec.Trace)
 }
 
 // Coordinator is the distributed-sweep control plane. Create with New,
@@ -378,10 +390,19 @@ func (c *Coordinator) runner() {
 		c.waiting--
 		sw.state = server.StateRunning
 		sw.cellsDone = 0
+		enqueued := sw.enqueued
 		ctx, cancel := context.WithCancel(c.baseCtx)
 		c.running[sw.id] = cancel
 		c.mu.Unlock()
 
+		if tc, ok := sw.traceCtx(); ok && !enqueued.IsZero() {
+			_ = c.cfg.Frags.Append(obs.SpanFragment{
+				Trace: tc.TraceID, Span: tc.Child().SpanID, Parent: tc.SpanID,
+				Name:  "queue-wait " + sw.id,
+				Start: enqueued.UnixNano(), End: time.Now().UnixNano(),
+				Attrs: map[string]string{"sweep": sw.id},
+			})
+		}
 		err := c.runSweep(ctx, sw)
 		cancel()
 		c.finishSweep(sw, err)
@@ -397,6 +418,16 @@ func (c *Coordinator) runSweep(ctx context.Context, sw *sweep) (err error) {
 		}
 	}()
 	ctx = obs.WithJobID(ctx, sw.id)
+	// Rejoin the trace the submission minted: the sweep span is the
+	// coordinator's dispatch-to-merge record under the submission root,
+	// and every lease span below nests under it.
+	if tc, ok := sw.traceCtx(); ok {
+		ctx = obs.WithTraceContext(ctx, tc)
+		ctx = obs.WithFragments(ctx, c.cfg.Frags)
+		var endSweep func()
+		ctx, endSweep = obs.StartSpan(ctx, "sweep "+sw.id, map[string]string{"sweep": sw.id})
+		defer endSweep()
+	}
 	ws, cfg, err := sw.spec.Resolve()
 	if err != nil {
 		return err
@@ -516,6 +547,8 @@ func (c *Coordinator) runSweep(ctx context.Context, sw *sweep) (err error) {
 // construction, plus the completeness check below, is the merge proof:
 // there is no coordinator-specific math to diverge.
 func (c *Coordinator) mergeAndWrite(ctx context.Context, sw *sweep, ws []bench.Workload, cfg experiments.Config, tasks []experiments.MatrixTask, done map[string]json.RawMessage) error {
+	ctx, endMerge := obs.StartSpan(ctx, "merge "+sw.id, map[string]string{"sweep": sw.id})
+	defer endMerge()
 	for _, t := range tasks {
 		if _, ok := done[t.Key()]; !ok {
 			return runx.Newf(runx.KindCorrupt, stageCoord, "sweep %s: merge refused: cell %s has no result", sw.id, t.Key())
@@ -591,8 +624,23 @@ func (c *Coordinator) finishSweep(sw *sweep, err error) {
 // Submit admits a distributed sweep with the worker daemon's admission
 // contract: shed when full or draining, fsync the spec before the 202.
 func (c *Coordinator) Submit(sp server.Spec) (*server.JobStatus, error) {
+	return c.SubmitCtx(context.Background(), sp)
+}
+
+// SubmitCtx is Submit carrying the caller's context; like the worker
+// daemon, the submission settles the sweep's trace — spec's own, else
+// the request's, else freshly minted — and persists it with the spec,
+// so every lease the fleet runs records under one trace id.
+func (c *Coordinator) SubmitCtx(ctx context.Context, sp server.Spec) (*server.JobStatus, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
+	}
+	if _, ok := obs.ParseTraceparent(sp.Trace); !ok {
+		tc, ok := obs.TraceContextFrom(ctx)
+		if !ok {
+			tc = obs.NewTrace()
+		}
+		sp.Trace = tc.Traceparent()
 	}
 	if dl, err := sp.ParseDeadline(); err == nil && !dl.IsZero() && !c.cfg.now().Before(dl) {
 		// A sweep whose deadline already passed is doomed: refuse it now,
@@ -617,7 +665,7 @@ func (c *Coordinator) Submit(sp server.Spec) (*server.JobStatus, error) {
 	}
 	c.seq++
 	id := fmt.Sprintf("s%06d", c.seq)
-	sw := &sweep{id: id, spec: sp, state: server.StateQueued, cellsTotal: sp.CellsTotal()}
+	sw := &sweep{id: id, spec: sp, state: server.StateQueued, enqueued: time.Now(), cellsTotal: sp.CellsTotal()}
 	c.sweeps[id] = sw
 	c.order = append(c.order, id)
 	c.waiting++

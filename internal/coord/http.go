@@ -57,6 +57,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/workers", c.wrap("register", c.handleRegister))
 	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", c.wrap("heartbeat", c.handleHeartbeat))
 	mux.HandleFunc("GET /v1/workers", c.wrap("fleet", c.handleFleet))
+	mux.HandleFunc("GET /v1/trace/{id}", c.wrap("trace", c.handleTrace))
 	mux.HandleFunc("GET /healthz", c.wrap("healthz", c.handleHealthz))
 	mux.HandleFunc("GET /readyz", c.wrap("readyz", c.handleReadyz))
 	mux.HandleFunc("GET /metrics", c.wrap("metrics", c.handleMetrics))
@@ -90,6 +91,15 @@ func (c *Coordinator) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
 		defer cancel()
+		// Extract the caller's trace: submissions carry it into the sweep
+		// (SubmitCtx persists it), and every access-log line under this
+		// request joins on the same trace_id.
+		if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.WithTraceContext(ctx, tc)
+			if c.cfg.Frags != nil {
+				ctx = obs.WithFragments(ctx, c.cfg.Frags)
+			}
+		}
 		r = r.WithContext(ctx)
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
@@ -121,7 +131,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, runx.Newf(runx.KindInvalidInput, stageCoord, "decode spec: %v", err))
 		return
 	}
-	st, err := c.Submit(sp)
+	st, err := c.SubmitCtx(r.Context(), sp)
 	if err != nil {
 		c.writeError(w, err)
 		return

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"deesim/internal/experiments"
 	"deesim/internal/memo"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 	"deesim/internal/server"
 	"deesim/internal/superv"
@@ -268,10 +270,21 @@ func (s *scheduler) grant(task experiments.MatrixTask, key string, w *workerSnap
 	s.c.adjustLeases(w.id, +1)
 	s.c.met.leasesGranted.Inc()
 	wc := w.client
+	// The dispatch span is the coordinator-clock record of this lease
+	// attempt; its child traceparent travels in the request body so the
+	// worker's cell span nests under this exact attempt, and the trace
+	// merge pairs the two spans by lease id to estimate clock skew.
+	sctx, endSpan := obs.StartSpan(ctx, "lease "+key, map[string]string{
+		"lease": id, "worker": w.id, "attempt": strconv.Itoa(attempt),
+	})
 	req := server.CellRequest{Spec: s.sw.spec, Task: task, Lease: id}
+	if tc, ok := obs.TraceContextFrom(sctx); ok && tc.Sampled {
+		req.Traceparent = tc.Traceparent()
+	}
 	go func() {
 		start := time.Now()
-		payload, err := wc.RunCell(ctx, req)
+		payload, err := wc.RunCell(sctx, req)
+		endSpan()
 		ev := completion{leaseID: id, key: key, workerID: w.id, payload: payload, err: err, took: time.Since(start)}
 		select {
 		case s.events <- ev:
@@ -305,6 +318,9 @@ func (s *scheduler) expireLeases() {
 		}
 		s.dropLease(l)
 		s.c.met.leaseExpiries.Inc()
+		obs.RecordFlight("lease-expire", l.key, map[string]string{
+			"lease": id, "worker": l.workerID, "reason": reason, "sweep": s.sw.id,
+		})
 		_ = s.jr.Append(Record{
 			Kind: KindExpire, Key: l.key, Worker: l.workerID, Lease: id,
 			Attempt: l.attempt, Reason: reason,
@@ -364,6 +380,9 @@ func (s *scheduler) requeue(l *lease, cause error) {
 		notBefore: s.c.cfg.now().Add(delay),
 	})
 	s.c.met.redispatches.Inc()
+	obs.RecordFlight("redispatch", l.key, map[string]string{
+		"sweep": s.sw.id, "attempt": strconv.Itoa(l.attempt), "cause": cause.Error(),
+	})
 }
 
 func (s *scheduler) taskFor(key string) experiments.MatrixTask {

@@ -8,7 +8,10 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
+
+	"deesim/internal/obs"
 )
 
 // Heartbeater is the worker side of fleet membership: it registers a
@@ -34,6 +37,22 @@ type Heartbeater struct {
 	// HTTP is the transport (nil = a 5s-timeout client; beats must be
 	// cheap and never hang past their own cadence).
 	HTTP *http.Client
+
+	// traceOnce/trace hold the per-process traceparent every beat
+	// carries: minted once, sampled bit clear — heartbeats are joinable
+	// in logs by trace id without ever recording span fragments.
+	traceOnce sync.Once
+	trace     obs.TraceContext
+}
+
+// traceparent returns the heartbeater's unsampled per-process trace
+// context, minting it on first use.
+func (h *Heartbeater) traceparent() string {
+	h.traceOnce.Do(func() {
+		h.trace = obs.NewTrace()
+		h.trace.Sampled = false
+	})
+	return h.trace.Traceparent()
 }
 
 // Run registers and then beats until ctx ends. Registration failures
@@ -118,6 +137,7 @@ func (h *Heartbeater) post(ctx context.Context, path string, body, out any) (int
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, h.traceparent())
 	hc := h.HTTP
 	if hc == nil {
 		hc = &http.Client{Timeout: 5 * time.Second}

@@ -181,6 +181,18 @@ func (e *inputSim) drop(sim *ilpsim.Sim) {
 // run executes one cell on the shared simulator.
 func (e *inputSim) run(ctx context.Context, t MatrixTask, cfg Config) (*CellResult, error) {
 	mCellsStarted.Inc()
+	ctx, endSpan := obs.StartSpan(ctx, "cell "+t.Key(), map[string]string{
+		"workload": t.Workload, "input": t.Input, "model": t.Model, "et": strconv.Itoa(t.ET),
+	})
+	start := time.Now()
+	defer func() {
+		endSpan()
+		traceID := ""
+		if tc, ok := obs.TraceContextFrom(ctx); ok {
+			traceID = tc.TraceID
+		}
+		mCellDuration.ObserveExemplar(time.Since(start).Seconds(), traceID)
+	}()
 	tr, sim, err := e.get(ctx, cfg)
 	if err != nil {
 		return nil, err

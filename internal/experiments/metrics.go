@@ -8,3 +8,10 @@ import "deesim/internal/obs"
 // assertion series: N identical concurrent submissions done right
 // raise it by one sweep's worth of cells, not N.
 var mCellsStarted = obs.GetOrCreateCounter("deesim_cells_started_total")
+
+// mCellDuration is the per-cell latency histogram. Every freshly
+// simulated cell observes here — single-node sweeps and leased
+// distributed cells alike — and each observation under a sampled trace
+// leaves that trace's id as the bucket exemplar, so a latency outlier
+// in a dashboard links straight to a fetchable timeline.
+var mCellDuration = obs.GetOrCreateHistogram("deesim_cell_duration_seconds", obs.DefaultLatencyBuckets)

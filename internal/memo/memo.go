@@ -24,12 +24,14 @@ package memo
 import (
 	"container/list"
 	"context"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
 	"deesim/internal/durable"
+	"deesim/internal/obs"
 	"deesim/internal/runx"
 )
 
@@ -54,6 +56,12 @@ type Config struct {
 	MemBytes int64
 	// FS is the injectable filesystem (nil = the real one).
 	FS durable.FS
+	// Logger, if non-nil, receives singleflight decisions (hit,
+	// collapse, miss) as structured lines. Passing the caller's context
+	// into Do means each line carries that caller's correlation IDs —
+	// trace_id, job, cell — so a collapsed herd is attributable to the
+	// submissions that joined it. Nil discards.
+	Logger *slog.Logger
 }
 
 // Memo is a content-addressed result cache. Safe for concurrent use.
@@ -61,6 +69,7 @@ type Memo struct {
 	dir      string
 	fsys     durable.FS
 	memBytes int64
+	log      *slog.Logger
 
 	mu      sync.Mutex
 	byHash  map[string]*list.Element // key hash -> LRU element
@@ -87,12 +96,16 @@ func New(cfg Config) (*Memo, error) {
 		dir:      cfg.Dir,
 		fsys:     durable.Or(cfg.FS),
 		memBytes: cfg.MemBytes,
+		log:      cfg.Logger,
 		byHash:   make(map[string]*list.Element),
 		lru:      list.New(),
 		flights:  make(map[string]*flight),
 	}
 	if m.memBytes <= 0 {
 		m.memBytes = DefaultMemBytes
+	}
+	if m.log == nil {
+		m.log = obs.Discard
 	}
 	if m.dir != "" {
 		if err := m.fsys.MkdirAll(m.dir, 0o755); err != nil {
@@ -222,12 +235,18 @@ func (m *Memo) Do(ctx context.Context, key string, fn func(ctx context.Context) 
 	for {
 		if data, ok := m.get(hash); ok {
 			mHits.Inc()
+			// The ctx carries the caller's correlation IDs (trace_id, job,
+			// cell), so the line — and the trace instant — names who hit.
+			m.log.LogAttrs(ctx, slog.LevelDebug, "memo hit", slog.String("entry", hash))
+			obs.Instant(ctx, "memo hit", map[string]string{"entry": hash})
 			return data, nil
 		}
 		m.mu.Lock()
 		if f, ok := m.flights[hash]; ok {
 			m.mu.Unlock()
 			mCollapsed.Inc()
+			m.log.LogAttrs(ctx, slog.LevelDebug, "memo collapse: joining in-flight computation", slog.String("entry", hash))
+			obs.Instant(ctx, "memo collapse", map[string]string{"entry": hash})
 			select {
 			case <-f.done:
 			case <-ctx.Done():
@@ -245,6 +264,7 @@ func (m *Memo) Do(ctx context.Context, key string, fn func(ctx context.Context) 
 		m.flights[hash] = f
 		m.mu.Unlock()
 		mMisses.Inc()
+		m.log.LogAttrs(ctx, slog.LevelDebug, "memo miss: computing", slog.String("entry", hash))
 		data, err := fn(ctx)
 		if err == nil {
 			// Best-effort persistence: the result is already computed, so

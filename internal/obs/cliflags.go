@@ -19,6 +19,7 @@ type CLIFlags struct {
 	LogLevel   string
 	LogJSON    bool
 	MetricsOut string
+	FlightOut  string
 
 	mu sync.Mutex // serializes metric-snapshot writes (signal vs. exit)
 }
@@ -30,6 +31,7 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.StringVar(&f.LogLevel, "log-level", "info", "log level: debug, info, warn, error")
 	fs.BoolVar(&f.LogJSON, "log-json", false, "emit logs as JSON lines instead of text")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a Prometheus-format snapshot of the run's metrics to this file on exit")
+	fs.StringVar(&f.FlightOut, "flight-out", "", "flight-recorder dump path: written on SIGQUIT, panic, and nonzero exit (daemons default it into -state and persist it continuously)")
 	return f
 }
 
@@ -73,6 +75,89 @@ func (f *CLIFlags) FlushOnSignal(logf func(format string, args ...any), extra ..
 		for _, fn := range extra {
 			if err := fn(); err != nil && logf != nil {
 				logf("flush on signal: %v", err)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+}
+
+// DefaultFlightOut fills -flight-out with path when the user left it
+// empty — daemons call it with a state-dir location so the black box
+// is on by default.
+func (f *CLIFlags) DefaultFlightOut(path string) {
+	if f.FlightOut == "" {
+		f.FlightOut = path
+	}
+}
+
+// DumpFlight writes the process flight recorder to -flight-out,
+// suffixing the filename with the reason so a forced dump (sigquit,
+// exit, panic) never races the periodic snapshot that shares the base
+// path. No-op without the flag.
+func (f *CLIFlags) DumpFlight(proc, reason string) error {
+	if f.FlightOut == "" {
+		return nil
+	}
+	return Flight.WriteDump(f.FlightOut+"."+reason, proc, reason)
+}
+
+// DumpFlightOnPanic is the flag-aware panic hook: `defer
+// obsFlags.DumpFlightOnPanic("proc")` at the top of a binary's main
+// records the panic, writes <flight-out>.panic, and re-panics so the
+// crash surfaces normally. No-op recover passthrough without the flag.
+func (f *CLIFlags) DumpFlightOnPanic(proc string) {
+	if p := recover(); p != nil {
+		Flight.Record("panic", fmt.Sprint(p), map[string]string{"proc": proc})
+		if f.FlightOut != "" {
+			_ = Flight.WriteDump(f.FlightOut+".panic", proc, "panic")
+		}
+		panic(p)
+	}
+}
+
+// DumpFlightOnExit is the nonzero-structured-exit hook: binaries call
+// it from their fail paths so every typed failure leaves a black box
+// behind alongside the error message.
+func (f *CLIFlags) DumpFlightOnExit(proc string, code int) {
+	if code == 0 {
+		return
+	}
+	Flight.Record("exit", fmt.Sprintf("exit code %d", code), map[string]string{"proc": proc})
+	if err := f.DumpFlight(proc, "exit"); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: flight dump: %v\n", proc, err)
+	}
+}
+
+// WatchQuit installs a SIGQUIT handler that dumps the flight recorder
+// and keeps running — an operator can poke a live daemon for its
+// black box without killing it. (Go's default SIGQUIT stack-dump-and-
+// crash behavior is replaced while the watcher is installed.) The
+// returned stop function uninstalls it. No-op without -flight-out.
+func (f *CLIFlags) WatchQuit(proc string, logf func(format string, args ...any)) (stop func()) {
+	if f.FlightOut == "" {
+		return func() {}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-ch:
+				Flight.Record("signal", "SIGQUIT", map[string]string{"proc": proc})
+				if err := f.DumpFlight(proc, "sigquit"); err != nil && logf != nil {
+					logf("flight dump on SIGQUIT: %v", err)
+				} else if logf != nil {
+					logf("flight recorder dumped to %s.sigquit", f.FlightOut)
+				}
 			}
 		}
 	}()

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetOrCreateHistogram("x_seconds", []float64{0.1, 1, 10})
+	h.Observe(0.05) // no exemplar
+	h.ObserveExemplar(0.5, "aabbccdd00112233aabbccdd00112233")
+	id, v, ok := h.Exemplar()
+	if !ok || id != "aabbccdd00112233aabbccdd00112233" || v != 0.5 {
+		t.Fatalf("exemplar = %q %v %v", id, v, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The exemplar rides only the bucket containing 0.5 (le="1").
+	var exLines []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "# {trace_id=") {
+			exLines = append(exLines, line)
+		}
+	}
+	if len(exLines) != 1 || !strings.Contains(exLines[0], `le="1"`) {
+		t.Fatalf("exemplar exposition wrong: %v\nfull:\n%s", exLines, out)
+	}
+	// Plain rows must stay space-splittable: name value [# exemplar].
+	fields := strings.Fields(exLines[0])
+	if len(fields) < 3 || fields[2] != "#" {
+		t.Fatalf("exemplar suffix not after value: %q", exLines[0])
+	}
+}
+
+func TestHistogramExemplarInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.GetOrCreateHistogram(`y_seconds{class="a"}`, []float64{1})
+	h.ObserveExemplar(5, "ffeeddccbbaa99887766554433221100")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "# {trace_id=") && !strings.Contains(line, `le="+Inf"`) {
+			t.Fatalf("exemplar on wrong bucket: %q", line)
+		}
+	}
+	if !strings.Contains(out, "# {trace_id=") {
+		t.Fatalf("exemplar missing:\n%s", out)
+	}
+}

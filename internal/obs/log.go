@@ -65,6 +65,16 @@ func (h ctxHandler) Handle(ctx context.Context, rec slog.Record) error {
 		rec = rec.Clone()
 		rec.AddAttrs(attrs...)
 	}
+	// Tee warnings and errors into the flight recorder: the black box
+	// keeps the recent trouble even when stderr is long gone.
+	if rec.Level >= slog.LevelWarn {
+		attrs := map[string]string{"level": rec.Level.String()}
+		rec.Attrs(func(a slog.Attr) bool {
+			attrs[a.Key] = a.Value.String()
+			return true
+		})
+		Flight.Record("log", rec.Message, attrs)
+	}
 	return h.Handler.Handle(ctx, rec)
 }
 

@@ -35,6 +35,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds a process's metric instruments. The zero value is not
@@ -55,10 +56,13 @@ type metric interface {
 
 // Sample is one exposed time-series value: a fully-labelled series name
 // and its current value. Histograms expand into multiple samples
-// (_bucket per le, _sum, _count).
+// (_bucket per le, _sum, _count). Exemplar, when non-empty, is an
+// OpenMetrics exemplar suffix (`{trace_id="..."} value ts`) attached
+// to the bucket row that contains the exemplar observation.
 type Sample struct {
-	Name  string
-	Value float64
+	Name     string
+	Value    float64
+	Exemplar string
 }
 
 // NewRegistry returns an empty registry.
@@ -145,6 +149,16 @@ type Histogram struct {
 	counts  []atomic.Int64
 	inf     atomic.Int64
 	sumBits atomic.Uint64 // float64 bits of the running sum (CAS-added)
+	exem    atomic.Pointer[exemplar]
+}
+
+// exemplar is the most recent trace-annotated observation of a
+// histogram: enough to jump from a latency bucket to the distributed
+// trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64 // unix seconds at observation
 }
 
 // DefaultLatencyBuckets is the request-latency ladder shared by the
@@ -175,6 +189,25 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and, when traceID is non-empty,
+// remembers it as the histogram's exemplar — the trace to look at for
+// a representative recent observation.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID != "" {
+		h.exem.Store(&exemplar{traceID: traceID, value: v, ts: float64(time.Now().UnixNano()) / 1e9})
+	}
+}
+
+// Exemplar returns the most recent trace-annotated observation.
+func (h *Histogram) Exemplar() (traceID string, value float64, ok bool) {
+	ex := h.exem.Load()
+	if ex == nil {
+		return "", 0, false
+	}
+	return ex.traceID, ex.value, true
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() int64 {
 	var n int64
@@ -195,13 +228,24 @@ func (h *Histogram) rows(name string, dst []Sample) []Sample {
 		}
 		return base + `_bucket{` + labels + `,le="` + le + `"}`
 	}
+	ex := h.exem.Load()
+	exRow := func(ub float64, lower float64) string {
+		// Attach the exemplar to the one bucket whose range contains it,
+		// per the OpenMetrics exposition rules.
+		if ex == nil || ex.value > ub || ex.value <= lower {
+			return ""
+		}
+		return fmt.Sprintf(`{trace_id="%s"} %s %s`, ex.traceID, formatFloat(ex.value), formatFloat(ex.ts))
+	}
 	cum := int64(0)
+	lower := math.Inf(-1)
 	for i, ub := range h.uppers {
 		cum += h.counts[i].Load()
-		dst = append(dst, Sample{Name: bucketName(formatFloat(ub)), Value: float64(cum)})
+		dst = append(dst, Sample{Name: bucketName(formatFloat(ub)), Value: float64(cum), Exemplar: exRow(ub, lower)})
+		lower = ub
 	}
 	cum += h.inf.Load()
-	dst = append(dst, Sample{Name: bucketName("+Inf"), Value: float64(cum)})
+	dst = append(dst, Sample{Name: bucketName("+Inf"), Value: float64(cum), Exemplar: exRow(math.Inf(1), lower)})
 	dst = append(dst, Sample{Name: withLabels(base+"_sum", labels), Value: h.Sum()})
 	dst = append(dst, Sample{Name: withLabels(base+"_count", labels), Value: float64(cum)})
 	return dst
@@ -351,6 +395,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		for _, s := range f.rows {
+			if s.Exemplar != "" {
+				// OpenMetrics exemplar suffix; our scrapers split on
+				// whitespace and ignore trailing fields, and Perfetto-bound
+				// tooling reads the trace ID from here.
+				if _, err := fmt.Fprintf(w, "%s %s # %s\n", s.Name, formatFloat(s.Value), s.Exemplar); err != nil {
+					return err
+				}
+				continue
+			}
 			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value)); err != nil {
 				return err
 			}

@@ -1,6 +1,13 @@
 package server
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+
+	"deesim/internal/obs"
+)
 
 // Brownout is deesimd's graceful-degradation ladder. Instead of one
 // cliff — queue full, everything sheds — admission walks down a
@@ -50,12 +57,26 @@ func (s *Server) brownoutLocked() int {
 }
 
 // noteBrownoutLocked publishes the current level on the gauge and logs
-// transitions. Caller holds s.mu.
-func (s *Server) noteBrownoutLocked(level int) {
+// transitions. The context is the admission request that tripped the
+// transition: its correlation IDs (trace_id, job ids) ride into the
+// structured log line, so a brownout can be joined to the submission
+// that pushed the queue over the watermark. Caller holds s.mu.
+func (s *Server) noteBrownoutLocked(ctx context.Context, level int) {
 	if level == s.brownout {
 		return
 	}
 	s.cfg.Logf("deesimd: brownout level %d -> %d (%s)", s.brownout, level, brownoutName(level))
+	s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "brownout transition",
+		slog.Int("from", s.brownout), slog.Int("to", level), slog.String("policy", brownoutName(level)),
+		slog.Int("waiting_interactive", s.waitingInt), slog.Int("waiting_batch", s.waitingBatch))
+	attrs := map[string]string{
+		"from": strconv.Itoa(s.brownout), "to": strconv.Itoa(level),
+		"policy": brownoutName(level),
+	}
+	if tc, ok := obs.TraceContextFrom(ctx); ok {
+		attrs["trace"] = tc.TraceID
+	}
+	obs.RecordFlight("brownout", "level "+strconv.Itoa(s.brownout)+" -> "+strconv.Itoa(level), attrs)
 	s.brownout = level
 	s.met.brownoutLevel.Set(float64(level))
 }
@@ -65,9 +86,9 @@ func (s *Server) noteBrownoutLocked(level int) {
 func (s *Server) noteReadsOnly(on bool) {
 	s.mu.Lock()
 	if on {
-		s.noteBrownoutLocked(BrownoutReadsOnly)
+		s.noteBrownoutLocked(context.Background(), BrownoutReadsOnly)
 	} else if s.brownout == BrownoutReadsOnly {
-		s.noteBrownoutLocked(s.brownoutLocked())
+		s.noteBrownoutLocked(context.Background(), s.brownoutLocked())
 	}
 	s.mu.Unlock()
 }
@@ -81,7 +102,7 @@ func (s *Server) BrownoutLevel() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	level := s.brownoutLocked()
-	s.noteBrownoutLocked(level)
+	s.noteBrownoutLocked(context.Background(), level)
 	return level
 }
 

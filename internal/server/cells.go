@@ -23,6 +23,12 @@ type CellRequest struct {
 	Spec  Spec                   `json:"spec"`
 	Task  experiments.MatrixTask `json:"task"`
 	Lease string                 `json:"lease,omitempty"`
+	// Traceparent carries the coordinator's dispatch-span context, so
+	// the worker's cell span nests under the exact lease attempt that
+	// dispatched it (the spec's own trace would parent every attempt
+	// under the sweep root instead). Absent falls back to the transport
+	// header, then to Spec.Trace.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // Validate resolves the spec and checks the task addresses a cell
@@ -113,6 +119,26 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 		defer dcancel()
 	}
 	ctx = obs.WithCellKey(ctx, cr.Task.Key())
+	// Rejoin the sweep's trace: the request body's traceparent wins (it
+	// names the coordinator's dispatch span for this lease attempt),
+	// then the transport header already on ctx, then the spec's root.
+	if tc, ok := obs.ParseTraceparent(cr.Traceparent); ok {
+		ctx = obs.WithTraceContext(ctx, tc)
+	} else if _, ok := obs.TraceContextFrom(ctx); !ok {
+		if tc, ok := obs.ParseTraceparent(cr.Spec.Trace); ok {
+			ctx = obs.WithTraceContext(ctx, tc)
+		}
+	}
+	if s.cfg.Frags != nil {
+		ctx = obs.WithFragments(ctx, s.cfg.Frags)
+	}
+	// The RPC span carries the lease id: the coordinator's timeline
+	// merge pairs it with its own dispatch span for the same lease to
+	// estimate this worker's clock skew.
+	ctx, endSpan := obs.StartSpan(ctx, "cell-rpc "+cr.Task.Key(), map[string]string{
+		"lease": cr.Lease, "task": cr.Task.Key(),
+	})
+	defer endSpan()
 	res, err := s.runCell(ctx, ws, cfg, cr.Task)
 	if err != nil {
 		s.writeError(w, err)

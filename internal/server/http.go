@@ -47,6 +47,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/tracefrag", s.wrap("tracefrag", s.handleTraceFrag))
 	mux.HandleFunc("GET /versionz", s.wrap("versionz", s.handleVersionz))
 	if s.cfg.Pprof {
 		// Registered without wrap: a CPU profile legitimately outlives
@@ -117,6 +118,15 @@ func (s *Server) wrapTimeout(endpoint string, timeout time.Duration, h http.Hand
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
+		// Extract the caller's trace context, if any: handlers and every
+		// log line under this request then carry the same trace_id the
+		// client minted, and sampled requests record span fragments.
+		if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+			ctx = obs.WithTraceContext(ctx, tc)
+			if s.cfg.Frags != nil {
+				ctx = obs.WithFragments(ctx, s.cfg.Frags)
+			}
+		}
 		entry := &accessEntry{jobID: r.PathValue("id")}
 		ctx = context.WithValue(ctx, accessKey{}, entry)
 		r = r.WithContext(ctx)
@@ -159,13 +169,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	st, err := s.Submit(sp)
+	st, err := s.SubmitCtx(r.Context(), sp)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	setAccessJobID(r.Context(), st.ID)
 	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleTraceFrag serves this process's span fragments, optionally
+// filtered to one trace id (?trace=<32hex>). The coordinator's
+// timeline merge calls it on every worker; the response is a JSON
+// array of SpanFragment objects (null when this process records none).
+func (s *Server) handleTraceFrag(w http.ResponseWriter, r *http.Request) {
+	frags, err := obs.ReadFragments(s.cfg.Frags.Path(), r.URL.Query().Get("trace"))
+	if err != nil {
+		s.writeError(w, runx.Newf(runx.KindUnknown, stageServer, "read fragments: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, frags)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -42,6 +42,13 @@ type serverMetrics struct {
 	queueDepthBatch *obs.Gauge // waiting batch jobs
 	shedsInt        *obs.Counter
 	shedsBatch      *obs.Counter
+
+	// Queue-wait vs run-time split, both with trace-ID exemplars: how
+	// long a job sat admitted-but-idle versus how long its sweep ran.
+	// Together they answer "was the slow sweep queued or slow?" and the
+	// exemplar links the offending bucket straight to a fetchable trace.
+	queueWait *obs.Histogram
+	jobRun    *obs.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -76,6 +83,9 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		queueDepthBatch: reg.GetOrCreateGauge(`deesim_server_class_queue_depth{class="batch"}`),
 		shedsInt:        reg.GetOrCreateCounter(`deesim_server_class_sheds_total{class="interactive"}`),
 		shedsBatch:      reg.GetOrCreateCounter(`deesim_server_class_sheds_total{class="batch"}`),
+
+		queueWait: reg.GetOrCreateHistogram("deesim_server_job_queue_wait_seconds", obs.DefaultLatencyBuckets),
+		jobRun:    reg.GetOrCreateHistogram("deesim_server_job_run_seconds", obs.DefaultLatencyBuckets),
 	}
 }
 

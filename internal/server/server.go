@@ -127,6 +127,11 @@ type Config struct {
 	// Nil — the default — keeps every submission simulating from
 	// scratch, which byte-identity-sensitive golden jobs rely on.
 	Memo *memo.Memo
+	// Frags, if non-nil, is the process's durable span-fragment log:
+	// traced requests, queue waits, jobs, and leased cells record their
+	// spans here, and GET /v1/tracefrag serves them to the coordinator's
+	// timeline merge. Nil records nothing.
+	Frags *obs.FragmentLog
 }
 
 func (c Config) withDefaults() Config {
@@ -189,12 +194,19 @@ type job struct {
 	spec       Spec
 	class      string    // normalized priority class (spec.Class())
 	deadline   time.Time // absolute SLO deadline; zero = none
+	enqueued   time.Time // when the job entered its lane (queue-wait split)
 	state      string
 	cellsDone  int
 	cellsTotal int
 	resumed    bool // re-queued by crash recovery
 	errText    string
 	errKind    string
+}
+
+// traceCtx parses the trace context persisted with the job's spec, so
+// a resumed job rejoins the trace its submission minted.
+func (jb *job) traceCtx() (obs.TraceContext, bool) {
+	return obs.ParseTraceparent(jb.spec.Trace)
 }
 
 // JobStatus is the status API's JSON rendering of a job. Priority and
@@ -300,6 +312,9 @@ func (s *Server) pushLocked(jb *job) {
 	if jb.class == "" {
 		jb.class = jb.spec.Class()
 		jb.deadline, _ = jb.spec.ParseDeadline()
+	}
+	if jb.enqueued.IsZero() {
+		jb.enqueued = time.Now()
 	}
 	if jb.class == PriorityBatch {
 		s.pendBatch = append(s.pendBatch, jb)
@@ -470,13 +485,30 @@ func (s *Server) worker() {
 		}
 		jb.state = StateRunning
 		jb.cellsDone = 0
+		enqueued := jb.enqueued
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		s.running[jb.id] = cancel
 		s.met.inflight.Set(float64(len(s.running)))
 		s.mu.Unlock()
 
+		// Queue-wait vs run-time split: the wait ends here, the run
+		// starts here; both series carry the job's trace as exemplar.
+		tc, traced := jb.traceCtx()
+		if !enqueued.IsZero() {
+			s.met.queueWait.ObserveExemplar(time.Since(enqueued).Seconds(), tc.TraceID)
+			if traced {
+				_ = s.cfg.Frags.Append(obs.SpanFragment{
+					Trace: tc.TraceID, Span: tc.Child().SpanID, Parent: tc.SpanID,
+					Name:  "queue-wait " + jb.id,
+					Start: enqueued.UnixNano(), End: time.Now().UnixNano(),
+					Attrs: map[string]string{"job": jb.id, "class": jb.class},
+				})
+			}
+		}
+		started := time.Now()
 		err := s.runJob(ctx, jb)
 		cancel()
+		s.met.jobRun.ObserveExemplar(time.Since(started).Seconds(), tc.TraceID)
 		s.finishJob(jb, err)
 	}
 }
@@ -491,8 +523,17 @@ func (s *Server) runJob(ctx context.Context, jb *job) (err error) {
 		}
 	}()
 	// Thread the job id through the context so any structured log line
-	// emitted under this sweep carries it.
+	// emitted under this sweep carries it, and rejoin the trace the
+	// submission minted (persisted with the spec, so resume rejoins it
+	// too) so every cell under this sweep records fragments.
 	ctx = obs.WithJobID(ctx, jb.id)
+	if tc, ok := jb.traceCtx(); ok {
+		ctx = obs.WithTraceContext(ctx, tc)
+		ctx = obs.WithFragments(ctx, s.cfg.Frags)
+		var endJob func()
+		ctx, endJob = obs.StartSpan(ctx, "job "+jb.id, map[string]string{"job": jb.id})
+		defer endJob()
+	}
 	ws, cfg, err := jb.spec.resolve()
 	if err != nil {
 		return err
@@ -709,8 +750,27 @@ func (s *Server) finishJob(jb *job, err error) {
 // persisted durably before the caller learns the id. Used by the HTTP
 // handler and directly by tests.
 func (s *Server) Submit(sp Spec) (*JobStatus, error) {
+	return s.SubmitCtx(context.Background(), sp)
+}
+
+// SubmitCtx is Submit carrying the caller's context. The submission is
+// where a job's trace is settled, in priority order: a traceparent the
+// spec already carries (a coordinator or resubmitting client minted it
+// upstream), else the request context's (the HTTP hop propagated it),
+// else a freshly minted one — so every accepted job is traceable even
+// when the client predates tracing. The settled traceparent is stamped
+// into the spec before it is persisted, making the trace as durable as
+// the acceptance itself.
+func (s *Server) SubmitCtx(ctx context.Context, sp Spec) (*JobStatus, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
+	}
+	if _, ok := obs.ParseTraceparent(sp.Trace); !ok {
+		tc, ok := obs.TraceContextFrom(ctx)
+		if !ok {
+			tc = obs.NewTrace()
+		}
+		sp.Trace = tc.Traceparent()
 	}
 	class := sp.Class()
 	deadline, _ := sp.ParseDeadline() // syntax vetted by Validate
@@ -724,6 +784,7 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 		// keep serving; every write sheds until a probe write succeeds.
 		s.met.drainSheds.Inc()
 		s.met.classShed(class)
+		obs.RecordFlight("shed", "low disk: new job refused", map[string]string{"class": class})
 		return nil, runx.Newf(runx.KindUnavailable, stageServer,
 			"low disk: shedding new jobs until durable writes succeed; retry after %s", s.cfg.RetryAfter)
 	}
@@ -732,16 +793,18 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 		s.mu.Unlock()
 		s.met.drainSheds.Inc()
 		s.met.classShed(class)
+		obs.RecordFlight("shed", "draining: new job refused", map[string]string{"class": class})
 		return nil, runx.Newf(runx.KindUnavailable, stageServer, "draining: not accepting new jobs")
 	}
 	level := s.brownoutLocked()
-	s.noteBrownoutLocked(level)
+	s.noteBrownoutLocked(ctx, level)
 	if class == PriorityBatch {
 		if level >= BrownoutShedBatch {
 			s.mu.Unlock()
 			s.met.sheds.Inc()
 			s.met.brownoutSheds.Inc()
 			s.met.classShed(class)
+			obs.RecordFlight("shed", "brownout: batch job refused", map[string]string{"class": class, "level": strconv.Itoa(level)})
 			return nil, runx.Newf(runx.KindOverload, stageServer,
 				"brownout level %d: shedding batch work (interactive queue %d/%d); retry after %s",
 				level, s.waitingInt, s.cfg.QueueDepth, s.cfg.RetryAfter)
@@ -750,6 +813,7 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 			s.mu.Unlock()
 			s.met.sheds.Inc()
 			s.met.classShed(class)
+			obs.RecordFlight("shed", "batch queue full", map[string]string{"class": class})
 			return nil, runx.Newf(runx.KindOverload, stageServer,
 				"batch queue full (%d waiting); retry after %s", s.cfg.BatchQueueDepth, s.cfg.RetryAfter)
 		}
@@ -758,13 +822,14 @@ func (s *Server) Submit(sp Spec) (*JobStatus, error) {
 		s.met.sheds.Inc()
 		s.met.brownoutSheds.Inc()
 		s.met.classShed(class)
+		obs.RecordFlight("shed", "interactive queue full", map[string]string{"class": class})
 		return nil, runx.Newf(runx.KindOverload, stageServer,
 			"brownout level %d: interactive queue full (%d waiting), deferring new work; retry after %s",
 			BrownoutDeferAll, s.cfg.QueueDepth, s.cfg.RetryAfter)
 	}
 	s.seq++
 	id := fmt.Sprintf("j%06d", s.seq)
-	jb := &job{id: id, spec: sp, class: class, deadline: deadline, state: StateQueued, cellsTotal: sp.CellsTotal()}
+	jb := &job{id: id, spec: sp, class: class, deadline: deadline, enqueued: time.Now(), state: StateQueued, cellsTotal: sp.CellsTotal()}
 	s.jobs[id] = jb
 	s.order = append(s.order, id)
 	if class == PriorityBatch {

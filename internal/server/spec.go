@@ -55,6 +55,15 @@ type Spec struct {
 	// is cancelled everywhere, fails with kind "deadline exceeded"
 	// (KindTimeout), and is never silently re-dispatched.
 	Deadline string `json:"deadline,omitempty"`
+
+	// Trace is the W3C traceparent minted at submission ("00-<trace
+	// id>-<span id>-<flags>"). It is persisted with the spec — so a
+	// resumed job rejoins the trace that submitted it — and travels
+	// inside every leased cell's Spec, stitching the fleet's span
+	// fragments into one timeline. Absent or malformed means untraced;
+	// it is never part of a memo key (the same sweep bytes must hit the
+	// same cache entry regardless of who traced it).
+	Trace string `json:"trace,omitempty"`
 }
 
 // Priority classes a Spec may carry.
